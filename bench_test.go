@@ -1,0 +1,167 @@
+package dominantlink_test
+
+// One benchmark per table and figure of the paper's evaluation (§VI),
+// regenerating the corresponding pipeline: the simulation workload is
+// built once per scenario (cached), and each benchmark iteration runs the
+// inference/identification stage that produces the reported quantity.
+// Simulator and EM micro-benchmarks live in the internal packages; these
+// top-level benches exercise the end-to-end paths.
+
+import (
+	"sync"
+	"testing"
+
+	"dominantlink/internal/core"
+	"dominantlink/internal/inet"
+	"dominantlink/internal/scenario"
+	"dominantlink/internal/trace"
+)
+
+// cache memoizes scenario executions so the (expensive, deterministic)
+// simulations run once per `go test -bench` process.
+var cache sync.Map
+
+func cachedRun(b *testing.B, key string, build func() *scenario.Run) *scenario.Run {
+	b.Helper()
+	if v, ok := cache.Load(key); ok {
+		return v.(*scenario.Run)
+	}
+	r := build()
+	cache.Store(key, r)
+	return r
+}
+
+func cachedInet(b *testing.B, kind inet.PathKind) *inet.Result {
+	b.Helper()
+	key := "inet-" + kind.String()
+	if v, ok := cache.Load(key); ok {
+		return v.(*inet.Result)
+	}
+	res, err := inet.Run(kind, inet.Config{Seed: 42})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cache.Store(key, res)
+	return res
+}
+
+func identifyBench(b *testing.B, tr *trace.Trace, cfg core.IdentifyConfig) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Identify(tr, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2SDCL regenerates a Table II row: identification plus the
+// fine-grained (M=30) bound on the strongly dominant congested link.
+func BenchmarkTable2SDCL(b *testing.B) {
+	run := cachedRun(b, "t2", func() *scenario.Run { return scenario.StronglyDominant(1e6, 42).Execute() })
+	identifyBench(b, run.Trace, core.IdentifyConfig{Symbols: 30, X: 0.06, Y: 1e-9})
+}
+
+// BenchmarkTable3WDCL regenerates a Table III row.
+func BenchmarkTable3WDCL(b *testing.B) {
+	run := cachedRun(b, "t3", func() *scenario.Run { return scenario.WeaklyDominant(0.7e6, 1, 42).Execute() })
+	identifyBench(b, run.Trace, core.IdentifyConfig{X: 0.06, Y: 1e-9})
+}
+
+// BenchmarkTable4NoDCL regenerates a Table IV row.
+func BenchmarkTable4NoDCL(b *testing.B) {
+	p := scenario.Table4Bandwidths[0]
+	run := cachedRun(b, "t4", func() *scenario.Run { return scenario.NoDominant(p[0], p[1], 42).Execute() })
+	identifyBench(b, run.Trace, core.IdentifyConfig{X: 0.06, Y: 0.06})
+}
+
+// BenchmarkFig5Distributions fits MMHD at the paper's default M=5, N=2 on
+// the Fig. 5 SDCL trace.
+func BenchmarkFig5Distributions(b *testing.B) {
+	run := cachedRun(b, "t2", func() *scenario.Run { return scenario.StronglyDominant(1e6, 42).Execute() })
+	identifyBench(b, run.Trace, core.IdentifyConfig{X: 0.06, Y: 1e-9})
+}
+
+// BenchmarkFig6WDCLDistributions fits MMHD with N=4 (the heaviest curve of
+// Fig. 6) on the WDCL trace.
+func BenchmarkFig6WDCLDistributions(b *testing.B) {
+	run := cachedRun(b, "t3", func() *scenario.Run { return scenario.WeaklyDominant(0.7e6, 1, 42).Execute() })
+	identifyBench(b, run.Trace, core.IdentifyConfig{HiddenStates: 4, X: 0.06, Y: 1e-9})
+}
+
+// BenchmarkFig7FineBound runs the fine-grained M=100 fit and the
+// connected-component bound of Fig. 7 — the workload the sparse MMHD
+// forward-backward exists for.
+func BenchmarkFig7FineBound(b *testing.B) {
+	run := cachedRun(b, "t3", func() *scenario.Run { return scenario.WeaklyDominant(0.7e6, 1, 42).Execute() })
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		id, err := core.Identify(run.Trace, core.IdentifyConfig{Symbols: 100, X: 0.06, Y: 1e-9})
+		if err != nil {
+			b.Fatal(err)
+		}
+		core.ConnectedComponentBound(id.VirtualPMF, id.Disc, 0)
+	}
+}
+
+// BenchmarkFig8HMMvsMMHD fits the HMM baseline of Fig. 8 on the no-DCL
+// trace.
+func BenchmarkFig8HMMvsMMHD(b *testing.B) {
+	p := scenario.Table4Bandwidths[0]
+	run := cachedRun(b, "t4", func() *scenario.Run { return scenario.NoDominant(p[0], p[1], 42).Execute() })
+	identifyBench(b, run.Trace, core.IdentifyConfig{Model: core.HMM, X: 0.06, Y: 0.06})
+}
+
+// BenchmarkFig9Duration identifies a 160 s segment, the unit of work of
+// the Fig. 9 probing-duration study.
+func BenchmarkFig9Duration(b *testing.B) {
+	run := cachedRun(b, "t3", func() *scenario.Run { return scenario.WeaklyDominant(0.7e6, 1, 42).Execute() })
+	seg := run.Trace.Slice(1000, 1000+8000) // 160 s at 20 ms
+	identifyBench(b, seg, core.IdentifyConfig{X: 0.06, Y: 1e-9, Restarts: 1})
+}
+
+// BenchmarkFig10RED identifies the adaptive-RED SDCL trace of Fig. 10(b).
+func BenchmarkFig10RED(b *testing.B) {
+	run := cachedRun(b, "red12", func() *scenario.Run { return scenario.REDStronglyDominant(12, 42).Execute() })
+	identifyBench(b, run.Trace, core.IdentifyConfig{X: 0.06, Y: 1e-9})
+}
+
+// BenchmarkFig11REDNoDCL identifies the adaptive-RED no-DCL trace of
+// Fig. 11(b).
+func BenchmarkFig11REDNoDCL(b *testing.B) {
+	run := cachedRun(b, "red13", func() *scenario.Run { return scenario.REDNoDominant(13, 42).Execute() })
+	identifyBench(b, run.Trace, core.IdentifyConfig{X: 0.06, Y: 0.06})
+}
+
+// BenchmarkFig12Internet runs the Fig. 12 identification (including the
+// skew-corrected trace) on the Cornell->UFPR path.
+func BenchmarkFig12Internet(b *testing.B) {
+	res := cachedInet(b, inet.CornellToUFPR)
+	identifyBench(b, res.Corrected, core.IdentifyConfig{X: 0.06, Y: 1e-9})
+}
+
+// BenchmarkFig13ADSL runs the Fig. 13(c) identification on the SNU->ADSL
+// path (the reject case).
+func BenchmarkFig13ADSL(b *testing.B) {
+	res := cachedInet(b, inet.SNUToADSL)
+	identifyBench(b, res.Corrected, core.IdentifyConfig{X: 0.06, Y: 1e-9})
+}
+
+// BenchmarkFig14Consistency identifies an 8-minute segment with known
+// propagation delay, the unit of work of the Fig. 14 consistency study.
+func BenchmarkFig14Consistency(b *testing.B) {
+	res := cachedInet(b, inet.USevillaToADSL)
+	seg := res.Corrected.Slice(0, 8*60*50) // 8 min at 20 ms
+	identifyBench(b, seg, core.IdentifyConfig{
+		X: 0.06, Y: 1e-9, Restarts: 1, KnownPropagation: res.Run.TrueProp,
+	})
+}
+
+// BenchmarkScenarioSimulation measures the raw simulation cost of a full
+// Table II run (1000 s of simulated probing with mixed cross traffic).
+func BenchmarkScenarioSimulation(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		scenario.StronglyDominant(1e6, int64(i)).Execute()
+	}
+}

@@ -1,0 +1,105 @@
+// Command dclsim runs one of the paper's simulation scenarios, reports
+// the ground-truth congestion structure (per-link loss shares, maximum
+// queuing delays, utilizations), and optionally writes the probe trace to
+// a CSV file for offline analysis with dclidentify.
+//
+// Usage:
+//
+//	dclsim -scenario sdcl -bw 1e6 -seed 1 -out trace.csv
+//
+// Scenarios: sdcl (Table II), wdcl (Table III), nodcl (Table IV),
+// red-sdcl (Fig. 10), red-nodcl (Fig. 11), and the synthesized Internet
+// paths inet-ufpr, inet-adsl-ufpr, inet-adsl-usevilla, inet-adsl-snu
+// (§VI-B; these include receiver clock skew — use dclidentify -skew).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"dominantlink/internal/inet"
+	"dominantlink/internal/scenario"
+	"dominantlink/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dclsim: ")
+	var (
+		name  = flag.String("scenario", "sdcl", "scenario: sdcl, wdcl, nodcl, red-sdcl, red-nodcl, inet-ufpr, inet-adsl-{ufpr,usevilla,snu}")
+		bw    = flag.Float64("bw", 1e6, "varied bottleneck bandwidth, bits/s (sdcl, wdcl)")
+		bw3   = flag.Float64("bw3", 0.4e6, "second lossy-link bandwidth, bits/s (nodcl)")
+		minth = flag.Float64("minth", 12, "RED minimum threshold, packets (red-*)")
+		seed  = flag.Int64("seed", 1, "simulation seed")
+		out   = flag.String("out", "", "write probe trace CSV to this file")
+	)
+	flag.Parse()
+
+	inetKinds := map[string]inet.PathKind{
+		"inet-ufpr":          inet.CornellToUFPR,
+		"inet-adsl-ufpr":     inet.UFPRToADSL,
+		"inet-adsl-usevilla": inet.USevillaToADSL,
+		"inet-adsl-snu":      inet.SNUToADSL,
+	}
+
+	var (
+		run     *scenario.Run
+		rawOnly *trace.Trace // trace carrying the skewed receiver clock
+	)
+	if kind, ok := inetKinds[*name]; ok {
+		res, err := inet.Run(kind, inet.Config{Seed: *seed})
+		if err != nil {
+			log.Fatal(err)
+		}
+		run = res.Run
+		rawOnly = res.Raw
+		fmt.Printf("injected clock skew %.0e s/s (removable with dclidentify -skew)\n", res.TrueSkew)
+	} else {
+		var sp scenario.Spec
+		switch *name {
+		case "sdcl":
+			sp = scenario.StronglyDominant(*bw, *seed)
+		case "wdcl":
+			sp = scenario.WeaklyDominant(*bw, 1, *seed)
+		case "nodcl":
+			sp = scenario.NoDominant(*bw, *bw3, *seed)
+		case "red-sdcl":
+			sp = scenario.REDStronglyDominant(*minth, *seed)
+		case "red-nodcl":
+			sp = scenario.REDNoDominant(*minth, *seed)
+		default:
+			log.Fatalf("unknown scenario %q", *name)
+		}
+		run = sp.Execute()
+	}
+	tr := run.Trace
+	if rawOnly != nil {
+		tr = rawOnly
+	}
+	fmt.Printf("scenario=%s probes=%d loss_rate=%.3f%% duration=%.0fs\n",
+		*name, len(tr.Observations), 100*tr.LossRate(), tr.Duration())
+	fmt.Printf("true_propagation=%.3fms\n", 1e3*run.TrueProp)
+	for i, l := range run.BackboneLinks {
+		fmt.Printf("link %-4s bw=%8.2gb/s Q=%7.1fms util=%5.1f%% drops=%6d loss_share=%5.1f%%\n",
+			l.Name, l.Bandwidth, 1e3*run.ActualMaxQueuing(i), 100*l.Utilization(),
+			l.Drops, 100*run.LossShare(i))
+	}
+	if len(run.PairImputed) > 0 {
+		fmt.Printf("loss_pairs: %d informative pairs\n", len(run.PairImputed))
+	}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tr.WriteCSV(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trace written to %s\n", *out)
+	}
+}

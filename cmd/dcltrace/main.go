@@ -1,0 +1,151 @@
+// Command dcltrace inspects a probe trace CSV: summary statistics, an
+// ASCII delay histogram, loss-burst structure, a stationarity report, and
+// (optionally) the longest stationary segment — the preprocessing the
+// paper applies to its 1-hour Internet captures before identification.
+//
+// Usage:
+//
+//	dcltrace -trace trace.csv [-blocks 10] [-segment out.csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"dominantlink/internal/core"
+	"dominantlink/internal/stats"
+	"dominantlink/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dcltrace: ")
+	var (
+		path    = flag.String("trace", "", "probe trace CSV (required)")
+		blocks  = flag.Int("blocks", 10, "stationarity blocks")
+		bins    = flag.Int("bins", 20, "histogram bins")
+		segment = flag.String("segment", "", "write the longest stationary segment to this CSV")
+	)
+	flag.Parse()
+	if *path == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(*path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr, err := trace.ReadCSV(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("probes: %d   duration: %.0f s   loss rate: %.3f%%\n",
+		len(tr.Observations), tr.Duration(), 100*tr.LossRate())
+
+	var delays []float64
+	for _, o := range tr.Observations {
+		if !o.Lost {
+			delays = append(delays, o.Delay)
+		}
+	}
+	if len(delays) > 0 {
+		e := stats.NewEmpirical(delays)
+		fmt.Printf("delay: min=%.2fms p50=%.2fms p95=%.2fms p99=%.2fms max=%.2fms\n",
+			1e3*e.Min(), 1e3*e.Quantile(0.5), 1e3*e.Quantile(0.95),
+			1e3*e.Quantile(0.99), 1e3*e.Max())
+		histogram(delays, *bins)
+	}
+
+	bursts(tr)
+
+	rep := core.StationarityCheck(tr, core.StationarityConfig{Blocks: *blocks})
+	fmt.Printf("\nstationarity: %v (%d/%d blocks violate; ref loss rate %.3f%%)\n",
+		rep.Stationary, rep.Violations, len(rep.Blocks), 100*rep.RefLossRate)
+	for i, b := range rep.Blocks {
+		fmt.Printf("  block %2d [%6d,%6d): loss=%.3f%% median=%.2fms\n",
+			i, b.Start, b.End, 100*b.LossRate, 1e3*b.MedianDelay)
+	}
+
+	if *segment != "" {
+		from, to := core.LongestStationarySegment(tr, core.StationarityConfig{Blocks: *blocks})
+		seg := tr.Slice(from, to)
+		out, err := os.Create(*segment)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := seg.WriteCSV(out); err != nil {
+			log.Fatal(err)
+		}
+		if err := out.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nlongest stationary segment: [%d, %d) -> %s (%d probes, %.0f s)\n",
+			from, to, *segment, len(seg.Observations), seg.Duration())
+	}
+}
+
+// histogram prints an ASCII histogram of the delays.
+func histogram(delays []float64, bins int) {
+	if bins < 2 {
+		bins = 2
+	}
+	e := stats.NewEmpirical(delays)
+	lo, hi := e.Min(), e.Max()
+	if hi <= lo {
+		return
+	}
+	counts := make([]int, bins)
+	for _, d := range delays {
+		counts[stats.Discretize(d, lo, hi, bins)-1]++
+	}
+	maxCount := 0
+	for _, c := range counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	w := (hi - lo) / float64(bins)
+	fmt.Println("\ndelay histogram (delivered probes):")
+	for i, c := range counts {
+		bar := ""
+		if maxCount > 0 {
+			bar = strings.Repeat("#", c*50/maxCount)
+		}
+		fmt.Printf("  %7.2f-%7.2f ms %7d %s\n", 1e3*(lo+float64(i)*w), 1e3*(lo+float64(i+1)*w), c, bar)
+	}
+}
+
+// bursts prints the loss-burst length distribution.
+func bursts(tr *trace.Trace) {
+	hist := map[int]int{}
+	cur, maxLen := 0, 0
+	for _, o := range tr.Observations {
+		if o.Lost {
+			cur++
+			if cur > maxLen {
+				maxLen = cur
+			}
+		} else if cur > 0 {
+			hist[cur]++
+			cur = 0
+		}
+	}
+	if cur > 0 {
+		hist[cur]++
+	}
+	if len(hist) == 0 {
+		fmt.Println("\nno losses")
+		return
+	}
+	fmt.Println("\nloss bursts (length: count):")
+	for l := 1; l <= maxLen; l++ {
+		if hist[l] > 0 {
+			fmt.Printf("  %3d: %d\n", l, hist[l])
+		}
+	}
+}

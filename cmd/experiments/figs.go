@@ -1,0 +1,156 @@
+package main
+
+import (
+	"fmt"
+
+	"dominantlink/internal/core"
+	"dominantlink/internal/scenario"
+	"dominantlink/internal/stats"
+	"dominantlink/internal/trace"
+)
+
+func init() {
+	register("fig5", "SDCL distributions: observed vs ground-truth virtual vs MMHD(N=1..4)", fig5)
+	register("fig6", "WDCL virtual queuing delay distributions: truth vs MMHD(N=1..4)", fig6)
+	register("fig7", "fine-grained (M=100) PMF and connected-component bound for the WDCL link", fig7)
+	register("fig8", "no-DCL distributions: MMHD matches truth, HMM deviates (N=1..4)", fig8)
+	register("fig9", "correct-identification ratio vs probing duration (WDCL and no-DCL settings)", fig9)
+	register("fig10", "adaptive RED, SDCL scenario: small vs large min-threshold", fig10)
+	register("fig11", "adaptive RED, no-DCL scenario: small vs large min-threshold", fig11)
+}
+
+// nSweep fits the model for N=1..4 and prints each PMF plus its L1
+// distance to the ground truth.
+func nSweep(tr *trace.Trace, truth stats.PMF, model core.ModelKind) {
+	for n := 1; n <= 4; n++ {
+		id, err := core.Identify(tr, core.IdentifyConfig{Model: model, HiddenStates: n, X: 0.06, Y: 1e-9})
+		if err != nil {
+			fmt.Printf("  %s N=%d: %v\n", model, n, err)
+			continue
+		}
+		dist := 0.0
+		if truth != nil {
+			dist = truth.L1Distance(id.VirtualPMF)
+		}
+		fmt.Printf("  %s N=%d: %s  (L1 dist to truth %.3f)\n", model, n, pmfString(id.VirtualPMF), dist)
+	}
+}
+
+func truthAndObserved(run *scenario.Run) (stats.PMF, stats.PMF) {
+	disc, err := core.NewDiscretization(run.Trace.Observations, 5, 0)
+	if err != nil {
+		panic(err)
+	}
+	return core.TruthVirtualPMF(run.Trace, disc, run.TrueProp),
+		core.ObservedPMF(run.Trace.Observations, disc)
+}
+
+func fig5(p params) {
+	run := scenario.StronglyDominant(1e6, p.seed).Execute()
+	truth, observed := truthAndObserved(run)
+	fmt.Printf("setting: Table II, bw=1.0 Mb/s, loss=%.2f%%\n", 100*run.Trace.LossRate())
+	fmt.Printf("  observed delays:     %s\n", pmfString(observed))
+	fmt.Printf("  ns virtual (truth):  %s\n", pmfString(truth))
+	nSweep(run.Trace, truth, core.MMHD)
+	fmt.Println("paper: observed spread over 1..5; virtual and MMHD concentrate on symbol 5")
+}
+
+func fig6(p params) {
+	run := scenario.WeaklyDominant(0.7e6, 1, p.seed).Execute()
+	truth, _ := truthAndObserved(run)
+	fmt.Printf("setting: Table III, bw=0.7 Mb/s, loss=%.2f%%, share(L1)=%.0f%%\n",
+		100*run.Trace.LossRate(), 100*run.LossShare(0))
+	fmt.Printf("  ns virtual (truth):  %s\n", pmfString(truth))
+	nSweep(run.Trace, truth, core.MMHD)
+	fmt.Println("paper: MMHD distributions very similar to the ns ground truth")
+}
+
+func fig7(p params) {
+	run := scenario.WeaklyDominant(0.7e6, 1, p.seed).Execute()
+	id, err := core.Identify(run.Trace, core.IdentifyConfig{Symbols: 100, X: 0.06, Y: 1e-9, Restarts: 2})
+	if err != nil {
+		panic(err)
+	}
+	bound := core.ConnectedComponentBound(id.VirtualPMF, id.Disc, 0)
+	fmt.Printf("setting: Table III, bw=0.7 Mb/s; M=100, N=2\n")
+	fmt.Printf("  connected-component bound on Q1: %.1f ms\n", 1e3*bound)
+	fmt.Printf("  quantile bound (x=0.06):         %.1f ms\n", 1e3*core.MaxQueuingDelayBound(id.VirtualCDF, 0.06, id.Disc))
+	fmt.Printf("  actual Q1: nominal %.1f ms, realized %.1f ms\n",
+		1e3*run.ActualMaxQueuing(0), 1e3*run.RealizedMaxQueuing(0))
+	fmt.Println("paper: heuristic bound within a few ms of the actual maximum queuing delay")
+}
+
+func fig8(p params) {
+	pair := scenario.Table4Bandwidths[0]
+	run := scenario.NoDominant(pair[0], pair[1], p.seed).Execute()
+	truth, _ := truthAndObserved(run)
+	fmt.Printf("setting: Table IV, bw=(%.2g, %.2g) Mb/s, loss=%.2f%%\n",
+		pair[0]/1e6, pair[1]/1e6, 100*run.Trace.LossRate())
+	fmt.Printf("  ns virtual (truth):  %s\n", pmfString(truth))
+	nSweep(run.Trace, truth, core.MMHD)
+	nSweep(run.Trace, truth, core.HMM)
+	fmt.Println("paper: MMHD matches the ns result well; HMM deviates even for large N")
+}
+
+// durationSweep estimates the fraction of random trace segments of each
+// duration whose WDCL verdict matches wantAccept.
+func durationSweep(tr *trace.Trace, durations []float64, reps int, seed int64, wantAccept bool, knownProp float64) {
+	rng := stats.NewRNG(seed)
+	interval := 0.02
+	for _, d := range durations {
+		n := int(d / interval)
+		if n >= len(tr.Observations) {
+			n = len(tr.Observations) - 1
+		}
+		correct := 0
+		for r := 0; r < reps; r++ {
+			start := rng.Intn(len(tr.Observations) - n)
+			seg := tr.Slice(start, start+n)
+			id, err := core.Identify(seg, core.IdentifyConfig{
+				X: 0.06, Y: 1e-9, Seed: int64(r), Restarts: 1, KnownPropagation: knownProp,
+			})
+			if err != nil {
+				continue // segment unusable (e.g. no losses): counted incorrect
+			}
+			if id.WDCL.Accept == wantAccept {
+				correct++
+			}
+		}
+		fmt.Printf("  %6.0fs: %.2f\n", d, float64(correct)/float64(reps))
+	}
+}
+
+func fig9(p params) {
+	durations := []float64{20, 40, 80, 160, 250, 400, 600}
+	fmt.Printf("(a) WDCL setting (Table III, 0.7 Mb/s): ratio of correct ACCEPT, %d reps\n", p.reps)
+	wd := scenario.WeaklyDominant(0.7e6, 1, p.seed).Execute()
+	durationSweep(wd.Trace, durations, p.reps, p.seed, true, 0)
+	fmt.Printf("(b) no-DCL setting (Table IV, %.2g/%.2g Mb/s): ratio of correct REJECT, %d reps\n",
+		scenario.Table4Bandwidths[0][0]/1e6, scenario.Table4Bandwidths[0][1]/1e6, p.reps)
+	nd := scenario.NoDominant(scenario.Table4Bandwidths[0][0], scenario.Table4Bandwidths[0][1], p.seed).Execute()
+	durationSweep(nd.Trace, durations, p.reps, p.seed, false, 0)
+	fmt.Println("paper: durations above ~80 s (WDCL) and ~250 s (no DCL) give accurate results")
+}
+
+func redReport(name string, run *scenario.Run) {
+	truth, _ := truthAndObserved(run)
+	id, err := core.Identify(run.Trace, core.IdentifyConfig{X: 0.06, Y: 1e-9})
+	if err != nil {
+		fmt.Printf("%s: %v\n", name, err)
+		return
+	}
+	fmt.Printf("%s: loss=%.2f%% WDCL=%s\n", name, 100*run.Trace.LossRate(), boolMark(id.WDCL.Accept))
+	fmt.Printf("  truth: %s\n  mmhd:  %s\n", pmfString(truth), pmfString(id.VirtualPMF))
+}
+
+func fig10(p params) {
+	redReport("(a) minth=5 (buffer/5) ", scenario.REDStronglyDominant(5, p.seed).Execute())
+	redReport("(b) minth=12 (buffer/2)", scenario.REDStronglyDominant(12, p.seed).Execute())
+	fmt.Println("paper: identification incorrect (reject) for small minth, correct (accept) for large minth")
+}
+
+func fig11(p params) {
+	redReport("(a) minth=2 (buffer/20)", scenario.REDNoDominant(2, p.seed).Execute())
+	redReport("(b) minth=13 (buffer/2)", scenario.REDNoDominant(13, p.seed).Execute())
+	fmt.Println("paper: correctly rejects in both settings")
+}

@@ -1,0 +1,92 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (§VI), plus the ablations called out in DESIGN.md.
+//
+// Usage:
+//
+//	experiments -experiment all
+//	experiments -experiment table2        # any of: table2 table3 table4
+//	experiments -experiment fig9 -reps 50 # figs: fig5..fig14
+//	experiments -experiment lossmode      # ablation: per-state vs per-symbol loss
+//	experiments -experiment emsweep       # ablation: EM threshold and N sweep
+//
+// Output is plain text, one block per experiment, with the quantities the
+// paper reports (verdicts, loss rates/shares, distributions, bounds,
+// correct-identification ratios). EXPERIMENTS.md records a full run next
+// to the paper's numbers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strings"
+)
+
+type experiment struct {
+	name string
+	desc string
+	run  func(p params)
+}
+
+// params are shared knobs.
+type params struct {
+	seed int64
+	reps int
+}
+
+var registry []experiment
+
+func register(name, desc string, run func(p params)) {
+	registry = append(registry, experiment{name, desc, run})
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+	var (
+		name = flag.String("experiment", "all", "experiment id (all, table2..table4, fig5..fig14, lossmode, emsweep, list)")
+		seed = flag.Int64("seed", 42, "base simulation seed")
+		reps = flag.Int("reps", 100, "repetitions for the duration studies (fig9, fig14)")
+	)
+	flag.Parse()
+
+	sort.Slice(registry, func(i, j int) bool { return registry[i].name < registry[j].name })
+	if *name == "list" {
+		for _, e := range registry {
+			fmt.Printf("%-10s %s\n", e.name, e.desc)
+		}
+		return
+	}
+	p := params{seed: *seed, reps: *reps}
+	ran := false
+	for _, e := range registry {
+		if *name == "all" || e.name == *name {
+			fmt.Printf("==== %s: %s ====\n", e.name, e.desc)
+			e.run(p)
+			fmt.Println()
+			ran = true
+		}
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; use -experiment list\n", *name)
+		os.Exit(2)
+	}
+}
+
+// pmfString renders a PMF as "1:0.02 2:0.10 ...".
+func pmfString(p []float64) string {
+	var b strings.Builder
+	for i, v := range p {
+		fmt.Fprintf(&b, "%d:%.3f ", i+1, v)
+	}
+	return strings.TrimSpace(b.String())
+}
+
+func boolMark(b bool) string {
+	if b {
+		return "accept"
+	}
+	return "reject"
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"fmt"
+
+	"dominantlink/internal/core"
+	"dominantlink/internal/scenario"
+)
+
+func init() {
+	register("queuemode", "ablation: MTU-reserve vs ns-exact packet-counted droptail buffers", queuemode)
+}
+
+// queuemode reruns the Table II detailed setting with the buffers switched
+// to ns-2-exact packet counting, quantifying how probe-occupied slots
+// scatter the virtual-delay distribution and degrade the bound.
+func queuemode(p params) {
+	for _, pktCounted := range []bool{false, true} {
+		name := "MTU-reserve droptail (default)"
+		if pktCounted {
+			name = "packet-counted droptail (ns-exact)"
+		}
+		sp := scenario.StronglyDominant(1e6, p.seed)
+		for i := range sp.Backbone {
+			sp.Backbone[i].PacketCounted = pktCounted
+		}
+		sp.LossPairs = false
+		run := sp.Execute()
+		disc, err := core.NewDiscretization(run.Trace.Observations, 5, 0)
+		if err != nil {
+			panic(err)
+		}
+		truth := core.TruthVirtualPMF(run.Trace, disc, run.TrueProp)
+		id, err := core.Identify(run.Trace, core.IdentifyConfig{X: 0.06, Y: 1e-9})
+		if err != nil {
+			fmt.Printf("%s: %v\n", name, err)
+			continue
+		}
+		fine, err := core.Identify(run.Trace, core.IdentifyConfig{Symbols: 30, X: 0.06, Y: 1e-9, Restarts: 2})
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%s:\n", name)
+		fmt.Printf("  loss=%.2f%% SDCL=%s bound(M=30)=%.0fms realized_Q1=%.0fms\n",
+			100*run.Trace.LossRate(), boolMark(id.SDCL.Accept),
+			1e3*fine.BoundSeconds, 1e3*run.RealizedMaxQueuing(0))
+		fmt.Printf("  truth: %s\n  mmhd:  %s\n", pmfString(truth), pmfString(id.VirtualPMF))
+	}
+	fmt.Println("expectation: packet counting scatters the ground-truth virtual delays (probes")
+	fmt.Println("occupy buffer slots) and loosens the bound; the MTU reserve keeps every loss")
+	fmt.Println("within one MTU of a full byte buffer, as the paper's analysis assumes")
+}

@@ -1,0 +1,103 @@
+// Package dominantlink identifies whether a dominant congested link — a
+// single link responsible for (almost) all losses and the dominant share
+// of queuing delay — exists along an end-end network path, using only a
+// sequence of one-way delay/loss observations from periodic probes.
+//
+// It is a from-scratch reproduction of Wei, Wang, Towsley and Kurose,
+// "Model-Based Identification of Dominant Congested Links" (ACM IMC 2003;
+// extended version IEEE/ACM ToN 19(2), 2011), including every substrate
+// the paper's evaluation depends on: a packet-level discrete-event network
+// simulator with droptail and adaptive-RED queues, TCP Reno / HTTP-like /
+// on-off UDP traffic sources, the loss-pair comparison baseline, clock
+// offset/skew removal for one-way delays, and EM parameter inference for
+// hidden Markov models (HMM) and Markov models with a hidden dimension
+// (MMHD) extended with loss-as-missing-value observations.
+//
+// This package is the stable facade over the internal implementation: it
+// re-exports the measurement-side trace types and the identification
+// pipeline. Typical use:
+//
+//	tr := &dominantlink.Trace{Observations: obs} // delays + losses
+//	id, err := dominantlink.Identify(tr, dominantlink.IdentifyConfig{})
+//	if err != nil { ... }
+//	if id.WDCL.Accept {
+//	    fmt.Printf("dominant congested link, Q <= %v\n", id.BoundSeconds)
+//	}
+//
+// The cmd/ directory holds the executables (dclsim, dclidentify,
+// experiments) and examples/ holds runnable walkthroughs; DESIGN.md and
+// EXPERIMENTS.md document the architecture and the reproduction of every
+// table and figure in the paper's evaluation.
+package dominantlink
+
+import (
+	"dominantlink/internal/clocksync"
+	"dominantlink/internal/core"
+	"dominantlink/internal/trace"
+)
+
+// Re-exported measurement types.
+type (
+	// Trace is a probe observation sequence (one-way delays and losses).
+	Trace = trace.Trace
+	// Observation is a single periodic probe outcome.
+	Observation = trace.Observation
+)
+
+// Re-exported identification pipeline types.
+type (
+	// IdentifyConfig configures the pipeline; its zero value reproduces
+	// the paper's defaults (MMHD, M=5, N=2, x=y=0.06).
+	IdentifyConfig = core.IdentifyConfig
+	// Identification is the pipeline outcome: inferred virtual-delay
+	// distribution, SDCL/WDCL verdicts and the max-queuing-delay bound.
+	Identification = core.Identification
+	// ModelKind selects MMHD (default) or HMM.
+	ModelKind = core.ModelKind
+	// ClockLine is an estimated receiver clock error (offset + skew).
+	ClockLine = clocksync.Line
+)
+
+// Model kinds.
+const (
+	MMHD = core.MMHD
+	HMM  = core.HMM
+)
+
+// Identify runs the full model-based identification of the paper on a
+// probe trace: discretize delays, fit the model by EM treating losses as
+// missing delay observations, extract P(V=m | loss), and apply the
+// SDCL/WDCL hypothesis tests.
+func Identify(tr *Trace, cfg IdentifyConfig) (*Identification, error) {
+	return core.Identify(tr, cfg)
+}
+
+// CorrectClock removes receiver clock skew from one-way delays measured
+// between unsynchronized hosts. sendTimes and delays are parallel slices
+// of the delivered probes; the returned slice holds the corrected delays.
+func CorrectClock(sendTimes, delays []float64) ([]float64, ClockLine, error) {
+	return clocksync.Correct(sendTimes, delays)
+}
+
+// Stationarity utilities: the identification assumes the delay/loss
+// processes are stationary over the probing window, and the paper carves
+// stationary segments out of longer captures before identifying.
+type (
+	// StationarityConfig tunes CheckStationarity (zero value: 10 blocks).
+	StationarityConfig = core.StationarityConfig
+	// StationarityReport summarizes per-block loss/delay behaviour.
+	StationarityReport = core.StationarityReport
+)
+
+// CheckStationarity splits the trace into blocks and flags loss-rate or
+// delay-level regime changes.
+func CheckStationarity(tr *Trace, cfg StationarityConfig) StationarityReport {
+	return core.StationarityCheck(tr, cfg)
+}
+
+// LongestStationarySegment returns the [from, to) observation range of
+// the longest stationary run of blocks, for carving a usable probing
+// sequence out of a longer capture.
+func LongestStationarySegment(tr *Trace, cfg StationarityConfig) (from, to int) {
+	return core.LongestStationarySegment(tr, cfg)
+}

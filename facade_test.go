@@ -1,0 +1,104 @@
+package dominantlink_test
+
+import (
+	"math"
+	"testing"
+
+	"dominantlink"
+)
+
+// TestPublicAPI drives the facade exactly as an external consumer would:
+// build a trace from raw measurements, fix the clock, identify.
+func TestPublicAPI(t *testing.T) {
+	// Synthetic path: 20 ms floor; every 5th block of 100 probes is a
+	// congested-full period (delay ~100 ms) during which 25% of probes are
+	// lost. A crude LCG provides deterministic "randomness" without
+	// importing internal packages.
+	lcg := uint64(12345)
+	rnd := func() float64 {
+		lcg = lcg*6364136223846793005 + 1442695040888963407
+		return float64(lcg>>11) / float64(1<<53)
+	}
+	tr := &dominantlink.Trace{}
+	skew := 5e-5
+	for i := 0; i < 10000; i++ {
+		o := dominantlink.Observation{Seq: int64(i), SendTime: 0.02 * float64(i)}
+		if (i/100)%5 == 4 {
+			o.Delay = 0.100 + 0.004*rnd()
+			o.Lost = rnd() < 0.25
+		} else {
+			o.Delay = 0.020 + 0.040*rnd()
+		}
+		o.Delay += 0.030 + skew*o.SendTime // unsynchronized receiver clock
+		tr.Observations = append(tr.Observations, o)
+	}
+
+	// Clock correction via the facade.
+	var ts, ds []float64
+	for _, o := range tr.Observations {
+		if !o.Lost {
+			ts = append(ts, o.SendTime)
+			ds = append(ds, o.Delay)
+		}
+	}
+	corrected, line, err := dominantlink.CorrectClock(ts, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(line.Beta-skew) > 5e-6 {
+		t.Fatalf("skew estimate %v, want ~%v", line.Beta, skew)
+	}
+	j := 0
+	for i := range tr.Observations {
+		if !tr.Observations[i].Lost {
+			tr.Observations[i].Delay = corrected[j]
+			j++
+		}
+	}
+
+	id, err := dominantlink.Identify(tr, dominantlink.IdentifyConfig{X: 0.06, Y: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !id.WDCL.Accept {
+		t.Fatalf("expected a dominant congested link: %s", id.Summary())
+	}
+	if id.BoundSeconds < 0.06 || id.BoundSeconds > 0.13 {
+		t.Fatalf("bound %v s implausible for an ~80 ms queue", id.BoundSeconds)
+	}
+
+	// The HMM model kind is reachable through the facade too.
+	if _, err := dominantlink.Identify(tr, dominantlink.IdentifyConfig{
+		Model: dominantlink.HMM, X: 0.06, Y: 1e-9,
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFacadeStationarity exercises the stationarity helpers through the
+// public API.
+func TestFacadeStationarity(t *testing.T) {
+	tr := &dominantlink.Trace{}
+	lcg := uint64(99)
+	rnd := func() float64 {
+		lcg = lcg*6364136223846793005 + 1442695040888963407
+		return float64(lcg>>11) / float64(1<<53)
+	}
+	for i := 0; i < 4000; i++ {
+		o := dominantlink.Observation{Seq: int64(i), SendTime: 0.02 * float64(i)}
+		o.Delay = 0.02 + 0.01*rnd()
+		o.Lost = rnd() < 0.02
+		if i < 800 { // loss storm prefix
+			o.Lost = rnd() < 0.3
+		}
+		tr.Observations = append(tr.Observations, o)
+	}
+	rep := dominantlink.CheckStationarity(tr, dominantlink.StationarityConfig{})
+	if rep.Stationary {
+		t.Fatal("storm prefix should be flagged")
+	}
+	from, to := dominantlink.LongestStationarySegment(tr, dominantlink.StationarityConfig{})
+	if from < 400 || to != 4000 {
+		t.Fatalf("segment [%d,%d) should skip the storm", from, to)
+	}
+}

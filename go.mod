@@ -1,0 +1,3 @@
+module dominantlink
+
+go 1.22

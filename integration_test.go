@@ -1,0 +1,104 @@
+package dominantlink_test
+
+// End-to-end integration tests: simulate, identify, and compare against
+// ground truth, on shortened versions of the paper's scenarios so the
+// whole suite stays fast.
+
+import (
+	"testing"
+
+	"dominantlink/internal/core"
+	"dominantlink/internal/inet"
+	"dominantlink/internal/scenario"
+	"dominantlink/internal/traffic"
+)
+
+// shortSDCL is a 300-second variant of the Table II setting.
+func shortSDCL(seed int64) scenario.Spec {
+	sp := scenario.StronglyDominant(1e6, seed)
+	sp.Duration = 310
+	sp.Probe = traffic.ProbeConfig{Interval: 0.02, Start: 50, Stop: 305}
+	sp.LossPairs = false
+	return sp
+}
+
+func TestIntegrationSDCLAccepted(t *testing.T) {
+	run := shortSDCL(21).Execute()
+	tr := run.Trace
+	if tr.LossRate() < 0.005 {
+		t.Fatalf("scenario produced too few losses: %.3f%%", 100*tr.LossRate())
+	}
+	if run.LossShare(0) < 0.99 {
+		t.Fatalf("losses not confined to L1: share %.2f", run.LossShare(0))
+	}
+	id, err := core.Identify(tr, core.IdentifyConfig{X: 0.06, Y: 1e-9, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !id.SDCL.Accept {
+		t.Fatalf("SDCL rejected on a strongly dominant path: %s", id.Summary())
+	}
+	// The inferred distribution must match the simulator's ground truth.
+	truth := core.TruthVirtualPMF(tr, id.Disc, run.TrueProp)
+	if d := truth.L1Distance(id.VirtualPMF); d > 0.3 {
+		t.Fatalf("inferred distribution far from truth: L1=%v\n truth=%v\n mmhd=%v",
+			d, truth, id.VirtualPMF)
+	}
+	// The bound must land within a bin width plus one MTU drain of the
+	// realized maximum queuing delay.
+	slack := id.Disc.BinWidth + 1000*8/1e6 + 0.010
+	if id.BoundSeconds < run.RealizedMaxQueuing(0)-slack {
+		t.Fatalf("bound %.1fms too far below realized max %.1fms",
+			1e3*id.BoundSeconds, 1e3*run.RealizedMaxQueuing(0))
+	}
+}
+
+func TestIntegrationGroundTruthTestAgrees(t *testing.T) {
+	// Applying the hypothesis tests directly to the simulator's
+	// ground-truth distribution must agree with the model-based verdict.
+	run := shortSDCL(22).Execute()
+	tr := run.Trace
+	disc, err := core.NewDiscretization(tr.Observations, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := core.TruthVirtualPMF(tr, disc, run.TrueProp)
+	truthID := core.IdentifyFromPMF(tr, core.IdentifyConfig{X: 0.06, Y: 1e-9}, disc, truth)
+	modelID, err := core.Identify(tr, core.IdentifyConfig{X: 0.06, Y: 1e-9, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truthID.WDCL.Accept != modelID.WDCL.Accept {
+		t.Fatalf("truth verdict %v != model verdict %v",
+			truthID.WDCL.Accept, modelID.WDCL.Accept)
+	}
+}
+
+func TestIntegrationInternetPath(t *testing.T) {
+	// A 5-minute USevilla-style run: skew must be removed to ~ppm accuracy
+	// and the ADSL hop identified as a weakly dominant congested link.
+	res, err := inet.Run(inet.USevillaToADSL, inet.Config{Seed: 23, Minutes: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est := res.EstimatedLine.Beta; est < res.TrueSkew-2e-6 || est > res.TrueSkew+2e-6 {
+		t.Fatalf("skew estimate %v, injected %v", est, res.TrueSkew)
+	}
+	id, err := core.Identify(res.Corrected, core.IdentifyConfig{X: 0.06, Y: 1e-9, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !id.WDCL.Accept {
+		t.Fatalf("ADSL path rejected: %s", id.Summary())
+	}
+}
+
+func TestIntegrationStationarityOfScenario(t *testing.T) {
+	run := shortSDCL(24).Execute()
+	rep := core.StationarityCheck(run.Trace, core.StationarityConfig{Blocks: 5})
+	// The calibrated scenarios are stationary by construction over the
+	// probing window (bursty but homogeneous).
+	if !rep.Stationary && rep.Violations > 1 {
+		t.Fatalf("scenario trace strongly non-stationary: %d violations", rep.Violations)
+	}
+}

@@ -1,0 +1,144 @@
+// Package clocksync removes clock offset and skew from one-way delay
+// measurements taken between unsynchronized hosts, in the spirit of
+// Zhang, Liu and Xia (INFOCOM 2002), which the paper uses to clean its
+// PlanetLab one-way delays.
+//
+// Model: the receiver's clock runs at (1+skew) times the sender's and is
+// shifted by a constant offset, so the measured one-way delay of a probe
+// sent at time s with true delay d is
+//
+//	m = d + offset + skew*s.
+//
+// Since d >= dprop > 0, the line offset' + skew*s (with offset' absorbing
+// dprop) lower-bounds the scatter of (s, m) points. The estimator fits the
+// line below all points that minimizes the total residual — a linear
+// program whose optimum lies on the lower convex hull of the scatter —
+// and subtracts it, leaving delays free of skew (up to an additive
+// constant, which the identification pipeline removes anyway via the
+// minimum observed delay).
+package clocksync
+
+import (
+	"errors"
+	"sort"
+)
+
+// Line is the estimated clock error: measured = true + Alpha + Beta*sendTime.
+type Line struct {
+	Alpha float64 // offset component (includes any constant part of the delay)
+	Beta  float64 // skew (seconds of drift per second)
+}
+
+// point is one (sendTime, measuredDelay) sample.
+type point struct{ t, d float64 }
+
+// Estimate fits the minimum-total-residual lower support line to the
+// scatter (sendTimes[i], delays[i]). It needs at least two samples with
+// distinct send times.
+func Estimate(sendTimes, delays []float64) (Line, error) {
+	if len(sendTimes) != len(delays) {
+		return Line{}, errors.New("clocksync: length mismatch")
+	}
+	if len(sendTimes) < 2 {
+		return Line{}, errors.New("clocksync: need at least two samples")
+	}
+	pts := make([]point, len(sendTimes))
+	for i := range sendTimes {
+		pts[i] = point{sendTimes[i], delays[i]}
+	}
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].t != pts[j].t {
+			return pts[i].t < pts[j].t
+		}
+		return pts[i].d < pts[j].d
+	})
+	// Deduplicate identical send times, keeping the smallest delay: only
+	// the lowest point at each abscissa can support the hull.
+	uniq := pts[:0]
+	for _, p := range pts {
+		if len(uniq) > 0 && uniq[len(uniq)-1].t == p.t {
+			continue
+		}
+		uniq = append(uniq, p)
+	}
+	pts = uniq
+	if len(pts) < 2 {
+		return Line{}, errors.New("clocksync: need at least two distinct send times")
+	}
+
+	hull := lowerHull(pts)
+
+	// Precompute sums for the objective: sum of residuals for the support
+	// line through hull edge (p, q) with slope beta:
+	//   sum_i (d_i - alpha - beta*t_i), alpha = p.d - beta*p.t.
+	var sumT, sumD float64
+	for _, p := range pts {
+		sumT += p.t
+		sumD += p.d
+	}
+	n := float64(len(pts))
+
+	best := Line{}
+	bestObj := 0.0
+	haveBest := false
+	consider := func(beta, alpha float64) {
+		obj := sumD - n*alpha - beta*sumT
+		if !haveBest || obj < bestObj {
+			bestObj, best, haveBest = obj, Line{Alpha: alpha, Beta: beta}, true
+		}
+	}
+	if len(hull) == 1 {
+		consider(0, hull[0].d)
+	}
+	for i := 0; i+1 < len(hull); i++ {
+		p, q := hull[i], hull[i+1]
+		beta := (q.d - p.d) / (q.t - p.t)
+		alpha := p.d - beta*p.t
+		consider(beta, alpha)
+	}
+	return best, nil
+}
+
+// lowerHull returns the lower convex hull of points sorted by t.
+func lowerHull(pts []point) []point {
+	hull := make([]point, 0, len(pts))
+	for _, p := range pts {
+		for len(hull) >= 2 {
+			a, b := hull[len(hull)-2], hull[len(hull)-1]
+			// Remove b if it lies above segment a-p (non-convex turn).
+			if (b.d-a.d)*(p.t-a.t) >= (p.d-a.d)*(b.t-a.t) {
+				hull = hull[:len(hull)-1]
+			} else {
+				break
+			}
+		}
+		hull = append(hull, p)
+	}
+	return hull
+}
+
+// Remove subtracts the estimated clock-error line from delays in place
+// style: it returns corrected delays shifted so that their minimum is
+// preserved as a positive propagation floor (the smallest corrected delay
+// equals the smallest residual plus the line's value at that sample's
+// time... in practice the identification pipeline only uses differences,
+// so only the skew removal matters).
+func Remove(sendTimes, delays []float64, l Line) []float64 {
+	out := make([]float64, len(delays))
+	for i := range delays {
+		out[i] = delays[i] - l.Beta*sendTimes[i]
+	}
+	return out
+}
+
+// Correct estimates the clock error from the delivered samples and
+// returns the corrected delays (skew removed; the constant offset is left
+// in place, matching the pipeline's use of the minimum observed delay as
+// the propagation estimate).
+func Correct(sendTimes, delays []float64) ([]float64, Line, error) {
+	l, err := Estimate(sendTimes, delays)
+	if err != nil {
+		return nil, Line{}, err
+	}
+	return Remove(sendTimes, delays, l), l, nil
+}

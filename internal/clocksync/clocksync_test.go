@@ -1,0 +1,143 @@
+package clocksync
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dominantlink/internal/stats"
+)
+
+// synth builds measured delays d_i = base + noise_i + offset + skew*t_i,
+// with noise >= 0 (queuing) and occasional zero-noise samples so the
+// support line is observable.
+func synth(rng *stats.RNG, n int, base, offset, skew float64) (ts, ds []float64) {
+	for i := 0; i < n; i++ {
+		t := float64(i) * 0.02
+		noise := rng.Exp(0.01)
+		if i%50 == 0 {
+			noise = 0 // probes that saw an empty path
+		}
+		ts = append(ts, t)
+		ds = append(ds, base+noise+offset+skew*t)
+	}
+	return
+}
+
+func TestEstimateRecoversSkew(t *testing.T) {
+	rng := stats.NewRNG(1)
+	ts, ds := synth(rng, 5000, 0.020, 0.05, 7e-5)
+	line, err := Estimate(ts, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(line.Beta-7e-5) > 1e-6 {
+		t.Fatalf("skew estimate = %v, want ~7e-5", line.Beta)
+	}
+	// Alpha absorbs base + offset.
+	if math.Abs(line.Alpha-0.07) > 1e-3 {
+		t.Fatalf("alpha = %v, want ~0.07", line.Alpha)
+	}
+}
+
+func TestEstimateNegativeSkew(t *testing.T) {
+	rng := stats.NewRNG(2)
+	ts, ds := synth(rng, 5000, 0.020, 0.05, -5e-5)
+	line, err := Estimate(ts, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(line.Beta+5e-5) > 1e-6 {
+		t.Fatalf("skew estimate = %v, want ~-5e-5", line.Beta)
+	}
+}
+
+func TestEstimateZeroSkew(t *testing.T) {
+	rng := stats.NewRNG(3)
+	ts, ds := synth(rng, 3000, 0.02, 0, 0)
+	line, err := Estimate(ts, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(line.Beta) > 2e-6 {
+		t.Fatalf("skew estimate = %v, want ~0", line.Beta)
+	}
+}
+
+func TestRemoveFlattensTrend(t *testing.T) {
+	rng := stats.NewRNG(4)
+	ts, ds := synth(rng, 4000, 0.02, 0.03, 1e-4)
+	corrected, line, err := Correct(ts, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(corrected) != len(ds) {
+		t.Fatal("length change")
+	}
+	// The minima of the first and last quarter should now agree.
+	q := len(corrected) / 4
+	minA, minB := math.Inf(1), math.Inf(1)
+	for i := 0; i < q; i++ {
+		if corrected[i] < minA {
+			minA = corrected[i]
+		}
+	}
+	for i := 3 * q; i < len(corrected); i++ {
+		if corrected[i] < minB {
+			minB = corrected[i]
+		}
+	}
+	if math.Abs(minA-minB) > 1e-3 {
+		t.Fatalf("trend not removed: first-quarter min %v vs last-quarter min %v (line %+v)", minA, minB, line)
+	}
+}
+
+func TestEstimateErrors(t *testing.T) {
+	if _, err := Estimate([]float64{1}, []float64{2, 3}); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+	if _, err := Estimate([]float64{1}, []float64{2}); err == nil {
+		t.Fatal("single sample should error")
+	}
+	if _, err := Estimate([]float64{1, 1}, []float64{2, 3}); err == nil {
+		t.Fatal("single distinct time should error")
+	}
+}
+
+func TestEstimateSupportLineBelowAllPoints(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := stats.NewRNG(seed)
+		n := 200 + rng.Intn(200)
+		skew := rng.Uniform(-2e-4, 2e-4)
+		ts, ds := synth(rng, n, 0.01, 0.02, skew)
+		line, err := Estimate(ts, ds)
+		if err != nil {
+			return false
+		}
+		for i := range ts {
+			if ds[i]-line.Alpha-line.Beta*ts[i] < -1e-9 {
+				return false // line must stay below every point
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLowerHull(t *testing.T) {
+	pts := []point{{0, 1}, {1, 0.5}, {2, 2}, {3, 0.2}, {4, 5}}
+	hull := lowerHull(pts)
+	// Hull must be convex and include endpoints.
+	if hull[0] != pts[0] || hull[len(hull)-1] != pts[len(pts)-1] {
+		t.Fatalf("hull endpoints wrong: %v", hull)
+	}
+	for i := 0; i+2 < len(hull); i++ {
+		a, b, c := hull[i], hull[i+1], hull[i+2]
+		cross := (b.t-a.t)*(c.d-a.d) - (b.d-a.d)*(c.t-a.t)
+		if cross < 0 {
+			t.Fatalf("hull not convex at %d: %v", i, hull)
+		}
+	}
+}

@@ -1,0 +1,369 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"dominantlink/internal/stats"
+	"dominantlink/internal/trace"
+)
+
+func obsSeq(delays []float64, lost []bool) []trace.Observation {
+	out := make([]trace.Observation, len(delays))
+	for i := range delays {
+		out[i] = trace.Observation{
+			Seq:      int64(i),
+			SendTime: 0.02 * float64(i),
+			Delay:    delays[i],
+			Lost:     lost != nil && lost[i],
+		}
+	}
+	return out
+}
+
+func TestNewDiscretization(t *testing.T) {
+	// 1000 delivered delays spread uniformly over [10ms, 110ms].
+	delays := make([]float64, 1000)
+	for i := range delays {
+		delays[i] = 0.010 + 0.1*float64(i)/999
+	}
+	d, err := NewDiscretization(obsSeq(delays, nil), 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d.Lo-0.010) > 1e-12 {
+		t.Fatalf("Lo = %v", d.Lo)
+	}
+	// Hi is the 99.5% quantile, just below the max.
+	if d.Hi < 0.109 || d.Hi > 0.110 {
+		t.Fatalf("Hi = %v", d.Hi)
+	}
+	if d.Symbol(0.010) != 1 || d.Symbol(0.2) != 5 {
+		t.Fatal("symbol edges wrong")
+	}
+	if math.Abs(d.QueuingUpper(5)-(d.Hi-d.Lo)) > 1e-12 {
+		t.Fatal("QueuingUpper(5) should equal the queuing range")
+	}
+	if d.QueuingUpper(0) != 0 {
+		t.Fatal("QueuingUpper(0) should be 0")
+	}
+}
+
+func TestNewDiscretizationKnownProp(t *testing.T) {
+	delays := []float64{0.02, 0.03, 0.04}
+	d, err := NewDiscretization(obsSeq(delays, nil), 4, 0.015)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Lo != 0.015 {
+		t.Fatalf("known propagation ignored: Lo = %v", d.Lo)
+	}
+}
+
+func TestNewDiscretizationErrors(t *testing.T) {
+	if _, err := NewDiscretization(nil, 5, 0); err == nil {
+		t.Fatal("no observations should error")
+	}
+	lost := []bool{true}
+	if _, err := NewDiscretization(obsSeq([]float64{0.1}, lost), 5, 0); err == nil {
+		t.Fatal("all-lost trace should error")
+	}
+	if _, err := NewDiscretization(obsSeq([]float64{0.1}, nil), 0, 0); err == nil {
+		t.Fatal("zero symbols should error")
+	}
+}
+
+func TestEncode(t *testing.T) {
+	delays := []float64{0.010, 0.050, 0.110, 0}
+	lost := []bool{false, false, false, true}
+	obs := obsSeq(delays, lost)
+	d, err := NewDiscretization(obs, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := d.Encode(obs)
+	if enc[3] != 0 {
+		t.Fatal("lost probe must encode as 0")
+	}
+	if enc[0] != 1 {
+		t.Fatalf("min delay symbol = %d", enc[0])
+	}
+	if enc[2] != 5 {
+		t.Fatalf("max delay symbol = %d", enc[2])
+	}
+}
+
+// TestSDCLTestTheorem1: mass confined to [i*, 2i*] accepts; mass beyond
+// 2i* rejects.
+func TestSDCLTestTheorem1(t *testing.T) {
+	// All mass at symbol 5 of 10: F(5)=1 and 2*5=10 -> F=1: accept.
+	pmf := stats.NewPMF(10)
+	pmf[4] = 1
+	r := SDCLTest(pmf.CDF(), 0)
+	if !r.Accept || r.IStar != 5 {
+		t.Fatalf("concentrated distribution rejected: %+v", r)
+	}
+	// Mass at 2 and at 7 (> 2*2): reject.
+	pmf = stats.NewPMF(10)
+	pmf[1], pmf[6] = 0.5, 0.5
+	r = SDCLTest(pmf.CDF(), 0)
+	if r.Accept {
+		t.Fatalf("split distribution accepted: %+v", r)
+	}
+	if r.IStar != 2 {
+		t.Fatalf("i* = %d, want 2", r.IStar)
+	}
+	// Mass at 2 and at 4 (= 2*2): accept (boundary of Theorem 1).
+	pmf = stats.NewPMF(10)
+	pmf[1], pmf[3] = 0.5, 0.5
+	if r := SDCLTest(pmf.CDF(), 0); !r.Accept {
+		t.Fatalf("boundary case rejected: %+v", r)
+	}
+}
+
+func TestSDCLTestTolerance(t *testing.T) {
+	// Numerical dust below tolerance must not move i*.
+	pmf := stats.PMF{1e-4, 0, 0, 0, 0.9999}
+	pmf.Normalize()
+	r := SDCLTest(pmf.CDF(), 5e-3)
+	if r.IStar != 5 || !r.Accept {
+		t.Fatalf("tolerance not applied: %+v", r)
+	}
+}
+
+// TestWDCLTestTheorem2 checks the accept condition F(2i*) >= 1-x-y with
+// i* = min{i: F(i) > x}.
+func TestWDCLTestTheorem2(t *testing.T) {
+	// 5% of losses elsewhere (symbol 1), 95% at symbol 4 of 8.
+	pmf := stats.NewPMF(8)
+	pmf[0], pmf[3] = 0.05, 0.95
+	f := pmf.CDF()
+	// x=0.06 skips the 5% mass: i*=4, F(8)=1 >= 0.94: accept.
+	if r := WDCLTest(f, 0.06, 0); !r.Accept || r.IStar != 4 {
+		t.Fatalf("WDCL(0.06,0) = %+v", r)
+	}
+	// x=0.02 keeps the 5% mass: i*=1, F(2)=0.05 < 0.96: reject.
+	if r := WDCLTest(f, 0.02, 0.02); r.Accept || r.IStar != 1 {
+		t.Fatalf("WDCL(0.02,0.02) = %+v", r)
+	}
+}
+
+func TestWDCLMonotoneInParameters(t *testing.T) {
+	// A link accepted at (x,y) must be accepted at any looser (x',y') with
+	// the same i* region... verify on a family of random distributions: if
+	// WDCL(x,y) accepts then WDCL(x, y') with y' > y accepts (same i*,
+	// weaker threshold).
+	rng := stats.NewRNG(3)
+	for trial := 0; trial < 200; trial++ {
+		pmf := stats.NewPMF(6)
+		for i := range pmf {
+			pmf[i] = rng.Float64()
+		}
+		pmf.Normalize()
+		f := pmf.CDF()
+		x := rng.Uniform(0.01, 0.2)
+		y := rng.Uniform(0, 0.2)
+		if WDCLTest(f, x, y).Accept && !WDCLTest(f, x, y+0.1).Accept {
+			t.Fatalf("accept not monotone in y: pmf=%v x=%v y=%v", pmf, x, y)
+		}
+	}
+}
+
+func TestMaxQueuingDelayBound(t *testing.T) {
+	d := Discretization{M: 10, Lo: 0, Hi: 1, BinWidth: 0.1}
+	pmf := stats.NewPMF(10)
+	pmf[0], pmf[6] = 0.05, 0.95
+	f := pmf.CDF()
+	// x = 0.06: first symbol with F > 0.06 is 7 -> bound 0.7 s.
+	if b := MaxQueuingDelayBound(f, 0.06, d); math.Abs(b-0.7) > 1e-12 {
+		t.Fatalf("bound = %v, want 0.7", b)
+	}
+	// x small: the 5% mass counts -> bound 0.1 s.
+	if b := MaxQueuingDelayBound(f, 0.01, d); math.Abs(b-0.1) > 1e-12 {
+		t.Fatalf("bound = %v, want 0.1", b)
+	}
+	// Empty support -> 0.
+	if b := MaxQueuingDelayBound(stats.NewPMF(10).CDF(), 0.06, d); b != 0 {
+		t.Fatalf("bound on empty = %v", b)
+	}
+}
+
+func TestConnectedComponentBound(t *testing.T) {
+	d := Discretization{M: 10, Lo: 0, Hi: 1, BinWidth: 0.1}
+	// Small component at bins 1-2 (mass 0.1), main component bins 6-8
+	// (mass 0.9): bound = upper edge of bin 6 = 0.6.
+	pmf := stats.PMF{0.05, 0.05, 0, 0, 0, 0.4, 0.3, 0.2, 0, 0}
+	if b := ConnectedComponentBound(pmf, d, 0.01); math.Abs(b-0.6) > 1e-12 {
+		t.Fatalf("bound = %v, want 0.6", b)
+	}
+	// All mass below eps -> 0.
+	tiny := stats.PMF{0.001, 0.001}
+	dd := Discretization{M: 2, Lo: 0, Hi: 1, BinWidth: 0.5}
+	if b := ConnectedComponentBound(tiny, dd, 0.01); b != 0 {
+		t.Fatalf("bound = %v, want 0", b)
+	}
+}
+
+func TestLossPairBound(t *testing.T) {
+	observed := []float64{0.020, 0.025, 0.030, 0.060}
+	imputed := []float64{0.058, 0.060, 0.062}
+	// Median imputed 0.060 minus min observed 0.020 = 0.040.
+	if b := LossPairBound(imputed, observed); math.Abs(b-0.040) > 1e-12 {
+		t.Fatalf("bound = %v, want 0.040", b)
+	}
+	if LossPairBound(nil, observed) != 0 || LossPairBound(imputed, nil) != 0 {
+		t.Fatal("empty inputs should give 0")
+	}
+	// Bound never negative.
+	if b := LossPairBound([]float64{0.01}, []float64{0.05}); b != 0 {
+		t.Fatalf("negative bound not clamped: %v", b)
+	}
+}
+
+// synthTrace builds a trace in which losses occur only while the delay sits
+// at `lossDelay` (a congested-full regime), with background delays below.
+func synthTrace(n int, baseDelay, lossDelay float64, lossRate float64, seed int64) *trace.Trace {
+	rng := stats.NewRNG(seed)
+	tr := &trace.Trace{}
+	for i := 0; i < n; i++ {
+		o := trace.Observation{Seq: int64(i), SendTime: 0.02 * float64(i)}
+		congested := (i/200)%4 == 3 // every 4th block of 200 is congested
+		if congested {
+			o.Delay = lossDelay * rng.Uniform(0.95, 1.0)
+			if rng.Float64() < lossRate {
+				o.Lost = true
+			}
+		} else {
+			o.Delay = baseDelay + (lossDelay-baseDelay)*rng.Float64()*0.5
+		}
+		tr.Observations = append(tr.Observations, o)
+	}
+	return tr
+}
+
+func TestIdentifyAcceptsDominantLink(t *testing.T) {
+	tr := synthTrace(12000, 0.020, 0.120, 0.25, 1)
+	id, err := Identify(tr, IdentifyConfig{X: 0.06, Y: 1e-9, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !id.WDCL.Accept {
+		t.Fatalf("dominant-link trace rejected: %s", id.Summary())
+	}
+	if id.VirtualPMF[3]+id.VirtualPMF[4] < 0.9 {
+		t.Fatalf("posterior not concentrated at top: %v", id.VirtualPMF)
+	}
+	if id.BoundSeconds <= 0 {
+		t.Fatal("accepted identification must produce a bound")
+	}
+}
+
+func TestIdentifyRejectsSpreadLosses(t *testing.T) {
+	// Losses strike at two very different delay levels.
+	rng := stats.NewRNG(2)
+	tr := &trace.Trace{}
+	for i := 0; i < 12000; i++ {
+		o := trace.Observation{Seq: int64(i), SendTime: 0.02 * float64(i)}
+		block := (i / 200) % 5
+		switch block {
+		case 1: // low-delay congestion: delays ~40ms, lossy
+			o.Delay = 0.040 * rng.Uniform(0.9, 1.05)
+			o.Lost = rng.Float64() < 0.2
+		case 3: // high-delay congestion: delays ~120ms, lossy
+			o.Delay = 0.120 * rng.Uniform(0.95, 1.0)
+			o.Lost = rng.Float64() < 0.2
+		default:
+			o.Delay = 0.020 + 0.02*rng.Float64()
+		}
+		tr.Observations = append(tr.Observations, o)
+	}
+	id, err := Identify(tr, IdentifyConfig{X: 0.06, Y: 0.06, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id.WDCL.Accept {
+		t.Fatalf("two-level loss trace accepted: %s (pmf %v)", id.Summary(), id.VirtualPMF)
+	}
+}
+
+func TestIdentifyNoLossesErrors(t *testing.T) {
+	tr := &trace.Trace{Observations: obsSeq([]float64{0.02, 0.03, 0.04, 0.05}, nil)}
+	if _, err := Identify(tr, IdentifyConfig{}); err == nil {
+		t.Fatal("loss-free trace must error (DCL undefined without losses)")
+	}
+	if _, err := Identify(&trace.Trace{}, IdentifyConfig{}); err == nil {
+		t.Fatal("empty trace must error")
+	}
+}
+
+func TestIdentifyHMMPath(t *testing.T) {
+	tr := synthTrace(8000, 0.020, 0.120, 0.25, 3)
+	id, err := Identify(tr, IdentifyConfig{Model: HMM, X: 0.06, Y: 1e-9, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id.VirtualPMF == nil {
+		t.Fatal("HMM path produced no posterior")
+	}
+}
+
+func TestIdentifyUnknownModel(t *testing.T) {
+	tr := synthTrace(2000, 0.020, 0.120, 0.25, 4)
+	if _, err := Identify(tr, IdentifyConfig{Model: ModelKind(99)}); err == nil {
+		t.Fatal("unknown model must error")
+	}
+}
+
+func TestIdentifyFromPMF(t *testing.T) {
+	tr := synthTrace(2000, 0.020, 0.120, 0.25, 5)
+	disc, err := NewDiscretization(tr.Observations, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pmf := stats.PMF{0, 0, 0, 0, 1}
+	id := IdentifyFromPMF(tr, IdentifyConfig{X: 0.06, Y: 1e-9}, disc, pmf)
+	if !id.SDCL.Accept {
+		t.Fatal("concentrated PMF should accept SDCL")
+	}
+	if id.Summary() == "" {
+		t.Fatal("summary empty")
+	}
+}
+
+func TestObservedAndTruthPMF(t *testing.T) {
+	tr := &trace.Trace{
+		Observations: []trace.Observation{
+			{Delay: 0.010}, {Delay: 0.020}, {Delay: 0.110}, {Lost: true},
+		},
+		Truth: []trace.GroundTruth{
+			{}, {}, {}, {Lost: true, VirtualQueuing: 0.095},
+		},
+		PropagationDelay: 0.010,
+	}
+	d, err := NewDiscretization(tr.Observations, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obsPMF := ObservedPMF(tr.Observations, d)
+	if math.Abs(obsPMF.Sum()-1) > 1e-12 {
+		t.Fatalf("observed PMF mass %v", obsPMF.Sum())
+	}
+	truth := TruthVirtualPMF(tr, d, tr.PropagationDelay)
+	if truth == nil {
+		t.Fatal("truth PMF nil despite a loss")
+	}
+	// 0.010 + 0.095 = 0.105 one-way -> near the top of the range.
+	if truth.Mode() < 4 {
+		t.Fatalf("truth mode = %d", truth.Mode())
+	}
+	// No losses => nil.
+	if TruthVirtualPMF(&trace.Trace{Truth: []trace.GroundTruth{{}}}, d, 0) != nil {
+		t.Fatal("truth PMF should be nil without losses")
+	}
+}
+
+func TestModelKindString(t *testing.T) {
+	if MMHD.String() != "mmhd" || HMM.String() != "hmm" || ModelKind(9).String() != "unknown" {
+		t.Fatal("ModelKind strings wrong")
+	}
+}

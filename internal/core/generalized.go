@@ -1,0 +1,37 @@
+package core
+
+import (
+	"math"
+
+	"dominantlink/internal/stats"
+)
+
+// GeneralizedWDCLTest implements the generalization of the dominant
+// congested link definitions the paper mentions (§III, citing the IMC
+// version [39]): the delay condition becomes
+//
+//	d_k(t) >= z * sum_{j != k} d_j(t)
+//
+// for probes experiencing link k's maximum queuing delay, with z > 0
+// (z = 1 recovers Definition 2). A lost virtual probe then satisfies
+// Q_k <= D <= (1 + 1/z) Q_k, so with i* = min{i : F(i) > x} the test
+// accepts iff F(ceil((1+1/z) i*)) >= 1 - x - y.
+//
+// Larger z demands a more strongly dominant link (the window above i*
+// narrows toward F(i*) itself); z < 1 tolerates links that only carry a
+// plurality of the path's queuing delay.
+func GeneralizedWDCLTest(f stats.CDF, x, y, z float64) WDCLResult {
+	if z <= 0 {
+		z = 1
+	}
+	const slack = 1e-9
+	iStar := f.MinPositive(x)
+	window := int(math.Ceil((1 + 1/z) * float64(iStar)))
+	fa := f.At(window)
+	return WDCLResult{
+		X: x, Y: y,
+		IStar:  iStar,
+		FAt2I:  fa,
+		Accept: iStar <= len(f) && fa >= 1-x-y-slack,
+	}
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"testing"
+
+	"dominantlink/internal/stats"
+	"dominantlink/internal/trace"
+)
+
+func TestGeneralizedWDCLReducesToWDCL(t *testing.T) {
+	rng := stats.NewRNG(1)
+	for trial := 0; trial < 100; trial++ {
+		pmf := stats.NewPMF(8)
+		for i := range pmf {
+			pmf[i] = rng.Float64()
+		}
+		pmf.Normalize()
+		f := pmf.CDF()
+		x := rng.Uniform(0.01, 0.15)
+		y := rng.Uniform(0, 0.15)
+		a := WDCLTest(f, x, y)
+		b := GeneralizedWDCLTest(f, x, y, 1)
+		if a.Accept != b.Accept || a.IStar != b.IStar {
+			t.Fatalf("z=1 differs from WDCL: %+v vs %+v (pmf %v)", a, b, pmf)
+		}
+	}
+}
+
+func TestGeneralizedWDCLMonotoneInZ(t *testing.T) {
+	// Growing z narrows the acceptance window, so an accept at large z
+	// implies accept at any smaller z (same i*).
+	pmf := stats.NewPMF(10)
+	pmf[3], pmf[5] = 0.7, 0.3 // mass at 4 and 6
+	f := pmf.CDF()
+	// z=1: window = 2*4 = 8 >= 6 -> accept.
+	if !GeneralizedWDCLTest(f, 0.05, 0, 1).Accept {
+		t.Fatal("z=1 should accept")
+	}
+	// z=4: window = ceil(1.25*4) = 5 < 6 -> reject.
+	if GeneralizedWDCLTest(f, 0.05, 0, 4).Accept {
+		t.Fatal("z=4 should reject")
+	}
+	// z=0.5: window = 12 -> accept.
+	if !GeneralizedWDCLTest(f, 0.05, 0, 0.5).Accept {
+		t.Fatal("z=0.5 should accept")
+	}
+	// Non-positive z falls back to 1.
+	if GeneralizedWDCLTest(f, 0.05, 0, 0).IStar != WDCLTest(f, 0.05, 0).IStar {
+		t.Fatal("z<=0 should behave like z=1")
+	}
+}
+
+func stationaryTrace(n int, lossRate float64, seed int64) *trace.Trace {
+	rng := stats.NewRNG(seed)
+	tr := &trace.Trace{}
+	for i := 0; i < n; i++ {
+		o := trace.Observation{Seq: int64(i), SendTime: 0.02 * float64(i)}
+		o.Delay = 0.02 + 0.03*rng.Float64()
+		o.Lost = rng.Float64() < lossRate
+		tr.Observations = append(tr.Observations, o)
+	}
+	return tr
+}
+
+func TestStationarityCheckAcceptsStationary(t *testing.T) {
+	tr := stationaryTrace(20000, 0.03, 1)
+	rep := StationarityCheck(tr, StationarityConfig{})
+	if !rep.Stationary {
+		t.Fatalf("stationary trace flagged: %d violations", rep.Violations)
+	}
+	if len(rep.Blocks) != 10 {
+		t.Fatalf("blocks = %d", len(rep.Blocks))
+	}
+}
+
+func TestStationarityCheckFlagsLossShift(t *testing.T) {
+	tr := stationaryTrace(10000, 0.02, 2)
+	// Second half: loss rate 10x.
+	rng := stats.NewRNG(3)
+	for i := 5000; i < 10000; i++ {
+		tr.Observations[i].Lost = rng.Float64() < 0.2
+	}
+	rep := StationarityCheck(tr, StationarityConfig{})
+	if rep.Stationary {
+		t.Fatal("loss regime shift not detected")
+	}
+}
+
+func TestStationarityCheckFlagsDelayShift(t *testing.T) {
+	tr := stationaryTrace(10000, 0.02, 4)
+	for i := 7000; i < 10000; i++ {
+		tr.Observations[i].Delay += 10.0 // massive level shift
+	}
+	rep := StationarityCheck(tr, StationarityConfig{})
+	if rep.Stationary {
+		t.Fatal("delay level shift not detected")
+	}
+}
+
+func TestStationarityEmptyTrace(t *testing.T) {
+	rep := StationarityCheck(&trace.Trace{}, StationarityConfig{})
+	if !rep.Stationary {
+		t.Fatal("empty trace should trivially pass")
+	}
+	allLost := &trace.Trace{Observations: []trace.Observation{{Lost: true}}}
+	if StationarityCheck(allLost, StationarityConfig{}).Stationary {
+		t.Fatal("all-lost trace cannot be assessed as stationary")
+	}
+}
+
+func TestLongestStationarySegment(t *testing.T) {
+	tr := stationaryTrace(20000, 0.03, 5)
+	// Corrupt the first 4000 observations with a loss storm.
+	rng := stats.NewRNG(6)
+	for i := 0; i < 4000; i++ {
+		tr.Observations[i].Lost = rng.Float64() < 0.4
+	}
+	from, to := LongestStationarySegment(tr, StationarityConfig{})
+	if from < 3500 {
+		t.Fatalf("segment start %d should skip the loss storm", from)
+	}
+	if to != 20000 {
+		t.Fatalf("segment end %d, want 20000", to)
+	}
+	seg := tr.Slice(from, to)
+	if !StationarityCheck(seg, StationarityConfig{}).Stationary {
+		t.Fatal("selected segment is itself non-stationary")
+	}
+}

@@ -1,0 +1,229 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"dominantlink/internal/hmm"
+	"dominantlink/internal/mmhd"
+	"dominantlink/internal/stats"
+	"dominantlink/internal/trace"
+)
+
+// ModelKind selects the inference model.
+type ModelKind int
+
+// Supported models.
+const (
+	// MMHD is the Markov model with a hidden dimension — the model the
+	// paper recommends (accurate in every setting studied).
+	MMHD ModelKind = iota
+	// HMM is the classical hidden Markov model baseline, which can deviate
+	// when delay correlation matters (Fig. 8).
+	HMM
+)
+
+func (k ModelKind) String() string {
+	switch k {
+	case MMHD:
+		return "mmhd"
+	case HMM:
+		return "hmm"
+	default:
+		return "unknown"
+	}
+}
+
+// IdentifyConfig configures the end-to-end identification pipeline. The
+// zero value reproduces the paper's defaults: MMHD with M=5 symbols, N=2
+// hidden states, EM threshold 1e-3, WDCL parameters x=y=0.06.
+type IdentifyConfig struct {
+	Model        ModelKind
+	Symbols      int     // M (default 5)
+	HiddenStates int     // N (default 2)
+	Threshold    float64 // EM convergence threshold (default 1e-3)
+	MaxIter      int     // EM iteration cap (default 500)
+	Seed         int64   // EM initialization seed
+
+	X, Y float64 // WDCL parameters (defaults 0.06, 0.06)
+
+	// PerSymbolLoss reverts MMHD to the paper's exact formulation, in which
+	// the loss probability depends on the delay symbol only. The default
+	// (false) uses per-state loss probabilities, which are strictly more
+	// expressive and avoid the symbol-hijacking EM failure mode on traces
+	// with regime-dependent loss (see EXPERIMENTS.md).
+	PerSymbolLoss bool
+
+	// Restarts is the number of random EM initializations; the fit with the
+	// best log-likelihood wins (default 5).
+	Restarts int
+
+	// KnownPropagation fixes the propagation delay d_prop; 0 approximates
+	// it with the minimum observed delay (§V-A).
+	KnownPropagation float64
+
+	// Tolerance is the numerical zero of the tests (default
+	// DefaultTolerance).
+	Tolerance float64
+}
+
+func (c *IdentifyConfig) defaults() {
+	if c.Symbols == 0 {
+		c.Symbols = 5
+	}
+	if c.HiddenStates == 0 {
+		c.HiddenStates = 2
+	}
+	if c.Threshold == 0 {
+		c.Threshold = 1e-3
+	}
+	if c.MaxIter == 0 {
+		c.MaxIter = 500
+	}
+	if c.X == 0 {
+		c.X = 0.06
+	}
+	if c.Y == 0 {
+		c.Y = 0.06
+	}
+	if c.Tolerance == 0 {
+		c.Tolerance = DefaultTolerance
+	}
+	if c.Restarts == 0 {
+		c.Restarts = 5
+	}
+}
+
+// Identification is the outcome of the pipeline on one trace.
+type Identification struct {
+	Config IdentifyConfig
+	Disc   Discretization
+
+	LossRate float64
+
+	// VirtualPMF / VirtualCDF are the inferred distribution of the
+	// discretized virtual queuing delay of lost probes, P(V=m | loss).
+	VirtualPMF stats.PMF
+	VirtualCDF stats.CDF
+
+	SDCL SDCLResult
+	WDCL WDCLResult
+
+	// BoundSeconds is the §IV-B upper bound on the maximum queuing delay
+	// of the dominant congested link, meaningful when SDCL or WDCL accepts.
+	BoundSeconds float64
+
+	// EM diagnostics.
+	EMIterations int
+	EMConverged  bool
+	LogLik       float64
+}
+
+// HasDCL reports whether either hypothesis test accepted.
+func (id *Identification) HasDCL() bool { return id.SDCL.Accept || id.WDCL.Accept }
+
+// Summary renders a one-line human-readable verdict.
+func (id *Identification) Summary() string {
+	verdict := "no dominant congested link"
+	switch {
+	case id.SDCL.Accept:
+		verdict = "strongly dominant congested link"
+	case id.WDCL.Accept:
+		verdict = fmt.Sprintf("weakly dominant congested link (x=%.2f y=%.2f)", id.WDCL.X, id.WDCL.Y)
+	}
+	return fmt.Sprintf("%s; loss=%.2f%% i*=%d F(2i*)=%.3f bound=%.1fms",
+		verdict, 100*id.LossRate, id.WDCL.IStar, id.WDCL.FAt2I, 1e3*id.BoundSeconds)
+}
+
+// Identify runs the full model-based pipeline of §V on a probe trace.
+func Identify(tr *trace.Trace, cfg IdentifyConfig) (*Identification, error) {
+	cfg.defaults()
+	if len(tr.Observations) == 0 {
+		return nil, errors.New("core: empty trace")
+	}
+	disc, err := NewDiscretization(tr.Observations, cfg.Symbols, cfg.KnownPropagation)
+	if err != nil {
+		return nil, err
+	}
+	obs := disc.Encode(tr.Observations)
+
+	var (
+		pmf        stats.PMF
+		iterations int
+		converged  bool
+		loglik     float64
+	)
+	loglik = math.Inf(-1)
+	for r := 0; r < cfg.Restarts; r++ {
+		seed := cfg.Seed + int64(r)*1000003
+		switch cfg.Model {
+		case MMHD:
+			_, res, err := mmhd.Fit(obs, mmhd.Config{
+				HiddenStates: cfg.HiddenStates,
+				Symbols:      cfg.Symbols,
+				Threshold:    cfg.Threshold,
+				MaxIter:      cfg.MaxIter,
+				Seed:         seed,
+				PerStateLoss: !cfg.PerSymbolLoss,
+			})
+			if err != nil {
+				return nil, err
+			}
+			if res.LogLik > loglik {
+				pmf, iterations, converged, loglik = res.VirtualPMF, res.Iterations, res.Converged, res.LogLik
+			}
+		case HMM:
+			_, res, err := hmm.Fit(obs, hmm.Config{
+				HiddenStates: cfg.HiddenStates,
+				Symbols:      cfg.Symbols,
+				Threshold:    cfg.Threshold,
+				MaxIter:      cfg.MaxIter,
+				Seed:         seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			if res.LogLik > loglik {
+				pmf, iterations, converged, loglik = res.VirtualPMF, res.Iterations, res.Converged, res.LogLik
+			}
+		default:
+			return nil, fmt.Errorf("core: unknown model kind %d", cfg.Model)
+		}
+	}
+	if pmf == nil {
+		return nil, errors.New("core: trace has no losses; dominant congested link is undefined without losses (§III-A)")
+	}
+	return identifyFromPMF(tr, cfg, disc, pmf, iterations, converged, loglik), nil
+}
+
+// IdentifyFromPMF applies the hypothesis tests and bound to an externally
+// obtained virtual-queuing-delay distribution (e.g. the simulator ground
+// truth, or a distribution fitted with custom model settings).
+func IdentifyFromPMF(tr *trace.Trace, cfg IdentifyConfig, disc Discretization, pmf stats.PMF) *Identification {
+	cfg.defaults()
+	return identifyFromPMF(tr, cfg, disc, pmf, 0, true, 0)
+}
+
+func identifyFromPMF(tr *trace.Trace, cfg IdentifyConfig, disc Discretization, pmf stats.PMF, iters int, conv bool, ll float64) *Identification {
+	cdf := pmf.CDF()
+	id := &Identification{
+		Config:       cfg,
+		Disc:         disc,
+		LossRate:     tr.LossRate(),
+		VirtualPMF:   pmf,
+		VirtualCDF:   cdf,
+		SDCL:         SDCLTest(cdf, cfg.Tolerance),
+		WDCL:         WDCLTest(cdf, cfg.X, cfg.Y),
+		EMIterations: iters,
+		EMConverged:  conv,
+		LogLik:       ll,
+	}
+	switch {
+	case id.SDCL.Accept:
+		id.BoundSeconds = MaxQueuingDelayBound(cdf, cfg.Tolerance, disc)
+	case id.WDCL.Accept:
+		id.BoundSeconds = MaxQueuingDelayBound(cdf, cfg.X, disc)
+	}
+	return id
+}

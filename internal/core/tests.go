@@ -1,0 +1,132 @@
+package core
+
+import "dominantlink/internal/stats"
+
+// DefaultTolerance is the numerical floor below which CDF mass is treated
+// as zero by the hypothesis tests. EM posteriors are never exactly zero,
+// so the paper's "F(i) > 0" reads as "F(i) > tolerance" in practice.
+const DefaultTolerance = 5e-3
+
+// SDCLResult reports the strongly-dominant-congested-link test (Fig. 2).
+type SDCLResult struct {
+	IStar  int     // i*: smallest symbol with F(i) > tolerance
+	FAt2I  float64 // F(2 i*)
+	Accept bool
+}
+
+// SDCLTest applies Theorem 1 to the virtual-queuing-delay CDF F: with
+// i* = min{i : F(i) > 0}, a strongly dominant congested link implies
+// F(2 i*) = 1. The null hypothesis (such a link exists) is accepted iff
+// F(2 i*) >= 1 - tol. Pass tol <= 0 for DefaultTolerance.
+func SDCLTest(f stats.CDF, tol float64) SDCLResult {
+	if tol <= 0 {
+		tol = DefaultTolerance
+	}
+	iStar := f.MinPositive(tol)
+	fa := f.At(2 * iStar)
+	return SDCLResult{
+		IStar:  iStar,
+		FAt2I:  fa,
+		Accept: iStar <= len(f) && fa >= 1-tol,
+	}
+}
+
+// WDCLResult reports the weakly-dominant-congested-link test (Fig. 3).
+type WDCLResult struct {
+	X, Y   float64
+	IStar  int     // i*: smallest symbol with F(i) > x
+	FAt2I  float64 // F(2 i*)
+	Accept bool
+}
+
+// WDCLTest applies Theorem 2: with i* = min{i : F(i) > x}, a weakly
+// dominant congested link with parameters (x, y) implies
+// F(2 i*) >= 1 - x - y. The null hypothesis is accepted iff the inequality
+// holds (with a small numerical slack).
+//
+// Parameter meaning (Definition 2): at least a fraction 1-x of all losses
+// occur at the link, and with probability at least 1-y a probe seeing the
+// link's maximum queuing delay sees at least as much delay there as on the
+// whole rest of the path.
+func WDCLTest(f stats.CDF, x, y float64) WDCLResult {
+	const slack = 1e-9
+	iStar := f.MinPositive(x)
+	fa := f.At(2 * iStar)
+	return WDCLResult{
+		X: x, Y: y,
+		IStar:  iStar,
+		FAt2I:  fa,
+		Accept: iStar <= len(f) && fa >= 1-x-y-slack,
+	}
+}
+
+// MaxQueuingDelayBound implements §IV-B: the smallest symbol j with
+// F(j) > x upper-bounds the (discretized) maximum queuing delay Q_k of a
+// weakly dominant congested link with loss parameter x (use x = tolerance
+// for a strongly dominant link). The returned value is in seconds of
+// queuing delay: j * bin width.
+func MaxQueuingDelayBound(f stats.CDF, x float64, d Discretization) float64 {
+	if x <= 0 {
+		x = DefaultTolerance
+	}
+	j := f.MinPositive(x)
+	if j > len(f) {
+		return 0
+	}
+	return d.QueuingUpper(j)
+}
+
+// ConnectedComponentBound implements the finer-grained heuristic of §IV-B
+// for very small x: over a fine PMF (e.g. M=100), find the connected
+// component (maximal run of bins with mass > eps) holding the most mass
+// and return the upper edge of its first bin as the bound on Q_k, in
+// seconds of queuing delay. Pass eps <= 0 for a default of 0.005.
+func ConnectedComponentBound(pmf stats.PMF, d Discretization, eps float64) float64 {
+	if eps <= 0 {
+		eps = 0.005
+	}
+	bestStart, bestMass := -1, 0.0
+	curStart, curMass := -1, 0.0
+	flush := func() {
+		if curStart >= 0 && curMass > bestMass {
+			bestStart, bestMass = curStart, curMass
+		}
+		curStart, curMass = -1, 0
+	}
+	for i, p := range pmf {
+		if p > eps {
+			if curStart < 0 {
+				curStart = i
+			}
+			curMass += p
+		} else {
+			flush()
+		}
+	}
+	flush()
+	if bestStart < 0 {
+		return 0
+	}
+	return d.QueuingUpper(bestStart + 1)
+}
+
+// LossPairBound is the comparison baseline of [21]: given the one-way
+// delays imputed to lost probes by surviving pair members and the overall
+// observed delays (to estimate the propagation floor), it estimates the
+// maximum queuing delay of the congested link as the median imputed
+// queuing delay. On a path where only the dominant link queues, the
+// surviving member of a loss pair sees the full buffer and the estimate is
+// accurate; queuing at other links contaminates the surviving member's
+// delay and biases the estimate — the sensitivity the paper demonstrates
+// in Table III.
+func LossPairBound(imputed, observed []float64) float64 {
+	if len(imputed) == 0 || len(observed) == 0 {
+		return 0
+	}
+	lo := stats.NewEmpirical(observed).Min()
+	bound := stats.NewEmpirical(imputed).Quantile(0.5) - lo
+	if bound < 0 {
+		bound = 0
+	}
+	return bound
+}

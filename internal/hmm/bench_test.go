@@ -1,0 +1,46 @@
+package hmm
+
+import (
+	"testing"
+
+	"dominantlink/internal/stats"
+)
+
+func benchObs(T int, seed int64) []int {
+	rng := stats.NewRNG(seed)
+	return generate(twoRegimeModel(), T, rng)
+}
+
+// BenchmarkFit is the HMM baseline fit at the paper's defaults.
+func BenchmarkFit(b *testing.B) {
+	obs := benchObs(50000, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Fit(obs, Config{HiddenStates: 2, Symbols: 4, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkForwardBackward isolates one E-step.
+func BenchmarkForwardBackward(b *testing.B) {
+	obs := benchObs(50000, 1)
+	m := NewRandomModel(2, 4, obs, stats.NewRNG(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.forwardBackward(obs)
+	}
+}
+
+// BenchmarkViterbi decodes the trace.
+func BenchmarkViterbi(b *testing.B) {
+	obs := benchObs(50000, 1)
+	m := NewRandomModel(2, 4, obs, stats.NewRNG(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Viterbi(obs)
+	}
+}

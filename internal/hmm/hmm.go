@@ -1,0 +1,494 @@
+// Package hmm implements a discrete hidden Markov model whose observation
+// alphabet is augmented with a "loss" outcome: at each step the chain is in
+// a hidden state i, emits a delay symbol m with probability B[i][m], and
+// the symbol is then erased (observed as a loss) with probability C[m].
+// This is the paper's interpretation of a probe loss as a delay observation
+// with a missing value (§V), grafted onto the classical Baum-Welch EM of
+// Rabiner [31].
+package hmm
+
+import (
+	"errors"
+	"math"
+
+	"dominantlink/internal/stats"
+)
+
+// Loss is the observation value that marks a lost probe. Delay symbols are
+// 1..M.
+const Loss = 0
+
+// Model holds the parameters of the loss-augmented HMM.
+type Model struct {
+	N int // hidden states
+	M int // delay symbols
+
+	Pi []float64   // initial hidden-state distribution, len N
+	A  [][]float64 // hidden-state transition matrix, N x N
+	B  [][]float64 // emission matrix, N x M: P(symbol m+1 | state i)
+	C  []float64   // loss probabilities, len M: P(loss | symbol m+1)
+}
+
+// Config controls the EM fit.
+type Config struct {
+	HiddenStates int     // N (required, >= 1)
+	Symbols      int     // M (required, >= 1)
+	Threshold    float64 // convergence threshold on max parameter change (default 1e-3)
+	MaxIter      int     // iteration cap (default 500)
+	Seed         int64   // RNG seed for the random initialization
+}
+
+func (c *Config) defaults() error {
+	if c.HiddenStates < 1 {
+		return errors.New("hmm: HiddenStates must be >= 1")
+	}
+	if c.Symbols < 1 {
+		return errors.New("hmm: Symbols must be >= 1")
+	}
+	if c.Threshold == 0 {
+		c.Threshold = 1e-3
+	}
+	if c.MaxIter == 0 {
+		c.MaxIter = 500
+	}
+	return nil
+}
+
+// Result reports how the fit went and carries the virtual-delay posterior.
+type Result struct {
+	Iterations int
+	LogLik     float64
+	Converged  bool
+	// VirtualPMF is P(V = m | loss): the inferred distribution of the
+	// discretized virtual queuing delay of the lost probes, eq. (5) of the
+	// paper. Nil when the observation sequence contains no losses.
+	VirtualPMF stats.PMF
+}
+
+const probFloor = 1e-12
+
+// NewRandomModel builds a model with uniform Pi, row-random A and B, and
+// C initialized to the empirical loss fraction of obs spread uniformly
+// over symbols, following Rabiner's guidance that B (and here C) matter
+// most and benefit from data-informed starting points.
+func NewRandomModel(n, m int, obs []int, rng *stats.RNG) *Model {
+	mod := &Model{N: n, M: m}
+	mod.Pi = uniformVec(n)
+	mod.A = randomStochastic(n, n, rng)
+	mod.B = randomStochastic(n, m, rng)
+	lossFrac := 0.0
+	for _, o := range obs {
+		if o == Loss {
+			lossFrac++
+		}
+	}
+	if len(obs) > 0 {
+		lossFrac /= float64(len(obs))
+	}
+	c0 := math.Max(lossFrac, 0.01)
+	mod.C = make([]float64, m)
+	for i := range mod.C {
+		mod.C[i] = c0
+	}
+	return mod
+}
+
+func uniformVec(n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = 1 / float64(n)
+	}
+	return v
+}
+
+func randomStochastic(rows, cols int, rng *stats.RNG) [][]float64 {
+	m := make([][]float64, rows)
+	for i := range m {
+		row := make([]float64, cols)
+		var sum float64
+		for j := range row {
+			row[j] = 0.5 + rng.Float64() // bounded away from zero
+			sum += row[j]
+		}
+		for j := range row {
+			row[j] /= sum
+		}
+		m[i] = row
+	}
+	return m
+}
+
+// emission returns P(observation at t | hidden state i) for the given
+// observation (Loss or symbol).
+func (m *Model) emission(i, obs int) float64 {
+	if obs == Loss {
+		var s float64
+		for k := 0; k < m.M; k++ {
+			s += m.B[i][k] * m.C[k]
+		}
+		return s
+	}
+	return m.B[i][obs-1] * (1 - m.C[obs-1])
+}
+
+// validateObs checks that every observation is Loss or in 1..M.
+func validateObs(obs []int, mSym int) error {
+	if len(obs) == 0 {
+		return errors.New("hmm: empty observation sequence")
+	}
+	for t, o := range obs {
+		if o != Loss && (o < 1 || o > mSym) {
+			return errors.New("hmm: observation out of range at index " + itoa(t))
+		}
+	}
+	return nil
+}
+
+func itoa(v int) string {
+	// strconv-free tiny helper to keep the error path allocation-light.
+	if v == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		b[i] = '-'
+	}
+	return string(b[i:])
+}
+
+// forwardBackward runs one scaled E-step. It returns gamma (T x N), the
+// transition accumulators, and the log-likelihood.
+func (m *Model) forwardBackward(obs []int) (gamma [][]float64, xiNum [][]float64, loglik float64) {
+	T := len(obs)
+	n := m.N
+	alpha := make([][]float64, T)
+	scale := make([]float64, T)
+	e := make([][]float64, T) // cached emissions
+	for t := 0; t < T; t++ {
+		e[t] = make([]float64, n)
+		for i := 0; i < n; i++ {
+			e[t][i] = m.emission(i, obs[t])
+		}
+	}
+	// Forward.
+	alpha[0] = make([]float64, n)
+	var c0 float64
+	for i := 0; i < n; i++ {
+		alpha[0][i] = m.Pi[i] * e[0][i]
+		c0 += alpha[0][i]
+	}
+	if c0 <= 0 {
+		c0 = probFloor
+	}
+	for i := 0; i < n; i++ {
+		alpha[0][i] /= c0
+	}
+	scale[0] = c0
+	for t := 1; t < T; t++ {
+		alpha[t] = make([]float64, n)
+		var ct float64
+		for j := 0; j < n; j++ {
+			var s float64
+			for i := 0; i < n; i++ {
+				s += alpha[t-1][i] * m.A[i][j]
+			}
+			alpha[t][j] = s * e[t][j]
+			ct += alpha[t][j]
+		}
+		if ct <= 0 {
+			ct = probFloor
+		}
+		for j := 0; j < n; j++ {
+			alpha[t][j] /= ct
+		}
+		scale[t] = ct
+	}
+	for t := 0; t < T; t++ {
+		loglik += math.Log(scale[t])
+	}
+	// Backward, with gamma and xi accumulation.
+	beta := make([]float64, n)
+	for i := range beta {
+		beta[i] = 1
+	}
+	gamma = make([][]float64, T)
+	gamma[T-1] = make([]float64, n)
+	copy(gamma[T-1], alpha[T-1])
+	xiNum = make([][]float64, n)
+	for i := range xiNum {
+		xiNum[i] = make([]float64, n)
+	}
+	prevBeta := make([]float64, n)
+	for t := T - 2; t >= 0; t-- {
+		copy(prevBeta, beta)
+		for i := 0; i < n; i++ {
+			var s float64
+			for j := 0; j < n; j++ {
+				s += m.A[i][j] * e[t+1][j] * prevBeta[j]
+			}
+			beta[i] = s / scale[t+1]
+		}
+		gamma[t] = make([]float64, n)
+		var gsum float64
+		for i := 0; i < n; i++ {
+			gamma[t][i] = alpha[t][i] * beta[i]
+			gsum += gamma[t][i]
+		}
+		if gsum > 0 {
+			for i := 0; i < n; i++ {
+				gamma[t][i] /= gsum
+			}
+		}
+		for i := 0; i < n; i++ {
+			if alpha[t][i] == 0 {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				xi := alpha[t][i] * m.A[i][j] * e[t+1][j] * prevBeta[j] / scale[t+1]
+				xiNum[i][j] += xi
+			}
+		}
+	}
+	return gamma, xiNum, loglik
+}
+
+// lossWeight returns w(i,m) = P(symbol = m+1 | hidden state i, loss): the
+// posterior over the erased symbol given the hidden state.
+func (m *Model) lossWeight(i int) []float64 {
+	w := make([]float64, m.M)
+	var sum float64
+	for k := 0; k < m.M; k++ {
+		w[k] = m.B[i][k] * m.C[k]
+		sum += w[k]
+	}
+	if sum > 0 {
+		for k := range w {
+			w[k] /= sum
+		}
+	}
+	return w
+}
+
+// Fit runs EM from a random start until the parameters move by less than
+// cfg.Threshold (max absolute change) or MaxIter is reached.
+func Fit(obs []int, cfg Config) (*Model, *Result, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, nil, err
+	}
+	if err := validateObs(obs, cfg.Symbols); err != nil {
+		return nil, nil, err
+	}
+	rng := stats.NewRNG(cfg.Seed)
+	model := NewRandomModel(cfg.HiddenStates, cfg.Symbols, obs, rng)
+	res := &Result{}
+	for iter := 0; iter < cfg.MaxIter; iter++ {
+		next, loglik := model.emStep(obs)
+		res.Iterations = iter + 1
+		res.LogLik = loglik
+		delta := paramDelta(model, next)
+		model = next
+		if delta < cfg.Threshold {
+			res.Converged = true
+			break
+		}
+	}
+	res.VirtualPMF = model.LossSymbolPosterior(obs)
+	return model, res, nil
+}
+
+// emStep performs one EM iteration and returns the updated model and the
+// log-likelihood of obs under the *current* parameters.
+func (m *Model) emStep(obs []int) (*Model, float64) {
+	T := len(obs)
+	n, M := m.N, m.M
+	gamma, xiNum, loglik := m.forwardBackward(obs)
+
+	next := &Model{N: n, M: M}
+	next.Pi = make([]float64, n)
+	copy(next.Pi, gamma[0])
+
+	// Transition matrix.
+	next.A = make([][]float64, n)
+	for i := 0; i < n; i++ {
+		var denom float64
+		for t := 0; t < T-1; t++ {
+			denom += gamma[t][i]
+		}
+		row := make([]float64, n)
+		if denom > 0 {
+			for j := 0; j < n; j++ {
+				row[j] = xiNum[i][j] / denom
+			}
+		} else {
+			copy(row, m.A[i])
+		}
+		normalizeRow(row)
+		next.A[i] = row
+	}
+
+	// Emission matrix and loss probabilities. For observed symbols the
+	// symbol is known; for losses the symbol is distributed according to
+	// the per-state posterior lossWeight.
+	bNum := make([][]float64, n)
+	for i := range bNum {
+		bNum[i] = make([]float64, M)
+	}
+	lossNum := make([]float64, M)  // expected # of losses with symbol m
+	symCount := make([]float64, M) // expected # of times symbol m occurred
+	weights := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		weights[i] = m.lossWeight(i)
+	}
+	for t := 0; t < T; t++ {
+		o := obs[t]
+		if o == Loss {
+			for i := 0; i < n; i++ {
+				g := gamma[t][i]
+				if g == 0 {
+					continue
+				}
+				for k := 0; k < M; k++ {
+					w := g * weights[i][k]
+					bNum[i][k] += w
+					lossNum[k] += w
+					symCount[k] += w
+				}
+			}
+		} else {
+			k := o - 1
+			symCount[k]++
+			for i := 0; i < n; i++ {
+				bNum[i][k] += gamma[t][i]
+			}
+		}
+	}
+	next.B = make([][]float64, n)
+	for i := 0; i < n; i++ {
+		row := make([]float64, M)
+		var denom float64
+		for t := 0; t < T; t++ {
+			denom += gamma[t][i]
+		}
+		if denom > 0 {
+			for k := 0; k < M; k++ {
+				row[k] = bNum[i][k] / denom
+			}
+		} else {
+			copy(row, m.B[i])
+		}
+		normalizeRow(row)
+		next.B[i] = row
+	}
+	next.C = make([]float64, M)
+	for k := 0; k < M; k++ {
+		if symCount[k] > 0 {
+			next.C[k] = clamp(lossNum[k]/symCount[k], 0, 1-probFloor)
+		} else {
+			next.C[k] = m.C[k]
+		}
+	}
+	return next, loglik
+}
+
+// LossSymbolPosterior returns P(V = m | loss) under the model — eq. (5) —
+// or nil when obs has no losses.
+func (m *Model) LossSymbolPosterior(obs []int) stats.PMF {
+	nLoss := 0
+	for _, o := range obs {
+		if o == Loss {
+			nLoss++
+		}
+	}
+	if nLoss == 0 {
+		return nil
+	}
+	gamma, _, _ := m.forwardBackward(obs)
+	pmf := stats.NewPMF(m.M)
+	weights := make([][]float64, m.N)
+	for i := 0; i < m.N; i++ {
+		weights[i] = m.lossWeight(i)
+	}
+	for t, o := range obs {
+		if o != Loss {
+			continue
+		}
+		for i := 0; i < m.N; i++ {
+			g := gamma[t][i]
+			for k := 0; k < m.M; k++ {
+				pmf[k] += g * weights[i][k]
+			}
+		}
+	}
+	pmf.Normalize()
+	return pmf
+}
+
+// LogLikelihood returns log P(obs | model).
+func (m *Model) LogLikelihood(obs []int) float64 {
+	_, _, ll := m.forwardBackward(obs)
+	return ll
+}
+
+func normalizeRow(row []float64) {
+	var sum float64
+	for _, v := range row {
+		sum += v
+	}
+	if sum <= 0 {
+		for i := range row {
+			row[i] = 1 / float64(len(row))
+		}
+		return
+	}
+	for i := range row {
+		row[i] /= sum
+	}
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// paramDelta returns the max absolute difference across all parameters.
+func paramDelta(a, b *Model) float64 {
+	var d float64
+	upd := func(x, y float64) {
+		if diff := math.Abs(x - y); diff > d {
+			d = diff
+		}
+	}
+	for i := range a.Pi {
+		upd(a.Pi[i], b.Pi[i])
+	}
+	for i := range a.A {
+		for j := range a.A[i] {
+			upd(a.A[i][j], b.A[i][j])
+		}
+	}
+	for i := range a.B {
+		for j := range a.B[i] {
+			upd(a.B[i][j], b.B[i][j])
+		}
+	}
+	for i := range a.C {
+		upd(a.C[i], b.C[i])
+	}
+	return d
+}

@@ -1,0 +1,85 @@
+package hmm
+
+import "math"
+
+// Viterbi returns the most likely hidden-state sequence for obs under the
+// model (max-product decoding in log space).
+func (m *Model) Viterbi(obs []int) []int {
+	T := len(obs)
+	if T == 0 {
+		return nil
+	}
+	n := m.N
+	logA := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		row := make([]float64, n)
+		for j := 0; j < n; j++ {
+			row[j] = safeLog(m.A[i][j])
+		}
+		logA[i] = row
+	}
+	delta := make([]float64, n)
+	for i := 0; i < n; i++ {
+		delta[i] = safeLog(m.Pi[i]) + safeLog(m.emission(i, obs[0]))
+	}
+	psi := make([][]int32, T)
+	for t := 1; t < T; t++ {
+		nd := make([]float64, n)
+		np := make([]int32, n)
+		for j := 0; j < n; j++ {
+			best, arg := math.Inf(-1), 0
+			for i := 0; i < n; i++ {
+				if v := delta[i] + logA[i][j]; v > best {
+					best, arg = v, i
+				}
+			}
+			nd[j] = best + safeLog(m.emission(j, obs[t]))
+			np[j] = int32(arg)
+		}
+		delta = nd
+		psi[t] = np
+	}
+	path := make([]int, T)
+	best := 0
+	for i := range delta {
+		if delta[i] > delta[best] {
+			best = i
+		}
+	}
+	path[T-1] = best
+	k := best
+	for t := T - 1; t > 0; t-- {
+		k = int(psi[t][k])
+		path[t-1] = k
+	}
+	return path
+}
+
+// DecodeLossSymbols returns, for each loss in obs (in order), the MAP
+// delay symbol: the Viterbi hidden state's most likely erased symbol,
+// argmax_m B[state][m]*C[m].
+func (m *Model) DecodeLossSymbols(obs []int) []int {
+	path := m.Viterbi(obs)
+	var out []int
+	for t, o := range obs {
+		if o != Loss {
+			continue
+		}
+		state := path[t]
+		best, arg := -1.0, 0
+		for k := 0; k < m.M; k++ {
+			if v := m.B[state][k] * m.C[k]; v > best {
+				best, arg = v, k
+			}
+		}
+		out = append(out, arg+1)
+	}
+	return out
+}
+
+func safeLog(v float64) float64 {
+	if v <= 0 {
+		return math.Inf(-1)
+	}
+	return math.Log(v)
+}

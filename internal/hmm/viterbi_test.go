@@ -1,0 +1,104 @@
+package hmm
+
+import (
+	"math"
+	"testing"
+
+	"dominantlink/internal/stats"
+)
+
+func TestViterbiEmpty(t *testing.T) {
+	m := twoRegimeModel()
+	if m.Viterbi(nil) != nil {
+		t.Fatal("empty observation should give empty path")
+	}
+}
+
+func TestViterbiMatchesBruteForce(t *testing.T) {
+	m := twoRegimeModel()
+	obs := []int{1, Loss, 4, 3, Loss, 2}
+	best := math.Inf(-1)
+	var rec func(tt, state int, logp float64)
+	rec = func(tt, state int, logp float64) {
+		logp += safeLog(m.emission(state, obs[tt]))
+		if tt == len(obs)-1 {
+			if logp > best {
+				best = logp
+			}
+			return
+		}
+		for nx := 0; nx < m.N; nx++ {
+			rec(tt+1, nx, logp+safeLog(m.A[state][nx]))
+		}
+	}
+	for s0 := 0; s0 < m.N; s0++ {
+		rec(0, s0, safeLog(m.Pi[s0]))
+	}
+	path := m.Viterbi(obs)
+	got := safeLog(m.Pi[path[0]]) + safeLog(m.emission(path[0], obs[0]))
+	for tt := 1; tt < len(obs); tt++ {
+		got += safeLog(m.A[path[tt-1]][path[tt]]) + safeLog(m.emission(path[tt], obs[tt]))
+	}
+	if math.Abs(got-best) > 1e-9 {
+		t.Fatalf("viterbi score %v != brute force %v", got, best)
+	}
+}
+
+// TestViterbiSeparatesRegimes: long runs of low symbols must decode to the
+// low-emitting state, high runs to the high-emitting one.
+func TestViterbiSeparatesRegimes(t *testing.T) {
+	m := twoRegimeModel()
+	obs := []int{1, 2, 1, 1, 2, 4, 3, 4, 4, Loss, 4, 1, 2, 1}
+	path := m.Viterbi(obs)
+	for i := 0; i < 5; i++ {
+		if path[i] != 0 {
+			t.Fatalf("low-symbol step %d decoded to state %d", i, path[i])
+		}
+	}
+	for i := 5; i < 11; i++ {
+		if path[i] != 1 {
+			t.Fatalf("high-symbol step %d decoded to state %d", i, path[i])
+		}
+	}
+}
+
+func TestDecodeLossSymbols(t *testing.T) {
+	m := twoRegimeModel()
+	obs := []int{4, 4, Loss, 4, 1, 1}
+	dec := m.DecodeLossSymbols(obs)
+	if len(dec) != 1 {
+		t.Fatalf("decoded %d losses", len(dec))
+	}
+	// In the high regime, argmax_m B[1][m]*C[m] = symbol 4 (0.6*0.3).
+	if dec[0] != 4 {
+		t.Fatalf("loss decoded to symbol %d, want 4", dec[0])
+	}
+}
+
+func TestDecodeLossSymbolsFitted(t *testing.T) {
+	rng := stats.NewRNG(4)
+	obs := generate(twoRegimeModel(), 6000, rng)
+	m, _, err := Fit(obs, Config{HiddenStates: 2, Symbols: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := m.DecodeLossSymbols(obs)
+	nLoss := 0
+	for _, o := range obs {
+		if o == Loss {
+			nLoss++
+		}
+	}
+	if len(dec) != nLoss {
+		t.Fatalf("decoded %d, want %d", len(dec), nLoss)
+	}
+	high := 0
+	for _, d := range dec {
+		if d >= 3 {
+			high++
+		}
+	}
+	if float64(high)/float64(len(dec)) < 0.8 {
+		t.Fatalf("only %d/%d losses decoded to the lossy regime", high, len(dec))
+	}
+}

@@ -1,0 +1,85 @@
+package inet
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSpecShapes(t *testing.T) {
+	cases := []struct {
+		kind PathKind
+		hops int // backbone links
+	}{
+		{CornellToUFPR, 9},
+		{UFPRToADSL, 13},
+		{USevillaToADSL, 9},
+		{SNUToADSL, 18},
+	}
+	for _, c := range cases {
+		sp := Spec(c.kind, Config{Seed: 1})
+		if len(sp.Backbone) != c.hops {
+			t.Fatalf("%s: backbone links = %d, want %d", c.kind, len(sp.Backbone), c.hops)
+		}
+		if len(sp.CrossTraffic) != len(sp.Backbone) {
+			t.Fatalf("%s: cross traffic entries = %d", c.kind, len(sp.CrossTraffic))
+		}
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	if CornellToUFPR.String() != "cornell-ufpr" || SNUToADSL.String() != "snu-adsl" {
+		t.Fatal("kind strings wrong")
+	}
+	if PathKind(99).String() != "unknown" {
+		t.Fatal("unknown kind string wrong")
+	}
+}
+
+// TestRunShort runs a 2-minute USevilla experiment end to end and checks
+// the skew injection/removal round trip.
+func TestRunShort(t *testing.T) {
+	res, err := Run(USevillaToADSL, Config{Seed: 5, Minutes: 2, Skew: 1e-4, Offset: 0.04})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Raw.Observations) < 5000 {
+		t.Fatalf("observations = %d", len(res.Raw.Observations))
+	}
+	if math.Abs(res.EstimatedLine.Beta-1e-4) > 5e-6 {
+		t.Fatalf("skew estimate %v, injected 1e-4", res.EstimatedLine.Beta)
+	}
+	// Raw delays must drift upward relative to corrected ones.
+	nRaw := len(res.Raw.Observations)
+	first, last := res.Raw.Observations[0], res.Raw.Observations[nRaw-1]
+	if last.Lost || first.Lost {
+		t.Skip("edge probes lost; drift check not applicable")
+	}
+	drift := (last.Delay - first.Delay) - (res.Corrected.Observations[nRaw-1].Delay - res.Corrected.Observations[0].Delay)
+	wantDrift := 1e-4 * (last.SendTime - first.SendTime)
+	if math.Abs(drift-wantDrift) > 1e-3 {
+		t.Fatalf("drift removed = %v, want ~%v", drift, wantDrift)
+	}
+	// Ground truth present and aligned.
+	if len(res.Corrected.Truth) != len(res.Corrected.Observations) {
+		t.Fatal("corrected trace misaligned with truth")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a, err := Run(UFPRToADSL, Config{Seed: 3, Minutes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(UFPRToADSL, Config{Seed: 3, Minutes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Raw.Observations) != len(b.Raw.Observations) {
+		t.Fatal("same seed, different lengths")
+	}
+	for i := range a.Raw.Observations {
+		if a.Raw.Observations[i].Delay != b.Raw.Observations[i].Delay {
+			t.Fatalf("same seed diverged at %d", i)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package locate
+
+import (
+	"testing"
+
+	"dominantlink/internal/scenario"
+	"dominantlink/internal/traffic"
+)
+
+// quickSpec builds a short 3-link chain with the congested link at the
+// given backbone position (1-based).
+func quickSpec(congested int, seed int64) scenario.Spec {
+	links := []scenario.LinkSpec{
+		{Name: "L1", Bandwidth: 10e6, Delay: 0.005, BufferBytes: 80000},
+		{Name: "L2", Bandwidth: 10e6, Delay: 0.005, BufferBytes: 80000},
+		{Name: "L3", Bandwidth: 10e6, Delay: 0.005, BufferBytes: 80000},
+	}
+	links[congested-1] = scenario.LinkSpec{
+		Name: "HOT", Bandwidth: 1e6, Delay: 0.005, BufferBytes: 20000,
+	}
+	cross := make([]scenario.TrafficMix, 3)
+	cross[congested-1] = scenario.TrafficMix{
+		UDP: []traffic.OnOffUDPConfig{
+			{Rate: 0.9e6, PktSize: 1000, MeanOn: 0.6, MeanOff: 1.2},
+			{Rate: 0.7e6, PktSize: 1000, MeanOn: 0.5, MeanOff: 1.5},
+		},
+		StartMin: 0, StartMax: 5,
+	}
+	return scenario.Spec{
+		Seed:     seed,
+		Duration: 200,
+		Backbone: links,
+		PathTraffic: scenario.TrafficMix{
+			HTTP: 2, HTTPCfg: traffic.HTTPConfig{MeanThinkTime: 4},
+			StartMin: 0, StartMax: 5,
+		},
+		CrossTraffic: cross,
+		Probe:        traffic.ProbeConfig{Interval: 0.02, Start: 10, Stop: 195},
+	}
+}
+
+func TestPinpointFindsCongestedLink(t *testing.T) {
+	for _, hop := range []int{1, 2, 3} {
+		res, err := Pinpoint(quickSpec(hop, 11), Config{Seed: 1})
+		if err != nil {
+			t.Fatalf("hop %d: %v", hop, err)
+		}
+		if !res.Path.HasDCL() {
+			t.Fatalf("hop %d: end-end identification rejected (loss %.2f%%)",
+				hop, 100*res.Run.Trace.LossRate())
+		}
+		if res.DominantHop != hop {
+			t.Fatalf("hop %d: pinpointed %d (prefixes %+v)", hop, res.DominantHop, res.Prefixes)
+		}
+		if res.TrueDominantHop() != hop {
+			t.Fatalf("hop %d: ground truth reports %d", hop, res.TrueDominantHop())
+		}
+	}
+}
+
+func TestPinpointPrefixMonotonicity(t *testing.T) {
+	res, err := Pinpoint(quickSpec(2, 12), Config{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Prefixes) != 3 {
+		t.Fatalf("prefixes = %d", len(res.Prefixes))
+	}
+	// Loss share must be (weakly) nondecreasing in prefix length and jump
+	// at the dominant hop.
+	prev := -1.0
+	for _, p := range res.Prefixes {
+		if p.ShareOfPathLoss < prev-0.1 {
+			t.Fatalf("loss share not monotone: %+v", res.Prefixes)
+		}
+		prev = p.ShareOfPathLoss
+	}
+	if res.Prefixes[0].ShareOfPathLoss > 0.1 {
+		t.Fatalf("prefix before the congested link already lossy: %+v", res.Prefixes[0])
+	}
+}
+
+func TestPinpointNoBackbone(t *testing.T) {
+	if _, err := Pinpoint(scenario.Spec{Duration: 1}, Config{}); err == nil {
+		t.Fatal("empty backbone must error")
+	}
+}

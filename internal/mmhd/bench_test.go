@@ -1,0 +1,80 @@
+package mmhd
+
+import (
+	"testing"
+
+	"dominantlink/internal/stats"
+)
+
+// benchObs synthesizes a T-step observation sequence with the given loss
+// rate over mSym symbols, with sticky symbol runs resembling probe traces.
+func benchObs(T, mSym int, lossRate float64, seed int64) []int {
+	rng := stats.NewRNG(seed)
+	obs := make([]int, T)
+	cur := 1
+	for t := 0; t < T; t++ {
+		if rng.Float64() < 0.05 {
+			cur = 1 + rng.Intn(mSym)
+		}
+		if rng.Float64() < lossRate {
+			obs[t] = Loss
+		} else {
+			obs[t] = cur
+		}
+	}
+	// Guarantee full symbol coverage.
+	for v := 1; v <= mSym; v++ {
+		obs[v] = v
+	}
+	return obs
+}
+
+func benchFit(b *testing.B, T, n, mSym int, perState bool) {
+	obs := benchObs(T, mSym, 0.03, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Fit(obs, Config{
+			HiddenStates: n, Symbols: mSym, Seed: int64(i), PerStateLoss: perState,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFitM5 is the paper's default identification fit (M=5, N=2) on
+// a 1000-second trace.
+func BenchmarkFitM5(b *testing.B) { benchFit(b, 50000, 2, 5, true) }
+
+// BenchmarkFitM30 is the fine-grained bound fit of §VI-A1.
+func BenchmarkFitM30(b *testing.B) { benchFit(b, 50000, 2, 30, true) }
+
+// BenchmarkFitM100 is the Fig. 7 fit — 200 states, feasible only because
+// of the sparse active-set forward-backward.
+func BenchmarkFitM100(b *testing.B) { benchFit(b, 50000, 2, 100, true) }
+
+// BenchmarkFitPerSymbol measures the paper-exact loss-channel variant.
+func BenchmarkFitPerSymbol(b *testing.B) { benchFit(b, 50000, 2, 5, false) }
+
+// BenchmarkEStep isolates one sparse forward-backward pass (M=30, N=2,
+// T=50000).
+func BenchmarkEStep(b *testing.B) {
+	obs := benchObs(50000, 30, 0.03, 1)
+	m := newRandomModel(2, 30, obs, stats.NewRNG(1), true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.eStep(obs)
+	}
+}
+
+// BenchmarkViterbi decodes the same trace.
+func BenchmarkViterbi(b *testing.B) {
+	obs := benchObs(50000, 30, 0.03, 1)
+	m := newRandomModel(2, 30, obs, stats.NewRNG(1), true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Viterbi(obs)
+	}
+}

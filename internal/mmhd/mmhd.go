@@ -1,0 +1,511 @@
+// Package mmhd implements the Markov model with a hidden dimension (MMHD)
+// of Wei, Wang and Towsley [38], extended — as in the paper — with a
+// loss-as-missing-value observation channel, and the EM algorithm of the
+// paper's Appendix B.
+//
+// An MMHD state is a pair (h, v) of a hidden state h in 1..N and a delay
+// symbol v in 1..M; the chain moves on the full N·M state space and emits
+// the symbol component of its state, which is erased (observed as a loss)
+// with probability C[v]. Unlike an HMM, consecutive delay symbols are
+// directly coupled through the transition matrix, which is why MMHD
+// captures delay correlation more accurately (§V-B, Fig. 8).
+//
+// The implementation exploits the structure of the model: an observed
+// symbol pins the state to the N states sharing that symbol, so the
+// forward-backward recursions only touch N active states at observed
+// steps and all N·M states around losses. With loss rates of a few
+// percent this makes even M=100 fits cheap.
+package mmhd
+
+import (
+	"errors"
+	"math"
+
+	"dominantlink/internal/stats"
+)
+
+// Loss marks a lost probe in the observation sequence; symbols are 1..M.
+const Loss = 0
+
+// Model holds MMHD parameters. States are indexed s = h*M + (v-1) for
+// hidden state h in 0..N-1 and symbol v in 1..M.
+//
+// The loss channel comes in two variants. The paper's formulation ties the
+// loss probability to the delay symbol alone (C has length M). With
+// PerStateLoss, the loss probability is per state (C has length N*M):
+// c_{h,v} = P(loss | state (h,v)). The per-state variant is strictly more
+// expressive — it lets the hidden dimension capture congestion regimes in
+// which the same delay symbol has very different loss rates — and avoids a
+// failure mode of the per-symbol variant in which EM "hijacks" a rarely
+// observed symbol as a dedicated loss explainer, corrupting the
+// virtual-delay posterior (see EXPERIMENTS.md).
+type Model struct {
+	N int // hidden states
+	M int // delay symbols
+
+	PerStateLoss bool
+
+	Pi []float64   // initial state distribution, len N*M
+	A  [][]float64 // transition matrix, (N*M) x (N*M)
+	C  []float64   // loss probabilities: len M, or len N*M with PerStateLoss
+}
+
+// lossProb returns P(loss | state s).
+func (m *Model) lossProb(s int) float64 {
+	if m.PerStateLoss {
+		return m.C[s]
+	}
+	return m.C[s%m.M]
+}
+
+// States returns the state-space size N*M.
+func (m *Model) States() int { return m.N * m.M }
+
+// Symbol returns the 1-based delay symbol of state s.
+func (m *Model) Symbol(s int) int { return s%m.M + 1 }
+
+// Config controls the EM fit.
+type Config struct {
+	HiddenStates int     // N (required, >= 1)
+	Symbols      int     // M (required, >= 1)
+	Threshold    float64 // convergence threshold on max parameter change (default 1e-3)
+	MaxIter      int     // iteration cap (default 500)
+	Seed         int64   // RNG seed for the random initialization
+	PerStateLoss bool    // per-state loss probabilities (extension; see Model)
+}
+
+func (c *Config) defaults() error {
+	if c.HiddenStates < 1 {
+		return errors.New("mmhd: HiddenStates must be >= 1")
+	}
+	if c.Symbols < 1 {
+		return errors.New("mmhd: Symbols must be >= 1")
+	}
+	if c.Threshold == 0 {
+		c.Threshold = 1e-3
+	}
+	if c.MaxIter == 0 {
+		c.MaxIter = 500
+	}
+	return nil
+}
+
+// Result reports the fit outcome and the inferred virtual-delay posterior.
+type Result struct {
+	Iterations int
+	LogLik     float64
+	Converged  bool
+	// VirtualPMF is P(V = m | loss) of eq. (5); nil when obs has no losses.
+	VirtualPMF stats.PMF
+}
+
+const probFloor = 1e-12
+
+// NewRandomModel builds the paper's initialization: uniform Pi, random
+// stochastic transition rows, and C set uniformly (here to the empirical
+// loss fraction of obs, floored at 1%).
+func NewRandomModel(n, mSym int, obs []int, rng *stats.RNG) *Model {
+	return newRandomModel(n, mSym, obs, rng, false)
+}
+
+func newRandomModel(n, mSym int, obs []int, rng *stats.RNG, perState bool) *Model {
+	s := n * mSym
+	mod := &Model{N: n, M: mSym, PerStateLoss: perState}
+	mod.Pi = make([]float64, s)
+	for i := range mod.Pi {
+		mod.Pi[i] = 1 / float64(s)
+	}
+	mod.A = make([][]float64, s)
+	for i := range mod.A {
+		row := make([]float64, s)
+		var sum float64
+		for j := range row {
+			row[j] = 0.5 + rng.Float64()
+			sum += row[j]
+		}
+		for j := range row {
+			row[j] /= sum
+		}
+		mod.A[i] = row
+	}
+	lossFrac := 0.0
+	for _, o := range obs {
+		if o == Loss {
+			lossFrac++
+		}
+	}
+	if len(obs) > 0 {
+		lossFrac /= float64(len(obs))
+	}
+	c0 := math.Max(lossFrac, 0.01)
+	cLen := mSym
+	if perState {
+		cLen = s
+	}
+	mod.C = make([]float64, cLen)
+	for i := range mod.C {
+		c := c0
+		if perState {
+			// Break the symmetry between hidden layers sharing a symbol:
+			// seed one layer as a low-loss regime and the last as a
+			// high-loss regime (scaled up to the number of layers), plus
+			// per-state noise. EM sharpens or merges the regimes as the
+			// data dictates; without this structure it frequently lands in
+			// the inferior single-regime optimum.
+			h := i / mSym
+			factor := 0.2 + 2.6*float64(h)/math.Max(float64(n-1), 1)
+			if n == 1 {
+				factor = 1
+			}
+			c = clamp(c0*factor*(0.7+0.6*rng.Float64()), probFloor, 0.9)
+		}
+		mod.C[i] = c
+	}
+	return mod
+}
+
+// activeStates returns the state indices compatible with observation o:
+// the N states carrying symbol o when o is observed, or all states when o
+// is a loss. The slice for observed symbols is freshly allocated per call;
+// callers cache them per time step.
+func (m *Model) activeStates(o int, all []int) []int {
+	if o == Loss {
+		return all
+	}
+	act := make([]int, m.N)
+	for h := 0; h < m.N; h++ {
+		act[h] = h*m.M + (o - 1)
+	}
+	return act
+}
+
+// emission returns P(observe o | state s).
+func (m *Model) emission(s, o int) float64 {
+	if o == Loss {
+		return m.lossProb(s)
+	}
+	if m.Symbol(s) != o {
+		return 0
+	}
+	return 1 - m.lossProb(s)
+}
+
+// eStep runs the scaled sparse forward-backward pass. It returns the
+// per-step active sets, the posterior state marginals gamma (parallel to
+// the active sets), the dense transition-count accumulator, and the
+// log-likelihood.
+type eStepOut struct {
+	act    [][]int
+	gamma  [][]float64
+	xiNum  [][]float64
+	loglik float64
+}
+
+func (m *Model) eStep(obs []int) *eStepOut {
+	T := len(obs)
+	S := m.States()
+	all := make([]int, S)
+	for i := range all {
+		all[i] = i
+	}
+	act := make([][]int, T)
+	emis := make([][]float64, T) // emission per active state
+	for t := 0; t < T; t++ {
+		act[t] = m.activeStates(obs[t], all)
+		e := make([]float64, len(act[t]))
+		for k, s := range act[t] {
+			e[k] = m.emission(s, obs[t])
+		}
+		emis[t] = e
+	}
+
+	alpha := make([][]float64, T)
+	scale := make([]float64, T)
+	// Forward.
+	a0 := make([]float64, len(act[0]))
+	var c0 float64
+	for k, s := range act[0] {
+		a0[k] = m.Pi[s] * emis[0][k]
+		c0 += a0[k]
+	}
+	if c0 <= 0 {
+		c0 = probFloor
+	}
+	for k := range a0 {
+		a0[k] /= c0
+	}
+	alpha[0], scale[0] = a0, c0
+	for t := 1; t < T; t++ {
+		prevAct, prevAlpha := act[t-1], alpha[t-1]
+		at := make([]float64, len(act[t]))
+		var ct float64
+		for k, sp := range act[t] {
+			var sum float64
+			for kk, s := range prevAct {
+				av := prevAlpha[kk]
+				if av == 0 {
+					continue
+				}
+				sum += av * m.A[s][sp]
+			}
+			at[k] = sum * emis[t][k]
+			ct += at[k]
+		}
+		if ct <= 0 {
+			ct = probFloor
+		}
+		for k := range at {
+			at[k] /= ct
+		}
+		alpha[t], scale[t] = at, ct
+	}
+	var loglik float64
+	for t := 0; t < T; t++ {
+		loglik += math.Log(scale[t])
+	}
+
+	// Backward, accumulating gamma and the xi numerator.
+	gamma := make([][]float64, T)
+	xiNum := make([][]float64, S)
+	for i := range xiNum {
+		xiNum[i] = make([]float64, S)
+	}
+	beta := make([]float64, len(act[T-1]))
+	for k := range beta {
+		beta[k] = 1
+	}
+	g := make([]float64, len(act[T-1]))
+	copy(g, alpha[T-1])
+	gamma[T-1] = g
+	for t := T - 2; t >= 0; t-- {
+		nextAct, nextBeta, nextEmis := act[t+1], beta, emis[t+1]
+		bt := make([]float64, len(act[t]))
+		for k, s := range act[t] {
+			var sum float64
+			for kk, sp := range nextAct {
+				w := nextEmis[kk] * nextBeta[kk]
+				if w == 0 {
+					continue
+				}
+				sum += m.A[s][sp] * w
+			}
+			bt[k] = sum / scale[t+1]
+		}
+		gt := make([]float64, len(act[t]))
+		var gsum float64
+		for k := range gt {
+			gt[k] = alpha[t][k] * bt[k]
+			gsum += gt[k]
+		}
+		if gsum > 0 {
+			for k := range gt {
+				gt[k] /= gsum
+			}
+		}
+		gamma[t] = gt
+		// xi accumulation over active pairs.
+		for k, s := range act[t] {
+			av := alpha[t][k]
+			if av == 0 {
+				continue
+			}
+			rowA := m.A[s]
+			rowXi := xiNum[s]
+			for kk, sp := range nextAct {
+				w := nextEmis[kk] * nextBeta[kk]
+				if w == 0 {
+					continue
+				}
+				rowXi[sp] += av * rowA[sp] * w / scale[t+1]
+			}
+		}
+		beta = bt
+	}
+	return &eStepOut{act: act, gamma: gamma, xiNum: xiNum, loglik: loglik}
+}
+
+// emStep performs one EM iteration, returning the re-estimated model and
+// the log-likelihood under the current parameters.
+func (m *Model) emStep(obs []int) (*Model, float64) {
+	T := len(obs)
+	S := m.States()
+	es := m.eStep(obs)
+
+	next := &Model{N: m.N, M: m.M}
+	next.Pi = make([]float64, S)
+	for k, s := range es.act[0] {
+		next.Pi[s] = es.gamma[0][k]
+	}
+
+	// Transition matrix: xiNum / time spent in each source state over t < T-1.
+	gammaSum := make([]float64, S)
+	for t := 0; t < T-1; t++ {
+		for k, s := range es.act[t] {
+			gammaSum[s] += es.gamma[t][k]
+		}
+	}
+	next.A = make([][]float64, S)
+	for s := 0; s < S; s++ {
+		row := make([]float64, S)
+		if gammaSum[s] > 0 {
+			for sp := 0; sp < S; sp++ {
+				row[sp] = es.xiNum[s][sp] / gammaSum[s]
+			}
+			normalizeRow(row)
+		} else {
+			copy(row, m.A[s]) // state never visited: keep prior row
+		}
+		next.A[s] = row
+	}
+
+	// Loss probabilities: expected losses over expected occurrences, pooled
+	// per symbol, or per state with PerStateLoss.
+	next.PerStateLoss = m.PerStateLoss
+	cLen := m.M
+	if m.PerStateLoss {
+		cLen = S
+	}
+	lossNum := make([]float64, cLen)
+	occCount := make([]float64, cLen)
+	for t := 0; t < T; t++ {
+		isLoss := obs[t] == Loss
+		for k, s := range es.act[t] {
+			idx := s % m.M
+			if m.PerStateLoss {
+				idx = s
+			}
+			g := es.gamma[t][k]
+			occCount[idx] += g
+			if isLoss {
+				lossNum[idx] += g
+			}
+		}
+	}
+	next.C = make([]float64, cLen)
+	for i := 0; i < cLen; i++ {
+		if occCount[i] > 0 {
+			next.C[i] = clamp(lossNum[i]/occCount[i], 0, 1-probFloor)
+		} else {
+			next.C[i] = m.C[i]
+		}
+	}
+	return next, es.loglik
+}
+
+// Fit runs EM from the paper's random initialization until convergence.
+func Fit(obs []int, cfg Config) (*Model, *Result, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, nil, err
+	}
+	if err := validateObs(obs, cfg.Symbols); err != nil {
+		return nil, nil, err
+	}
+	rng := stats.NewRNG(cfg.Seed)
+	model := newRandomModel(cfg.HiddenStates, cfg.Symbols, obs, rng, cfg.PerStateLoss)
+	res := &Result{}
+	for iter := 0; iter < cfg.MaxIter; iter++ {
+		next, loglik := model.emStep(obs)
+		res.Iterations = iter + 1
+		res.LogLik = loglik
+		delta := paramDelta(model, next)
+		model = next
+		if delta < cfg.Threshold {
+			res.Converged = true
+			break
+		}
+	}
+	res.VirtualPMF = model.LossSymbolPosterior(obs)
+	return model, res, nil
+}
+
+// LossSymbolPosterior returns P(V = m | loss), eq. (5): the total posterior
+// mass on symbol m at loss times, normalized by the number of losses. It
+// returns nil when obs contains no losses.
+func (m *Model) LossSymbolPosterior(obs []int) stats.PMF {
+	nLoss := 0
+	for _, o := range obs {
+		if o == Loss {
+			nLoss++
+		}
+	}
+	if nLoss == 0 {
+		return nil
+	}
+	es := m.eStep(obs)
+	pmf := stats.NewPMF(m.M)
+	for t, o := range obs {
+		if o != Loss {
+			continue
+		}
+		for k, s := range es.act[t] {
+			pmf[m.Symbol(s)-1] += es.gamma[t][k]
+		}
+	}
+	pmf.Normalize()
+	return pmf
+}
+
+// LogLikelihood returns log P(obs | model).
+func (m *Model) LogLikelihood(obs []int) float64 {
+	return m.eStep(obs).loglik
+}
+
+func validateObs(obs []int, mSym int) error {
+	if len(obs) == 0 {
+		return errors.New("mmhd: empty observation sequence")
+	}
+	for _, o := range obs {
+		if o != Loss && (o < 1 || o > mSym) {
+			return errors.New("mmhd: observation out of range")
+		}
+	}
+	return nil
+}
+
+func normalizeRow(row []float64) {
+	var sum float64
+	for _, v := range row {
+		sum += v
+	}
+	if sum <= 0 {
+		for i := range row {
+			row[i] = 1 / float64(len(row))
+		}
+		return
+	}
+	for i := range row {
+		row[i] /= sum
+	}
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// paramDelta returns the max absolute parameter difference between models.
+func paramDelta(a, b *Model) float64 {
+	var d float64
+	upd := func(x, y float64) {
+		if diff := math.Abs(x - y); diff > d {
+			d = diff
+		}
+	}
+	for i := range a.Pi {
+		upd(a.Pi[i], b.Pi[i])
+	}
+	for i := range a.A {
+		for j := range a.A[i] {
+			upd(a.A[i][j], b.A[i][j])
+		}
+	}
+	for i := range a.C {
+		upd(a.C[i], b.C[i])
+	}
+	return d
+}

@@ -1,0 +1,95 @@
+package mmhd
+
+import "math"
+
+// Viterbi returns the most likely state sequence for obs under the model
+// (max-product decoding in log space), exploiting the same sparse
+// active-state structure as the forward-backward pass.
+func (m *Model) Viterbi(obs []int) []int {
+	T := len(obs)
+	if T == 0 {
+		return nil
+	}
+	S := m.States()
+	all := make([]int, S)
+	for i := range all {
+		all[i] = i
+	}
+	act := make([][]int, T)
+	for t := 0; t < T; t++ {
+		act[t] = m.activeStates(obs[t], all)
+	}
+
+	logA := make([][]float64, S)
+	for s := 0; s < S; s++ {
+		row := make([]float64, S)
+		for sp := 0; sp < S; sp++ {
+			row[sp] = safeLog(m.A[s][sp])
+		}
+		logA[s] = row
+	}
+
+	// delta[k] is the best log-probability ending in act[t][k];
+	// psi[t][k] is the index (into act[t-1]) of its predecessor.
+	delta := make([]float64, len(act[0]))
+	for k, s := range act[0] {
+		delta[k] = safeLog(m.Pi[s]) + safeLog(m.emission(s, obs[0]))
+	}
+	psi := make([][]int32, T)
+	for t := 1; t < T; t++ {
+		cur := act[t]
+		prev := act[t-1]
+		nd := make([]float64, len(cur))
+		np := make([]int32, len(cur))
+		for k, sp := range cur {
+			best, arg := math.Inf(-1), 0
+			for kk, s := range prev {
+				if v := delta[kk] + logA[s][sp]; v > best {
+					best, arg = v, kk
+				}
+			}
+			nd[k] = best + safeLog(m.emission(sp, obs[t]))
+			np[k] = int32(arg)
+		}
+		delta = nd
+		psi[t] = np
+	}
+
+	// Backtrack.
+	path := make([]int, T)
+	bestK := 0
+	for k := range delta {
+		if delta[k] > delta[bestK] {
+			bestK = k
+		}
+	}
+	path[T-1] = act[T-1][bestK]
+	k := bestK
+	for t := T - 1; t > 0; t-- {
+		k = int(psi[t][k])
+		path[t-1] = act[t-1][k]
+	}
+	return path
+}
+
+// DecodeLossSymbols returns, for each loss in obs (in order), the MAP
+// delay symbol assigned by the Viterbi path — a per-probe point estimate
+// of the virtual queuing delay, complementing the aggregate posterior of
+// eq. (5).
+func (m *Model) DecodeLossSymbols(obs []int) []int {
+	path := m.Viterbi(obs)
+	var out []int
+	for t, o := range obs {
+		if o == Loss {
+			out = append(out, m.Symbol(path[t]))
+		}
+	}
+	return out
+}
+
+func safeLog(v float64) float64 {
+	if v <= 0 {
+		return math.Inf(-1)
+	}
+	return math.Log(v)
+}

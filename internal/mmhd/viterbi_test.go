@@ -1,0 +1,112 @@
+package mmhd
+
+import (
+	"math"
+	"testing"
+
+	"dominantlink/internal/stats"
+)
+
+func TestViterbiEmpty(t *testing.T) {
+	m := bursty2x3()
+	if m.Viterbi(nil) != nil {
+		t.Fatal("empty observation should give empty path")
+	}
+}
+
+// TestViterbiRespectsObservations: at observed steps, the decoded state's
+// symbol must equal the observation.
+func TestViterbiRespectsObservations(t *testing.T) {
+	rng := stats.NewRNG(1)
+	m := bursty2x3()
+	obs := generate(m, 500, rng)
+	path := m.Viterbi(obs)
+	if len(path) != len(obs) {
+		t.Fatalf("path length %d != %d", len(path), len(obs))
+	}
+	for tt, o := range obs {
+		if o != Loss && m.Symbol(path[tt]) != o {
+			t.Fatalf("at %d: decoded symbol %d, observed %d", tt, m.Symbol(path[tt]), o)
+		}
+	}
+}
+
+// TestViterbiMatchesBruteForce: on a tiny instance, the Viterbi path
+// probability equals the max over all state paths.
+func TestViterbiMatchesBruteForce(t *testing.T) {
+	m := bursty2x3()
+	obs := []int{1, Loss, 3, Loss, 2}
+	S := m.States()
+	// Enumerate all S^5 paths.
+	best := math.Inf(-1)
+	var rec func(tt, state int, logp float64)
+	rec = func(tt, state int, logp float64) {
+		logp += safeLog(m.emission(state, obs[tt]))
+		if tt == len(obs)-1 {
+			if logp > best {
+				best = logp
+			}
+			return
+		}
+		for nx := 0; nx < S; nx++ {
+			rec(tt+1, nx, logp+safeLog(m.A[state][nx]))
+		}
+	}
+	for s0 := 0; s0 < S; s0++ {
+		rec(0, s0, safeLog(m.Pi[s0]))
+	}
+	// Score the Viterbi path.
+	path := m.Viterbi(obs)
+	got := safeLog(m.Pi[path[0]]) + safeLog(m.emission(path[0], obs[0]))
+	for tt := 1; tt < len(obs); tt++ {
+		got += safeLog(m.A[path[tt-1]][path[tt]]) + safeLog(m.emission(path[tt], obs[tt]))
+	}
+	if math.Abs(got-best) > 1e-9 {
+		t.Fatalf("viterbi score %v != brute force max %v", got, best)
+	}
+}
+
+// TestDecodeLossSymbols: losses embedded in a run of symbol-3 observations
+// under a sticky-symbol model must decode to symbol 3.
+func TestDecodeLossSymbols(t *testing.T) {
+	m := bursty2x3()
+	obs := []int{3, 3, Loss, Loss, 3, 1, 1, Loss, 1}
+	dec := m.DecodeLossSymbols(obs)
+	if len(dec) != 3 {
+		t.Fatalf("decoded %d losses, want 3", len(dec))
+	}
+	if dec[0] != 3 || dec[1] != 3 {
+		t.Fatalf("losses in symbol-3 context decoded to %v", dec)
+	}
+	// The third loss sits in a symbol-1 context. Under this model the
+	// 300:1 loss-emission ratio (C[3]=0.3 vs C[1]=0.001) outweighs the
+	// sticky-transition penalty, so a jump to symbol 3 is the MAP choice;
+	// the decoder just has to produce a valid symbol.
+	if dec[2] < 1 || dec[2] > 3 {
+		t.Fatalf("loss in symbol-1 context decoded to invalid symbol %d", dec[2])
+	}
+}
+
+// TestViterbiAgreesWithFitOnConcentratedData: after fitting a trace whose
+// losses all strike the top symbol, the decoded loss symbols should agree
+// with the posterior mode.
+func TestViterbiAgreesWithFitOnConcentratedData(t *testing.T) {
+	rng := stats.NewRNG(3)
+	truth := bursty2x3()
+	obs := generate(truth, 8000, rng)
+	m, res, err := Fit(obs, Config{HiddenStates: 2, Symbols: 3, Seed: 1, PerStateLoss: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mode := res.VirtualPMF.Mode()
+	dec := m.DecodeLossSymbols(obs)
+	agree := 0
+	for _, d := range dec {
+		if d == mode {
+			agree++
+		}
+	}
+	if len(dec) > 0 && float64(agree)/float64(len(dec)) < 0.7 {
+		t.Fatalf("only %d/%d decoded losses match the posterior mode %d", agree, len(dec), mode)
+	}
+}

@@ -1,0 +1,270 @@
+// Package scenario assembles the simulation topologies of the paper's
+// validation (§VI): a chain of backbone links probed end to end, with
+// configurable per-link cross traffic (FTP, HTTP-like, on-off UDP), plus
+// the periodic probe process and optionally the loss-pair baseline.
+package scenario
+
+import (
+	"fmt"
+
+	"dominantlink/internal/sim"
+	"dominantlink/internal/trace"
+	"dominantlink/internal/traffic"
+)
+
+// LinkSpec describes one backbone (or access) link.
+type LinkSpec struct {
+	Name        string
+	Bandwidth   float64 // bits/s
+	Delay       float64 // propagation, seconds
+	BufferBytes int     // droptail buffer (ignored when RED != nil)
+	RED         *sim.REDConfig
+	// PacketCounted switches the droptail buffer to ns-2-exact packet
+	// counting (BufferBytes/1000 slots) for the queue-discipline ablation.
+	PacketCounted bool
+}
+
+func (ls LinkSpec) queue() sim.Queue {
+	if ls.RED != nil {
+		cfg := *ls.RED
+		return sim.NewAdaptiveRED(cfg)
+	}
+	if ls.PacketCounted {
+		pkts := ls.BufferBytes / sim.DefaultMTU
+		if pkts < 1 {
+			pkts = 1
+		}
+		return sim.NewPktCountDropTail(pkts, sim.DefaultMTU)
+	}
+	return sim.NewDropTail(ls.BufferBytes)
+}
+
+// TrafficMix describes the load offered over one route.
+type TrafficMix struct {
+	FTP      int // persistent TCP Reno bulk flows
+	HTTP     int // concurrent HTTP-like sessions
+	HTTPCfg  traffic.HTTPConfig
+	UDP      []traffic.OnOffUDPConfig
+	StartMin float64 // flows start uniformly in [StartMin, StartMax]
+	StartMax float64
+}
+
+func (m TrafficMix) empty() bool { return m.FTP == 0 && m.HTTP == 0 && len(m.UDP) == 0 }
+
+// Spec is a complete experiment description.
+type Spec struct {
+	Seed     int64
+	Duration float64 // total simulated seconds
+
+	Backbone []LinkSpec // the monitored chain, in path order
+	Access   LinkSpec   // template for source/sink access links
+
+	PathTraffic  TrafficMix   // end-end traffic sharing the whole path
+	CrossTraffic []TrafficMix // one entry per backbone link (may be shorter)
+
+	// pairsMode switches Build to install the loss-pair prober instead of
+	// the periodic probe stream.
+	pairsMode bool
+
+	Probe traffic.ProbeConfig
+	// LossPairs requests a loss-pair companion experiment: Execute runs a
+	// second, independent simulation carrying the pair stream and attaches
+	// its results. The pair stream is never mixed into the main probing
+	// run: its full-sized leading packets would add non-negligible load
+	// (the paper likewise evaluates the loss-pair approach as its own
+	// probing process).
+	LossPairs bool
+	PairCfg   traffic.LossPairConfig
+}
+
+// Run holds everything produced by one simulation.
+type Run struct {
+	Spec  Spec
+	Sim   *sim.Simulator
+	Trace *trace.Trace
+
+	// Path is the probe route (access + backbone + access).
+	Path []*sim.Link
+	// BackboneLinks are the monitored chain links, in order.
+	BackboneLinks []*sim.Link
+	// BackboneHop[i] is the hop index of backbone link i along Path.
+	BackboneHop []int
+
+	// TrueProp is the propagation + probe-transmission floor of the path.
+	TrueProp float64
+
+	// Loss-pair baseline results (nil slices when disabled).
+	PairImputed  []float64
+	PairObserved []float64
+
+	prober *traffic.Prober
+	pairs  *traffic.LossPairProber
+}
+
+// Prober exposes the periodic probe source (e.g. to rebuild traces after
+// additional manual simulation steps).
+func (r *Run) Prober() *traffic.Prober { return r.prober }
+
+// Build constructs the simulator, topology, traffic and probers without
+// running any events, so tests can step the simulation manually.
+func (sp Spec) Build() *Run {
+	s := sim.New(sp.Seed)
+	ids := &traffic.FlowIDs{}
+	rng := s.RNG().Split(1)
+
+	access := func(name string, delay float64) *sim.Link {
+		a := sp.Access
+		if a.Bandwidth == 0 {
+			a.Bandwidth = 10e6
+		}
+		if a.BufferBytes == 0 && a.RED == nil {
+			a.BufferBytes = 1 << 20
+		}
+		return s.NewLink(name, a.Bandwidth, delay, a.queue())
+	}
+
+	run := &Run{Spec: sp, Sim: s}
+
+	srcIn := access("src-access", rng.Uniform(0.001, 0.005))
+	var backbone, backboneRev []*sim.Link
+	for i, ls := range sp.Backbone {
+		if ls.Name == "" {
+			ls.Name = fmt.Sprintf("L%d", i+1)
+		}
+		backbone = append(backbone, s.NewLink(ls.Name, ls.Bandwidth, ls.Delay, ls.queue()))
+		// Reverse-direction link for acks: same bandwidth/delay, ample
+		// droptail buffer so reverse congestion does not confound loss
+		// placement.
+		backboneRev = append(backboneRev, s.NewLink(ls.Name+"-rev", ls.Bandwidth, ls.Delay, sim.NewDropTail(1<<20)))
+	}
+	dstOut := access("dst-access", rng.Uniform(0.001, 0.005))
+
+	path := append([]*sim.Link{srcIn}, backbone...)
+	path = append(path, dstOut)
+	run.Path = path
+	run.BackboneLinks = backbone
+	run.BackboneHop = make([]int, len(backbone))
+	for i := range backbone {
+		run.BackboneHop[i] = i + 1 // after the source access link
+	}
+
+	revPath := make([]*sim.Link, 0, len(backboneRev))
+	for i := len(backboneRev) - 1; i >= 0; i-- {
+		revPath = append(revPath, backboneRev[i])
+	}
+
+	probeSize := sp.Probe.Size
+	if probeSize == 0 {
+		probeSize = 10
+	}
+	for _, l := range path {
+		run.TrueProp += l.Delay + l.TxTime(probeSize)
+	}
+
+	// Each TCP-based flow gets a private ingress access link with a random
+	// propagation delay: this diversifies round-trip times and breaks the
+	// global synchronization droptail queues otherwise induce, as the
+	// per-source access links of the paper's topology do.
+	installMix := func(mix TrafficMix, fwd, rev []*sim.Link, label int64) {
+		if mix.empty() {
+			return
+		}
+		mrng := s.RNG().Split(100 + label)
+		lo, hi := mix.StartMin, mix.StartMax
+		if hi <= lo {
+			hi = lo + 1
+		}
+		ingress := func(i int) []*sim.Link {
+			l := access(fmt.Sprintf("x%d-in%d", label, i), mrng.Uniform(0.001, 0.015))
+			return append([]*sim.Link{l}, fwd...)
+		}
+		for i := 0; i < mix.FTP; i++ {
+			snd := traffic.NewTCP(s, ids.Next(), ingress(i), rev, traffic.TCPConfig{SendJitter: 0.001}, nil)
+			s.At(mrng.Uniform(lo, hi), snd.Start)
+		}
+		for i := 0; i < mix.HTTP; i++ {
+			hcfg := mix.HTTPCfg
+			if hcfg.SendJitter == 0 {
+				hcfg.SendJitter = 0.001
+			}
+			traffic.NewHTTPSession(s, ids, ingress(100+i), rev, hcfg, mrng.Split(int64(i)), mrng.Uniform(lo, hi))
+		}
+		for i, u := range mix.UDP {
+			traffic.NewOnOffUDP(s, ids, fwd, u, mrng.Split(int64(1000+i)), mrng.Uniform(lo, hi))
+		}
+	}
+
+	installMix(sp.PathTraffic, path, revPath, 0)
+	for i, mix := range sp.CrossTraffic {
+		if i >= len(backbone) {
+			break
+		}
+		installMix(mix, []*sim.Link{backbone[i]}, []*sim.Link{backboneRev[i]}, int64(i+1))
+	}
+
+	if sp.pairsMode {
+		pc := sp.PairCfg
+		if pc.Start == 0 {
+			pc.Start = sp.Probe.Start
+		}
+		if pc.Stop == 0 {
+			pc.Stop = sp.Probe.Stop
+		}
+		run.pairs = traffic.NewLossPairProber(s, ids, path, pc)
+	} else {
+		run.prober = traffic.NewProber(s, ids, path, sp.Probe)
+	}
+	return run
+}
+
+// Execute runs the simulation to completion and collects the outputs. If
+// the spec requests loss pairs, a second, independent simulation with the
+// loss-pair probing process is run and its results attached.
+func (sp Spec) Execute() *Run {
+	pairSpec := sp
+	sp.pairsMode = false
+	r := sp.Build()
+	r.Sim.Run(sp.Duration)
+	r.Trace = r.prober.BuildTrace(r.TrueProp)
+	if sp.LossPairs {
+		pairSpec.pairsMode = true
+		pr := pairSpec.Build()
+		pr.Sim.Run(pairSpec.Duration)
+		r.PairImputed = pr.pairs.ImputedDelays()
+		r.PairObserved = pr.pairs.ObservedDelays()
+	}
+	return r
+}
+
+// LossShare returns the fraction of probe losses that occurred on the
+// backbone link with the given index (ground truth).
+func (r *Run) LossShare(backboneIdx int) float64 {
+	total, at := 0, 0
+	hop := r.BackboneHop[backboneIdx]
+	for _, g := range r.Trace.Truth {
+		if !g.Lost {
+			continue
+		}
+		total++
+		if g.LostHop == hop {
+			at++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(at) / float64(total)
+}
+
+// ActualMaxQueuing returns the nominal drain time Q_k of backbone link k
+// (buffer capacity over bandwidth).
+func (r *Run) ActualMaxQueuing(backboneIdx int) float64 {
+	return r.BackboneLinks[backboneIdx].MaxQueuingDelay()
+}
+
+// RealizedMaxQueuing returns the largest queuing delay any packet actually
+// experienced at backbone link k during the run — the paper's "actual
+// maximum queuing delay obtained directly from ns".
+func (r *Run) RealizedMaxQueuing(backboneIdx int) float64 {
+	return r.BackboneLinks[backboneIdx].MaxBacklog
+}

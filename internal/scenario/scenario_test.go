@@ -1,0 +1,173 @@
+package scenario
+
+import (
+	"testing"
+
+	"dominantlink/internal/traffic"
+)
+
+// shortSpec is a fast two-link scenario used by the structural tests.
+func shortSpec(seed int64) Spec {
+	return Spec{
+		Seed:     seed,
+		Duration: 30,
+		Backbone: []LinkSpec{
+			{Name: "A", Bandwidth: 1e6, Delay: 0.005, BufferBytes: 20000},
+			{Name: "B", Bandwidth: 10e6, Delay: 0.005, BufferBytes: 80000},
+		},
+		PathTraffic: TrafficMix{HTTP: 1, StartMin: 0, StartMax: 1},
+		CrossTraffic: []TrafficMix{{
+			UDP: []traffic.OnOffUDPConfig{
+				{Rate: 0.9e6, PktSize: 1000, MeanOn: 0.6, MeanOff: 1.2},
+				{Rate: 0.7e6, PktSize: 1000, MeanOn: 0.5, MeanOff: 1.0},
+			},
+			StartMin: 0, StartMax: 1,
+		}},
+		Probe:     traffic.ProbeConfig{Interval: 0.02, Start: 2, Stop: 28},
+		LossPairs: true,
+	}
+}
+
+func TestBuildTopology(t *testing.T) {
+	run := shortSpec(1).Build()
+	if len(run.BackboneLinks) != 2 {
+		t.Fatalf("backbone links = %d", len(run.BackboneLinks))
+	}
+	// Path = src access + 2 backbone + dst access.
+	if len(run.Path) != 4 {
+		t.Fatalf("path length = %d, want 4", len(run.Path))
+	}
+	if run.BackboneHop[0] != 1 || run.BackboneHop[1] != 2 {
+		t.Fatalf("backbone hops = %v", run.BackboneHop)
+	}
+	if run.BackboneLinks[0].Name != "A" {
+		t.Fatalf("link name = %q", run.BackboneLinks[0].Name)
+	}
+	if run.TrueProp <= 0.01 {
+		t.Fatalf("TrueProp = %v", run.TrueProp)
+	}
+}
+
+func TestExecuteProducesAlignedTrace(t *testing.T) {
+	run := shortSpec(2).Execute()
+	tr := run.Trace
+	if len(tr.Observations) < 1200 {
+		t.Fatalf("observations = %d, want ~1300", len(tr.Observations))
+	}
+	if len(tr.Observations) != len(tr.Truth) {
+		t.Fatal("trace misaligned")
+	}
+	if tr.PropagationDelay != run.TrueProp {
+		t.Fatal("propagation delay not propagated to the trace")
+	}
+	for i, o := range tr.Observations {
+		g := tr.Truth[i]
+		if o.Lost != g.Lost {
+			t.Fatalf("lost flags disagree at %d", i)
+		}
+		if !o.Lost && o.Delay < run.TrueProp-1e-9 {
+			t.Fatalf("delay below propagation floor at %d: %v < %v", i, o.Delay, run.TrueProp)
+		}
+		if !o.Lost && g.VirtualQueuing > o.Delay {
+			t.Fatalf("queuing exceeds one-way delay at %d", i)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := shortSpec(7).Execute()
+	b := shortSpec(7).Execute()
+	if len(a.Trace.Observations) != len(b.Trace.Observations) {
+		t.Fatal("same seed, different probe counts")
+	}
+	for i := range a.Trace.Observations {
+		oa, ob := a.Trace.Observations[i], b.Trace.Observations[i]
+		if oa.Lost != ob.Lost || oa.Delay != ob.Delay {
+			t.Fatalf("same seed diverged at probe %d: %+v vs %+v", i, oa, ob)
+		}
+	}
+}
+
+func TestSeedChangesRun(t *testing.T) {
+	a := shortSpec(1).Execute()
+	b := shortSpec(2).Execute()
+	same := true
+	n := len(a.Trace.Observations)
+	if len(b.Trace.Observations) < n {
+		n = len(b.Trace.Observations)
+	}
+	for i := 0; i < n; i++ {
+		if a.Trace.Observations[i].Delay != b.Trace.Observations[i].Delay {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestLossShare(t *testing.T) {
+	run := shortSpec(3).Execute()
+	if run.Trace.LossCount() == 0 {
+		t.Skip("no losses in this short run")
+	}
+	total := run.LossShare(0) + run.LossShare(1)
+	if total < 0.99 || total > 1.01 {
+		t.Fatalf("loss shares sum to %v (losses should be on the backbone)", total)
+	}
+	// The congested 1 Mb/s link should carry the losses.
+	if run.LossShare(0) < 0.9 {
+		t.Fatalf("share at A = %v, want ~1", run.LossShare(0))
+	}
+}
+
+func TestLossPairCompanionRun(t *testing.T) {
+	run := shortSpec(4).Execute()
+	if len(run.PairObserved) == 0 {
+		t.Fatal("loss-pair companion produced no observations")
+	}
+	// Pair imputations may be empty in a short run; just check ordering.
+	for i := 1; i < len(run.PairImputed); i++ {
+		if run.PairImputed[i] < run.PairImputed[i-1] {
+			t.Fatal("imputed delays not sorted")
+		}
+	}
+}
+
+func TestQueuingDelays(t *testing.T) {
+	run := shortSpec(5).Execute()
+	if run.ActualMaxQueuing(0) != 20000*8/1e6 {
+		t.Fatalf("nominal Q = %v", run.ActualMaxQueuing(0))
+	}
+	if run.RealizedMaxQueuing(0) > run.ActualMaxQueuing(0)+0.01 {
+		t.Fatalf("realized Q %v far above nominal %v", run.RealizedMaxQueuing(0), run.ActualMaxQueuing(0))
+	}
+}
+
+func TestPaperScenarioShapes(t *testing.T) {
+	sd := StronglyDominant(1e6, 1)
+	if len(sd.Backbone) != 3 || sd.Backbone[0].BufferBytes != 20000 {
+		t.Fatalf("Table II spec malformed: %+v", sd.Backbone)
+	}
+	wd := WeaklyDominant(0.7e6, 1, 1)
+	if wd.Backbone[0].Bandwidth != 0.7e6 || wd.Backbone[2].BufferBytes != 7500 {
+		t.Fatalf("Table III spec malformed: %+v", wd.Backbone)
+	}
+	nd := NoDominant(0.1e6, 0.25e6, 1)
+	if nd.Backbone[0].Bandwidth != 0.1e6 || nd.Backbone[2].Bandwidth != 0.25e6 {
+		t.Fatalf("Table IV spec malformed: %+v", nd.Backbone)
+	}
+	red := REDStronglyDominant(12, 1)
+	for i, l := range red.Backbone {
+		if l.RED == nil {
+			t.Fatalf("RED spec link %d not converted", i)
+		}
+	}
+	if red.Backbone[0].RED.MinThresh != 12 {
+		t.Fatalf("minth = %v", red.Backbone[0].RED.MinThresh)
+	}
+	if red.LossPairs {
+		t.Fatal("RED scenarios should not run loss pairs")
+	}
+}

@@ -1,0 +1,56 @@
+package sim
+
+import "testing"
+
+// BenchmarkEventLoop measures raw scheduler throughput: a self-rescheduling
+// chain of empty events.
+func BenchmarkEventLoop(b *testing.B) {
+	s := New(1)
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			s.After(1e-6, tick)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	s.After(0, tick)
+	s.Run(1e9)
+}
+
+// BenchmarkLinkForwarding measures packet transport across a two-link
+// path, including queue and service bookkeeping.
+func BenchmarkLinkForwarding(b *testing.B) {
+	s := New(1)
+	l1 := s.NewLink("l1", 1e9, 1e-6, NewDropTail(1<<20))
+	l2 := s.NewLink("l2", 1e9, 1e-6, NewDropTail(1<<20))
+	route := []*Link{l1, l2}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := s.NewPacket(UDPData, 1, 1000, route, nil)
+		p.Forward(s)
+		if i%1024 == 0 {
+			s.Run(s.Now() + 1) // drain periodically
+		}
+	}
+	s.Run(s.Now() + 10)
+}
+
+// BenchmarkREDEnqueue measures the adaptive-RED admission path.
+func BenchmarkREDEnqueue(b *testing.B) {
+	s := New(1)
+	q := NewAdaptiveRED(REDConfig{LimitPkts: 1000, MinThresh: 100})
+	l := s.NewLink("red", 1e9, 0, q)
+	_ = l
+	p := &Packet{Size: 1000}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if q.Enqueue(p, float64(i)*1e-6) {
+			q.Dequeue(float64(i) * 1e-6)
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package sim
+
+// Link models a unidirectional link: an output buffer (droptail or RED), a
+// transmitter of fixed bandwidth, and a propagation delay. Service is
+// non-preemptive FIFO; propagation of one packet overlaps transmission of
+// the next.
+type Link struct {
+	sim  *Simulator
+	id   int
+	Name string
+
+	Bandwidth float64 // bits per second
+	Delay     float64 // propagation delay, seconds
+
+	queue Queue
+
+	busy          bool
+	serviceEnd    Time // when the in-flight transmission finishes
+	inServiceSize int  // bytes of the packet currently transmitting
+
+	// Counters.
+	Arrivals   int64
+	Drops      int64
+	Departures int64
+	TxBytes    int64
+
+	// MaxBacklog is the largest backlog drain time (seconds) seen by any
+	// arrival — the realized maximum queuing delay, which is what the paper
+	// reads out of ns as the "actual maximum queuing delay". It can sit
+	// below the nominal Q_k when small packets (probes) occupy buffer slots.
+	MaxBacklog float64
+
+	// busyTime accumulates transmitter busy time for utilization reporting.
+	busyTime     float64
+	lastBusyFrom Time
+}
+
+// NewLink registers a link with the simulator. bandwidth is in bits per
+// second, delay in seconds. The queue discipline is attached (RED queues
+// derive their averaging weight from the link capacity at this point).
+func (s *Simulator) NewLink(name string, bandwidth, delay float64, q Queue) *Link {
+	if bandwidth <= 0 {
+		panic("sim: link bandwidth must be positive")
+	}
+	l := &Link{
+		sim:       s,
+		id:        len(s.links),
+		Name:      name,
+		Bandwidth: bandwidth,
+		Delay:     delay,
+		queue:     q,
+	}
+	if a, ok := q.(interface{ attach(*Link) }); ok {
+		a.attach(l)
+	}
+	s.links = append(s.links, l)
+	return l
+}
+
+// Queue returns the link's buffer discipline.
+func (l *Link) Queue() Queue { return l.queue }
+
+// MaxQueuingDelay returns Q_k of the paper: the time to drain a full
+// buffer, CapacityBytes*8/bandwidth.
+func (l *Link) MaxQueuingDelay() float64 {
+	return float64(l.queue.CapacityBytes()) * 8 / l.Bandwidth
+}
+
+// TxTime returns the transmission time of a packet of the given size.
+func (l *Link) TxTime(sizeBytes int) float64 {
+	return float64(sizeBytes) * 8 / l.Bandwidth
+}
+
+// BacklogDrainTime returns the time a packet arriving now would wait before
+// its own transmission starts: the residual service time of the in-flight
+// packet plus the transmission time of everything queued. For a FIFO
+// buffer this equals the arriving packet's queuing delay exactly, and for
+// a dropped packet it is the "virtual" queuing delay the paper assigns
+// (= Q_k when the drop is a droptail buffer overflow).
+func (l *Link) BacklogDrainTime() float64 {
+	wait := float64(l.queue.Bytes()) * 8 / l.Bandwidth
+	if l.busy {
+		wait += l.serviceEnd - l.sim.Now()
+	}
+	return wait
+}
+
+// Utilization returns the fraction of time the transmitter has been busy
+// up to the current clock.
+func (l *Link) Utilization() float64 {
+	now := l.sim.Now()
+	if now <= 0 {
+		return 0
+	}
+	b := l.busyTime
+	if l.busy {
+		b += now - l.lastBusyFrom
+	}
+	return b / now
+}
+
+// Send offers a packet to the link. The packet is either buffered (and
+// eventually transmitted and forwarded) or dropped, in which case probe
+// packets continue as phantoms (see probetrace.go).
+func (l *Link) Send(p *Packet) {
+	l.Arrivals++
+	now := l.sim.Now()
+	if drain := l.BacklogDrainTime(); drain > l.MaxBacklog {
+		l.MaxBacklog = drain
+	}
+	if p.Trace != nil {
+		p.Trace.recordArrival(l, l.BacklogDrainTime())
+	}
+	if !l.queue.Enqueue(p, now) {
+		l.Drops++
+		l.dropped(p)
+		return
+	}
+	if !l.busy {
+		l.startService()
+	}
+}
+
+// startService begins transmitting the head-of-line packet. It must only
+// be called when the transmitter is idle and the queue non-empty.
+func (l *Link) startService() {
+	p := l.queue.Dequeue(l.sim.Now())
+	if p == nil {
+		return
+	}
+	l.busy = true
+	l.lastBusyFrom = l.sim.Now()
+	l.inServiceSize = p.Size
+	tx := l.TxTime(p.Size)
+	l.serviceEnd = l.sim.Now() + tx
+	l.sim.At(l.serviceEnd, func() {
+		l.busy = false
+		l.busyTime += tx
+		l.Departures++
+		l.TxBytes += int64(p.Size)
+		// Propagation overlaps the next transmission.
+		l.sim.After(l.Delay, func() { p.Forward(l.sim) })
+		if l.queue.Len() > 0 {
+			l.startService()
+		}
+	})
+}
+
+// dropped handles a packet the buffer refused. Probe packets with traces
+// continue as virtual probes; all other packets vanish (their senders
+// learn about the loss end-to-end, e.g. via TCP duplicate acks).
+func (l *Link) dropped(p *Packet) {
+	if p.Trace == nil {
+		return
+	}
+	p.Trace.recordLoss(l, l.BacklogDrainTime())
+	continueVirtual(l.sim, l, p)
+}

@@ -1,0 +1,101 @@
+package sim
+
+// PacketType labels the kind of traffic a packet belongs to. The queues do
+// not discriminate by type (FIFO); the label exists for statistics and for
+// the probe-tracing machinery.
+type PacketType int
+
+// Packet types.
+const (
+	TCPData PacketType = iota
+	TCPAck
+	UDPData
+	Probe
+)
+
+func (t PacketType) String() string {
+	switch t {
+	case TCPData:
+		return "tcp-data"
+	case TCPAck:
+		return "tcp-ack"
+	case UDPData:
+		return "udp"
+	case Probe:
+		return "probe"
+	default:
+		return "unknown"
+	}
+}
+
+// Receiver consumes packets at the end of their route.
+type Receiver interface {
+	Receive(p *Packet, now Time)
+}
+
+// ReceiverFunc adapts a function to the Receiver interface.
+type ReceiverFunc func(p *Packet, now Time)
+
+// Receive implements Receiver.
+func (f ReceiverFunc) Receive(p *Packet, now Time) { f(p, now) }
+
+// Packet is the unit of transmission. A packet carries its own route (the
+// ordered list of links it still has to cross) and the receiver that
+// consumes it at the end; the simulator has no separate routing tables.
+type Packet struct {
+	ID       uint64
+	Flow     int
+	Type     PacketType
+	Size     int   // bytes
+	Seq      int64 // flow-level sequence number (TCP byte seq or probe index)
+	Ack      int64 // TCP cumulative ack, when Type == TCPAck
+	SendTime Time
+
+	route []*Link
+	hop   int
+	recv  Receiver
+
+	// Trace is non-nil for probe packets whose per-link behaviour is being
+	// recorded (including virtual continuation after a drop).
+	Trace *ProbeTrace
+}
+
+// NewPacket builds a packet that will traverse route and then be delivered
+// to recv. The send time is stamped with the current clock.
+func (s *Simulator) NewPacket(typ PacketType, flow int, size int, route []*Link, recv Receiver) *Packet {
+	return &Packet{
+		ID:       s.nextPacketID(),
+		Flow:     flow,
+		Type:     typ,
+		Size:     size,
+		SendTime: s.now,
+		route:    route,
+		hop:      0,
+		recv:     recv,
+	}
+}
+
+// Route returns the packet's full route.
+func (p *Packet) Route() []*Link { return p.route }
+
+// Forward moves the packet to its next hop: the next link on the route, or
+// the receiver when the route is exhausted. Sources call Forward once to
+// inject a freshly created packet.
+func (p *Packet) Forward(s *Simulator) {
+	if p.hop < len(p.route) {
+		l := p.route[p.hop]
+		p.hop++
+		l.Send(p)
+		return
+	}
+	if p.Trace != nil && !p.Trace.Done {
+		p.Trace.finish(s.now)
+	}
+	if p.recv != nil {
+		// Deliver through the event queue rather than synchronously: a
+		// receiver that immediately sends a reply over another zero-length
+		// route (e.g. a TCP ack in a loopback test) must not recurse.
+		recv := p.recv
+		s.At(s.now, func() { recv.Receive(p, s.now) })
+	}
+}

@@ -1,0 +1,46 @@
+package sim
+
+// PktCountDropTail is the ns-2-exact droptail buffer: it counts packets,
+// so a 10-byte probe occupies a slot a full-size segment would have used.
+// It exists for the queue-discipline ablation (see EXPERIMENTS.md): under
+// packet counting the drain time of a "full" queue scatters with the mix
+// of packet sizes in the buffer, which blurs the virtual-queuing-delay
+// distribution the identification relies on; the default DropTail's
+// MTU-reserve admission keeps every loss within one MTU of the byte
+// capacity instead.
+type PktCountDropTail struct {
+	fifo
+	limitPkts int
+	pktBytes  int
+}
+
+// NewPktCountDropTail returns a packet-counted droptail buffer with
+// limitPkts slots of nominal size pktBytes (used only to report
+// CapacityBytes; pass DefaultMTU for ns-like semantics).
+func NewPktCountDropTail(limitPkts, pktBytes int) *PktCountDropTail {
+	if limitPkts <= 0 || pktBytes <= 0 {
+		panic("sim: packet-counted droptail needs positive limits")
+	}
+	return &PktCountDropTail{limitPkts: limitPkts, pktBytes: pktBytes}
+}
+
+// Enqueue implements Queue.
+func (q *PktCountDropTail) Enqueue(p *Packet, _ Time) bool {
+	if q.fifo.len() >= q.limitPkts {
+		return false
+	}
+	q.push(p)
+	return true
+}
+
+// Dequeue implements Queue.
+func (q *PktCountDropTail) Dequeue(_ Time) *Packet { return q.pop() }
+
+// Len implements Queue.
+func (q *PktCountDropTail) Len() int { return q.fifo.len() }
+
+// Bytes implements Queue.
+func (q *PktCountDropTail) Bytes() int { return q.fifo.size() }
+
+// CapacityBytes implements Queue.
+func (q *PktCountDropTail) CapacityBytes() int { return q.limitPkts * q.pktBytes }

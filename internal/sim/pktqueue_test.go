@@ -1,0 +1,63 @@
+package sim
+
+import "testing"
+
+func TestPktCountDropTailSlots(t *testing.T) {
+	q := NewPktCountDropTail(3, 1000)
+	if !q.Enqueue(&Packet{Size: 1000}, 0) || !q.Enqueue(&Packet{Size: 10}, 0) || !q.Enqueue(&Packet{Size: 10}, 0) {
+		t.Fatal("first three packets should be admitted")
+	}
+	// A tiny probe consumes a whole slot: the fourth arrival is dropped
+	// even though only 1020 of 3000 bytes are used.
+	if q.Enqueue(&Packet{Size: 10}, 0) {
+		t.Fatal("fourth packet should be dropped at the slot limit")
+	}
+	if q.Len() != 3 || q.Bytes() != 1020 {
+		t.Fatalf("len/bytes = %d/%d", q.Len(), q.Bytes())
+	}
+	if q.CapacityBytes() != 3000 {
+		t.Fatalf("capacity = %d", q.CapacityBytes())
+	}
+	q.Dequeue(0)
+	if !q.Enqueue(&Packet{Size: 1000}, 0) {
+		t.Fatal("slot freed by dequeue should admit")
+	}
+}
+
+func TestPktCountDropTailValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid limits should panic")
+		}
+	}()
+	NewPktCountDropTail(0, 1000)
+}
+
+// TestPktCountVsMTUReserveLossBacklog: the ablation's core fact — under
+// packet counting, a probe can be dropped while the byte backlog is far
+// below capacity; under the MTU reserve it cannot.
+func TestPktCountVsMTUReserveLossBacklog(t *testing.T) {
+	pk := NewPktCountDropTail(4, 1000)
+	for i := 0; i < 4; i++ {
+		pk.Enqueue(&Packet{Size: 10}, 0) // four probes fill all slots
+	}
+	if pk.Enqueue(&Packet{Size: 10}, 0) {
+		t.Fatal("packet-counted queue should be full")
+	}
+	if pk.Bytes() > 100 {
+		t.Fatalf("byte backlog at drop: %d", pk.Bytes())
+	}
+
+	mt := NewDropTail(4000)
+	for i := 0; i < 500; i++ {
+		if !mt.Enqueue(&Packet{Size: 10}, 0) {
+			// Drop only happens once the byte backlog is within one MTU of
+			// capacity.
+			if mt.Bytes() < 3000 {
+				t.Fatalf("MTU-reserve dropped at backlog %d", mt.Bytes())
+			}
+			return
+		}
+	}
+	t.Fatal("MTU-reserve queue never filled")
+}

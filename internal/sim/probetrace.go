@@ -1,0 +1,100 @@
+package sim
+
+// ProbeTrace records the per-link behaviour of a traced probe, including
+// the virtual continuation after a loss. It is the simulator-side ground
+// truth for the paper's "virtual probe" (§III): a probe dropped at link k
+// is charged the drain time of the backlog it found (the maximum queuing
+// delay Q_k for a droptail overflow), then continues through the remaining
+// links as a phantom that samples, but does not occupy, each queue.
+type ProbeTrace struct {
+	SendTime Time
+
+	// Lost reports whether the real probe was dropped.
+	Lost bool
+	// LostLink is the link the probe was dropped at (nil if not lost).
+	LostLink *Link
+	// LostHop is the 0-based index of the drop link along the route.
+	LostHop int
+
+	// Links visited, in order, and the queuing delay experienced (or
+	// virtually experienced) at each.
+	Links   []*Link
+	PerLink []float64
+	// EndTime is the (possibly virtual) arrival time at the destination.
+	EndTime Time
+	// Done reports whether the probe (real or virtual) has reached the end.
+	Done bool
+}
+
+// NewProbeTrace attaches a fresh trace to p and returns it.
+func NewProbeTrace(p *Packet) *ProbeTrace {
+	t := &ProbeTrace{SendTime: p.SendTime, LostHop: -1}
+	p.Trace = t
+	return t
+}
+
+// QueuingTotal returns the aggregate (virtual) queuing delay over all
+// visited links — the paper's D(t) for this probe.
+func (t *ProbeTrace) QueuingTotal() float64 {
+	var s float64
+	for _, d := range t.PerLink {
+		s += d
+	}
+	return s
+}
+
+// QueuingAt returns the queuing delay recorded at the given link, or -1 if
+// the probe never visited it.
+func (t *ProbeTrace) QueuingAt(l *Link) float64 {
+	for i, v := range t.Links {
+		if v == l {
+			return t.PerLink[i]
+		}
+	}
+	return -1
+}
+
+func (t *ProbeTrace) recordArrival(l *Link, queuing float64) {
+	t.Links = append(t.Links, l)
+	t.PerLink = append(t.PerLink, queuing)
+}
+
+func (t *ProbeTrace) recordLoss(l *Link, queuing float64) {
+	t.Lost = true
+	t.LostLink = l
+	t.LostHop = len(t.Links) - 1
+	// Replace the arrival-time estimate with the drain time at the drop
+	// instant (identical for droptail overflows, but RED early drops can
+	// occur at lower occupancy).
+	if n := len(t.PerLink); n > 0 && t.Links[n-1] == l {
+		t.PerLink[n-1] = queuing
+	} else {
+		t.recordArrival(l, queuing)
+	}
+}
+
+func (t *ProbeTrace) finish(end Time) {
+	t.EndTime = end
+	t.Done = true
+}
+
+// continueVirtual resumes a probe dropped at l as a phantom: it waits out
+// the virtual queuing delay plus transmission and propagation, then hops
+// through the remaining links sampling their backlog without occupying
+// buffer space.
+func continueVirtual(s *Simulator, l *Link, p *Packet) {
+	wait := p.Trace.PerLink[len(p.Trace.PerLink)-1]
+	s.After(wait+l.TxTime(p.Size)+l.Delay, func() { virtualHop(s, p) })
+}
+
+func virtualHop(s *Simulator, p *Packet) {
+	if p.hop < len(p.route) {
+		l := p.route[p.hop]
+		p.hop++
+		qd := l.BacklogDrainTime()
+		p.Trace.recordArrival(l, qd)
+		s.After(qd+l.TxTime(p.Size)+l.Delay, func() { virtualHop(s, p) })
+		return
+	}
+	p.Trace.finish(s.Now())
+}

@@ -1,0 +1,115 @@
+package sim
+
+// Queue is a buffer-management discipline for a link's output buffer. The
+// link itself performs the FIFO service; the discipline only decides
+// whether an arriving packet is admitted and accounts for the stored
+// packets.
+type Queue interface {
+	// Enqueue offers p to the buffer at time now; it returns false when the
+	// packet is dropped.
+	Enqueue(p *Packet, now Time) bool
+	// Dequeue removes and returns the head-of-line packet, or nil when the
+	// buffer is empty. now is the dequeue time (used by disciplines that
+	// track queue-idle periods).
+	Dequeue(now Time) *Packet
+	// Len returns the number of stored packets.
+	Len() int
+	// Bytes returns the number of stored bytes.
+	Bytes() int
+	// CapacityBytes returns the configured buffer size in bytes; it is used
+	// to derive the maximum queuing delay Q_k of the paper.
+	CapacityBytes() int
+}
+
+// fifo is the storage shared by the disciplines.
+type fifo struct {
+	pkts  []*Packet
+	bytes int
+}
+
+func (f *fifo) push(p *Packet) {
+	f.pkts = append(f.pkts, p)
+	f.bytes += p.Size
+}
+
+func (f *fifo) pop() *Packet {
+	if len(f.pkts) == 0 {
+		return nil
+	}
+	p := f.pkts[0]
+	// Avoid retaining the packet through the backing array.
+	f.pkts[0] = nil
+	f.pkts = f.pkts[1:]
+	f.bytes -= p.Size
+	return p
+}
+
+func (f *fifo) len() int  { return len(f.pkts) }
+func (f *fifo) size() int { return f.bytes }
+
+// DropTail is the droptail buffer assumed by the paper's analysis: a
+// byte-counted FIFO that admits a packet only when a full MTU of buffer
+// space is free. This mirrors slot-based router buffers (and ns-2's
+// packet-counted droptail for full-size packets) and preserves the two
+// properties the paper's virtual-probe interpretation relies on
+// (§III footnote 1):
+//
+//   - a tiny probe is dropped under exactly the same condition as a
+//     full-size data packet, so probes sample the link loss process; and
+//   - every loss happens with the byte backlog within one MTU of the
+//     buffer capacity, so a lost probe has seen an (essentially) full
+//     queue and its virtual queuing delay is Q_k = capacity*8/bandwidth
+//     to within one packet transmission time.
+type DropTail struct {
+	fifo
+	capBytes int
+	mtu      int
+}
+
+// DefaultMTU is the full packet size in bytes assumed when reserving
+// admission space, matching the 1000-byte TCP segments of the paper's
+// simulations.
+const DefaultMTU = 1000
+
+// NewDropTail returns a droptail buffer of the given capacity in bytes
+// (the paper quotes buffers in kilobytes) with the DefaultMTU admission
+// reserve.
+func NewDropTail(limitBytes int) *DropTail {
+	return NewDropTailMTU(limitBytes, DefaultMTU)
+}
+
+// NewDropTailMTU returns a droptail buffer with an explicit admission MTU.
+func NewDropTailMTU(limitBytes, mtu int) *DropTail {
+	if limitBytes <= 0 || mtu <= 0 {
+		panic("sim: droptail buffer and MTU must be positive")
+	}
+	if mtu > limitBytes {
+		mtu = limitBytes
+	}
+	return &DropTail{capBytes: limitBytes, mtu: mtu}
+}
+
+// Enqueue implements Queue.
+func (q *DropTail) Enqueue(p *Packet, _ Time) bool {
+	need := p.Size
+	if need < q.mtu {
+		need = q.mtu
+	}
+	if q.bytes+need > q.capBytes {
+		return false
+	}
+	q.push(p)
+	return true
+}
+
+// Dequeue implements Queue.
+func (q *DropTail) Dequeue(_ Time) *Packet { return q.pop() }
+
+// Len implements Queue.
+func (q *DropTail) Len() int { return q.fifo.len() }
+
+// Bytes implements Queue.
+func (q *DropTail) Bytes() int { return q.fifo.size() }
+
+// CapacityBytes implements Queue.
+func (q *DropTail) CapacityBytes() int { return q.capBytes }

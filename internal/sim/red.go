@@ -1,0 +1,199 @@
+package sim
+
+import "math"
+
+// REDConfig configures an AdaptiveRED queue. The defaults follow the
+// adaptive RED of Floyd, Gummadi and Shenker (2001), which the paper uses
+// in §VI-A5: gentle mode, maxth = 3*minth, and p_max adapted in
+// [0.01, 0.5] to keep the average queue centered between the thresholds.
+type REDConfig struct {
+	LimitPkts   int     // physical buffer size in packets (hard droptail bound)
+	MinThresh   float64 // minth, packets
+	MaxThresh   float64 // maxth, packets; 0 means 3*MinThresh
+	MeanPktSize int     // bytes, used to report CapacityBytes; 0 means 1000
+	Weight      float64 // queue-averaging weight w_q; 0 means derived from capacity
+	InitialPMax float64 // starting p_max; 0 means 0.1
+	Adaptive    bool    // adapt p_max every Interval
+	Interval    float64 // adaptation interval, seconds; 0 means 0.5
+}
+
+// AdaptiveRED implements Random Early Detection with the "gentle" ramp and
+// optional adaptive p_max. It operates in packet mode: the average queue
+// and the thresholds are counted in packets, and all packets (including
+// tiny probes) face the same drop probability, matching the ns-2 setup of
+// the paper's RED experiments.
+type AdaptiveRED struct {
+	fifo
+	cfg REDConfig
+
+	link *Link
+
+	avg        float64
+	weight     float64
+	pmax       float64
+	count      int // packets since last drop (or forced mark reset)
+	emptySince Time
+	wasEmpty   bool
+
+	rng func() float64
+
+	// Stats
+	EarlyDrops int64
+	ForceDrops int64
+}
+
+// NewAdaptiveRED returns a RED queue with the given configuration.
+func NewAdaptiveRED(cfg REDConfig) *AdaptiveRED {
+	if cfg.LimitPkts <= 0 {
+		panic("sim: RED buffer must be positive")
+	}
+	if cfg.MinThresh <= 0 {
+		panic("sim: RED minth must be positive")
+	}
+	if cfg.MaxThresh == 0 {
+		cfg.MaxThresh = 3 * cfg.MinThresh
+	}
+	if cfg.MeanPktSize == 0 {
+		cfg.MeanPktSize = 1000
+	}
+	if cfg.InitialPMax == 0 {
+		cfg.InitialPMax = 0.1
+	}
+	if cfg.Interval == 0 {
+		cfg.Interval = 0.5
+	}
+	return &AdaptiveRED{
+		cfg:      cfg,
+		pmax:     cfg.InitialPMax,
+		weight:   cfg.Weight,
+		wasEmpty: true,
+	}
+}
+
+// attach is called by NewLink to wire the queue to its link. It derives the
+// averaging weight from the link capacity (w = 1 - exp(-1/C) with C the
+// capacity in packets per second, per adaptive RED) and starts the p_max
+// adaptation timer.
+func (q *AdaptiveRED) attach(l *Link) {
+	q.link = l
+	q.rng = l.sim.RNG().Split(int64(l.id) + 7919).Float64
+	if q.weight == 0 {
+		c := l.Bandwidth / (8 * float64(q.cfg.MeanPktSize)) // pkts/s
+		if c < 1 {
+			c = 1
+		}
+		q.weight = 1 - math.Exp(-1/c)
+	}
+	if q.cfg.Adaptive {
+		var tick func()
+		tick = func() {
+			q.adaptPMax()
+			l.sim.After(q.cfg.Interval, tick)
+		}
+		l.sim.After(q.cfg.Interval, tick)
+	}
+}
+
+// adaptPMax applies the AIMD rule of adaptive RED: increase p_max when the
+// average queue sits above the target band, decrease it multiplicatively
+// when below.
+func (q *AdaptiveRED) adaptPMax() {
+	span := q.cfg.MaxThresh - q.cfg.MinThresh
+	lo := q.cfg.MinThresh + 0.4*span
+	hi := q.cfg.MinThresh + 0.6*span
+	switch {
+	case q.avg > hi && q.pmax < 0.5:
+		alpha := math.Min(0.01, q.pmax/4)
+		q.pmax = math.Min(0.5, q.pmax+alpha)
+	case q.avg < lo && q.pmax > 0.01:
+		q.pmax = math.Max(0.01, q.pmax*0.9)
+	}
+}
+
+// updateAvg folds the instantaneous queue length into the EWMA, including
+// the idle-period decay prescribed by RED when an arrival finds the queue
+// empty.
+func (q *AdaptiveRED) updateAvg(now Time) {
+	if q.fifo.len() == 0 && q.wasEmpty {
+		// Decay the average for the time the queue sat empty, in units of
+		// typical packet transmission times.
+		var txTyp float64 = 1e-3
+		if q.link != nil {
+			txTyp = 8 * float64(q.cfg.MeanPktSize) / q.link.Bandwidth
+		}
+		m := (now - q.emptySince) / txTyp
+		if m > 0 {
+			q.avg *= math.Pow(1-q.weight, m)
+		}
+		q.wasEmpty = false
+	}
+	q.avg = (1-q.weight)*q.avg + q.weight*float64(q.fifo.len())
+}
+
+// dropProbability returns the gentle-mode marking probability p_b for the
+// current average queue.
+func (q *AdaptiveRED) dropProbability() float64 {
+	switch {
+	case q.avg < q.cfg.MinThresh:
+		return 0
+	case q.avg < q.cfg.MaxThresh:
+		return q.pmax * (q.avg - q.cfg.MinThresh) / (q.cfg.MaxThresh - q.cfg.MinThresh)
+	case q.avg < 2*q.cfg.MaxThresh:
+		return q.pmax + (1-q.pmax)*(q.avg-q.cfg.MaxThresh)/q.cfg.MaxThresh
+	default:
+		return 1
+	}
+}
+
+// Enqueue implements Queue.
+func (q *AdaptiveRED) Enqueue(p *Packet, now Time) bool {
+	q.updateAvg(now)
+	if q.fifo.len() >= q.cfg.LimitPkts {
+		q.ForceDrops++
+		q.count = 0
+		return false
+	}
+	pb := q.dropProbability()
+	if pb > 0 {
+		// Spread drops with the inter-drop count correction of RED.
+		pa := pb / (1 - float64(q.count)*pb)
+		if pa < 0 || pa > 1 {
+			pa = 1
+		}
+		if q.rng != nil && q.rng() < pa {
+			q.EarlyDrops++
+			q.count = 0
+			return false
+		}
+		q.count++
+	} else {
+		q.count = 0
+	}
+	q.push(p)
+	return true
+}
+
+// Dequeue implements Queue.
+func (q *AdaptiveRED) Dequeue(now Time) *Packet {
+	p := q.pop()
+	if q.fifo.len() == 0 {
+		q.emptySince = now
+		q.wasEmpty = true
+	}
+	return p
+}
+
+// Len implements Queue.
+func (q *AdaptiveRED) Len() int { return q.fifo.len() }
+
+// Bytes implements Queue.
+func (q *AdaptiveRED) Bytes() int { return q.fifo.size() }
+
+// CapacityBytes implements Queue.
+func (q *AdaptiveRED) CapacityBytes() int { return q.cfg.LimitPkts * q.cfg.MeanPktSize }
+
+// AvgQueue exposes the current EWMA queue length (packets) for tests.
+func (q *AdaptiveRED) AvgQueue() float64 { return q.avg }
+
+// PMax exposes the current maximum marking probability for tests.
+func (q *AdaptiveRED) PMax() float64 { return q.pmax }

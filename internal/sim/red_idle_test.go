@@ -1,0 +1,51 @@
+package sim
+
+import "testing"
+
+// TestREDIdleDecay: the average queue must decay across an idle period, so
+// a burst after a long idle gap is not penalized by stale history.
+func TestREDIdleDecay(t *testing.T) {
+	s := New(1)
+	q := NewAdaptiveRED(REDConfig{LimitPkts: 200, MinThresh: 4, InitialPMax: 0.5})
+	l := s.NewLink("red", 1e6, 0, q)
+
+	// Build up the average with a burst.
+	for i := 0; i < 30; i++ {
+		s.NewPacket(UDPData, 1, 1000, []*Link{l}, nil).Forward(s)
+	}
+	s.Run(1) // drain fully (240 ms of work)
+	avgAfterBurst := q.AvgQueue()
+	if avgAfterBurst <= 0 {
+		t.Fatalf("average queue did not build: %v", avgAfterBurst)
+	}
+
+	// A long idle period then one arrival: the EWMA must have decayed.
+	s.Run(60)
+	s.NewPacket(UDPData, 1, 1000, []*Link{l}, nil).Forward(s)
+	if q.AvgQueue() > 0.05 {
+		t.Fatalf("average queue did not decay over idle period: %v", q.AvgQueue())
+	}
+}
+
+// TestREDGentleRegionDropsEverything: with the average pinned above twice
+// maxth every arrival is dropped.
+func TestREDGentleRegionDropsEverything(t *testing.T) {
+	s := New(1)
+	q := NewAdaptiveRED(REDConfig{LimitPkts: 1000, MinThresh: 2}) // maxth 6
+	l := s.NewLink("red", 1e6, 0, q)
+	_ = l
+	q.avg = 50 // far above 2*maxth = 12
+	p := &Packet{Size: 1000}
+	// updateAvg will pull avg toward the instantaneous length, so force it
+	// back each time; dropProbability at avg=50 must be 1.
+	drops := 0
+	for i := 0; i < 20; i++ {
+		q.avg = 50
+		if !q.Enqueue(p, 0) {
+			drops++
+		}
+	}
+	if drops != 20 {
+		t.Fatalf("dropped %d of 20 above the gentle region", drops)
+	}
+}

@@ -1,0 +1,180 @@
+package sim
+
+import (
+	"testing"
+)
+
+func redLink(t *testing.T, cfg REDConfig) (*Simulator, *Link, *AdaptiveRED) {
+	t.Helper()
+	s := New(1)
+	q := NewAdaptiveRED(cfg)
+	l := s.NewLink("red", 1e6, 0, q)
+	return s, l, q
+}
+
+func TestREDNoDropsBelowMinThresh(t *testing.T) {
+	s, l, q := redLink(t, REDConfig{LimitPkts: 50, MinThresh: 10})
+	// Send packets slowly so the average queue stays near zero.
+	for i := 0; i < 100; i++ {
+		at := float64(i) * 0.05 // 50 ms apart, each takes 8 ms to transmit
+		s.At(at, func() {
+			s.NewPacket(UDPData, 1, 1000, []*Link{l}, nil).Forward(s)
+		})
+	}
+	s.Run(10)
+	if q.EarlyDrops != 0 || q.ForceDrops != 0 || l.Drops != 0 {
+		t.Fatalf("drops below minth: early=%d force=%d", q.EarlyDrops, q.ForceDrops)
+	}
+}
+
+func TestREDForceDropAtLimit(t *testing.T) {
+	s, l, q := redLink(t, REDConfig{LimitPkts: 5, MinThresh: 100}) // RED never fires, limit does
+	for i := 0; i < 10; i++ {
+		s.NewPacket(UDPData, 1, 1000, []*Link{l}, nil).Forward(s)
+	}
+	s.Run(1)
+	if q.ForceDrops == 0 {
+		t.Fatal("expected forced drops at the physical limit")
+	}
+	// At most 5 stored + 1 in service admitted from the first 6 arrivals.
+	if l.Drops != q.ForceDrops+q.EarlyDrops {
+		t.Fatalf("link drops %d != queue drops %d", l.Drops, q.ForceDrops+q.EarlyDrops)
+	}
+}
+
+func TestREDEarlyDropsUnderLoad(t *testing.T) {
+	s, l, q := redLink(t, REDConfig{LimitPkts: 50, MinThresh: 3, Adaptive: true})
+	// Overload: 1.5x the link rate for a while.
+	var send func()
+	n := 0
+	send = func() {
+		if n > 2000 {
+			return
+		}
+		n++
+		s.NewPacket(UDPData, 1, 1000, []*Link{l}, nil).Forward(s)
+		s.After(0.0053, send)
+	}
+	s.At(0, send)
+	s.Run(12)
+	if q.EarlyDrops == 0 {
+		t.Fatal("sustained overload should cause early drops")
+	}
+	if q.AvgQueue() <= 0 {
+		t.Fatalf("average queue = %v", q.AvgQueue())
+	}
+}
+
+func TestREDAdaptivePMaxMoves(t *testing.T) {
+	s, l, q := redLink(t, REDConfig{LimitPkts: 60, MinThresh: 5, Adaptive: true, InitialPMax: 0.02})
+	start := q.PMax()
+	var send func()
+	n := 0
+	send = func() {
+		if n > 3000 {
+			return
+		}
+		n++
+		s.NewPacket(UDPData, 1, 1000, []*Link{l}, nil).Forward(s)
+		s.After(0.005, send) // 1.6x overload
+	}
+	s.At(0, send)
+	s.Run(16)
+	if q.PMax() <= start {
+		t.Fatalf("p_max should increase under persistent overload: %v -> %v", start, q.PMax())
+	}
+	if q.PMax() > 0.5 {
+		t.Fatalf("p_max exceeded cap: %v", q.PMax())
+	}
+}
+
+func TestREDDropProbabilityShape(t *testing.T) {
+	q := NewAdaptiveRED(REDConfig{LimitPkts: 100, MinThresh: 10}) // maxth defaults to 30
+	q.pmax = 0.1
+	cases := []struct {
+		avg  float64
+		want float64
+	}{
+		{5, 0},
+		{10, 0},
+		{20, 0.05}, // halfway minth..maxth
+		{30, 0.1},  // at maxth
+		{45, 0.55}, // gentle region midpoint: 0.1 + 0.9*(15/30)
+		{60, 1},    // 2*maxth
+		{100, 1},
+	}
+	for _, c := range cases {
+		q.avg = c.avg
+		if got := q.dropProbability(); mathAbs(got-c.want) > 1e-12 {
+			t.Fatalf("p(avg=%v) = %v, want %v", c.avg, got, c.want)
+		}
+	}
+}
+
+func mathAbs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func TestREDValidation(t *testing.T) {
+	for _, cfg := range []REDConfig{
+		{LimitPkts: 0, MinThresh: 5},
+		{LimitPkts: 10, MinThresh: 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("config %+v should panic", cfg)
+				}
+			}()
+			NewAdaptiveRED(cfg)
+		}()
+	}
+}
+
+func TestREDCapacityBytes(t *testing.T) {
+	q := NewAdaptiveRED(REDConfig{LimitPkts: 24, MinThresh: 5})
+	if q.CapacityBytes() != 24000 {
+		t.Fatalf("capacity = %d, want 24000", q.CapacityBytes())
+	}
+}
+
+// TestREDDropsProbesAndDataAlike: in packet mode a 10-byte probe faces the
+// same early-drop process as data.
+func TestREDDropsProbesAndDataAlike(t *testing.T) {
+	s, l, q := redLink(t, REDConfig{LimitPkts: 40, MinThresh: 2, InitialPMax: 0.5})
+	probeDrops := 0
+	var send func()
+	n := 0
+	send = func() {
+		if n > 4000 {
+			return
+		}
+		n++
+		size, typ := 1000, UDPData
+		if n%4 == 0 {
+			size, typ = 10, Probe
+		}
+		p := s.NewPacket(typ, 1, size, []*Link{l}, nil)
+		if typ == Probe {
+			tr := NewProbeTrace(p)
+			s.After(1e-9, func() {
+				if tr.Lost {
+					probeDrops++
+				}
+			})
+		}
+		p.Forward(s)
+		s.After(0.005, send)
+	}
+	s.At(0, send)
+	s.Run(25)
+	if q.EarlyDrops == 0 {
+		t.Fatal("no early drops in overload")
+	}
+	if probeDrops == 0 {
+		t.Fatal("probes were never dropped by RED in packet mode")
+	}
+}

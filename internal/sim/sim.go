@@ -1,0 +1,124 @@
+// Package sim is a packet-level discrete-event network simulator.
+//
+// It plays the role ns-2 plays in the paper: links are modeled as
+// output-queued servers with a finite buffer (droptail or adaptive RED), a
+// fixed bandwidth, and a propagation delay. Traffic sources (package
+// traffic) inject packets that carry their route as an explicit list of
+// links; probes additionally carry a trace that records per-link queuing
+// delays and — when the probe is dropped — continues the probe as a
+// phantom "virtual probe" so that the ground-truth virtual queuing delay
+// of §III of the paper is available for validation.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"dominantlink/internal/stats"
+)
+
+// Time is simulation time in seconds.
+type Time = float64
+
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Simulator owns the event queue and the simulation clock. Events scheduled
+// at the same instant execute in scheduling order (FIFO tie-break), which
+// keeps runs deterministic.
+type Simulator struct {
+	now    Time
+	events eventHeap
+	seq    uint64
+	nextID uint64
+	rng    *stats.RNG
+	links  []*Link
+}
+
+// New returns a simulator whose random streams derive from seed.
+func New(seed int64) *Simulator {
+	return &Simulator{rng: stats.NewRNG(seed)}
+}
+
+// Now returns the current simulation time.
+func (s *Simulator) Now() Time { return s.now }
+
+// RNG returns the simulator's root random stream. Traffic sources should
+// call RNG().Split(label) to obtain private streams.
+func (s *Simulator) RNG() *stats.RNG { return s.rng }
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// it always indicates a modeling bug.
+func (s *Simulator) At(t Time, fn func()) {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %g before now %g", t, s.now))
+	}
+	s.seq++
+	heap.Push(&s.events, event{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn to run d seconds from now.
+func (s *Simulator) After(d float64, fn func()) { s.At(s.now+d, fn) }
+
+// Run executes events until the clock reaches until (inclusive) or the
+// event queue drains. It returns the final simulation time.
+func (s *Simulator) Run(until Time) Time {
+	for len(s.events) > 0 {
+		if s.events[0].at > until {
+			break
+		}
+		e := heap.Pop(&s.events).(event)
+		s.now = e.at
+		e.fn()
+	}
+	if s.now < until {
+		s.now = until
+	}
+	return s.now
+}
+
+// Step executes the single next event, if any, and reports whether one ran.
+// It is intended for tests that need fine-grained control.
+func (s *Simulator) Step() bool {
+	if len(s.events) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.events).(event)
+	s.now = e.at
+	e.fn()
+	return true
+}
+
+// Pending returns the number of queued events.
+func (s *Simulator) Pending() int { return len(s.events) }
+
+// nextPacketID hands out unique packet identifiers.
+func (s *Simulator) nextPacketID() uint64 {
+	s.nextID++
+	return s.nextID
+}
+
+// Links returns every link registered with the simulator, in creation order.
+func (s *Simulator) Links() []*Link { return s.links }

@@ -1,0 +1,188 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// PMF is a probability mass function over symbols 1..M stored in a slice of
+// length M (index 0 holds symbol 1). It is the exchange type between the
+// inference models and the hypothesis tests.
+type PMF []float64
+
+// NewPMF returns a zero PMF over m symbols.
+func NewPMF(m int) PMF { return make(PMF, m) }
+
+// Normalize scales the PMF in place so that it sums to one. A zero PMF is
+// left unchanged.
+func (p PMF) Normalize() {
+	var sum float64
+	for _, v := range p {
+		sum += v
+	}
+	if sum <= 0 {
+		return
+	}
+	for i := range p {
+		p[i] /= sum
+	}
+}
+
+// Sum returns the total mass.
+func (p PMF) Sum() float64 {
+	var s float64
+	for _, v := range p {
+		s += v
+	}
+	return s
+}
+
+// CDF returns the cumulative distribution F where F[i] = P(symbol <= i+1).
+func (p PMF) CDF() CDF {
+	f := make(CDF, len(p))
+	var acc float64
+	for i, v := range p {
+		acc += v
+		f[i] = acc
+	}
+	return f
+}
+
+// L1Distance returns the total variation style L1 distance sum |p_i - q_i|.
+// It panics if the lengths differ.
+func (p PMF) L1Distance(q PMF) float64 {
+	if len(p) != len(q) {
+		panic(fmt.Sprintf("stats: L1Distance length mismatch %d vs %d", len(p), len(q)))
+	}
+	var d float64
+	for i := range p {
+		d += math.Abs(p[i] - q[i])
+	}
+	return d
+}
+
+// Mode returns the symbol (1-based) with the largest mass; ties resolve to
+// the smallest symbol.
+func (p PMF) Mode() int {
+	best, bestV := 1, math.Inf(-1)
+	for i, v := range p {
+		if v > bestV {
+			best, bestV = i+1, v
+		}
+	}
+	return best
+}
+
+// CDF is a cumulative distribution over symbols 1..M; CDF[i] = F(i+1).
+type CDF []float64
+
+// At returns F(symbol) for a 1-based symbol, with F(s)=0 for s < 1 and
+// F(s)=1-ish (the last stored value) for s beyond the support.
+func (f CDF) At(symbol int) float64 {
+	if symbol < 1 {
+		return 0
+	}
+	if symbol > len(f) {
+		symbol = len(f)
+	}
+	if len(f) == 0 {
+		return 0
+	}
+	return f[symbol-1]
+}
+
+// MinPositive returns the smallest 1-based symbol i with F(i) > eps, or
+// len(f)+1 if no such symbol exists.
+func (f CDF) MinPositive(eps float64) int {
+	for i, v := range f {
+		if v > eps {
+			return i + 1
+		}
+	}
+	return len(f) + 1
+}
+
+// Empirical summarizes a sample of float64 observations.
+type Empirical struct {
+	sorted []float64
+}
+
+// NewEmpirical copies and sorts the sample.
+func NewEmpirical(sample []float64) *Empirical {
+	s := make([]float64, len(sample))
+	copy(s, sample)
+	sort.Float64s(s)
+	return &Empirical{sorted: s}
+}
+
+// Len returns the sample size.
+func (e *Empirical) Len() int { return len(e.sorted) }
+
+// Min returns the smallest observation; it panics on an empty sample.
+func (e *Empirical) Min() float64 { return e.sorted[0] }
+
+// Max returns the largest observation; it panics on an empty sample.
+func (e *Empirical) Max() float64 { return e.sorted[len(e.sorted)-1] }
+
+// Quantile returns the q-quantile (0<=q<=1) using the nearest-rank method.
+func (e *Empirical) Quantile(q float64) float64 {
+	if len(e.sorted) == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return e.sorted[0]
+	}
+	if q >= 1 {
+		return e.sorted[len(e.sorted)-1]
+	}
+	idx := int(math.Ceil(q*float64(len(e.sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return e.sorted[idx]
+}
+
+// Mean returns the sample mean, or NaN for an empty sample.
+func (e *Empirical) Mean() float64 {
+	if len(e.sorted) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, v := range e.sorted {
+		s += v
+	}
+	return s / float64(len(e.sorted))
+}
+
+// Discretize maps a delay (seconds) to a 1-based symbol in 1..m given the
+// delay range [lo, hi]. Values at or below lo map to symbol 1 and values at
+// or above hi map to symbol m. It implements the binning of §IV-A: the
+// queuing-delay range [0, hi-lo] is divided into m equal bins of width
+// (hi-lo)/m, and symbol s corresponds to queuing delay in ((s-1)w, sw].
+func Discretize(delay, lo, hi float64, m int) int {
+	if m < 1 {
+		panic("stats: Discretize needs m >= 1")
+	}
+	if hi <= lo {
+		return 1
+	}
+	q := delay - lo
+	w := (hi - lo) / float64(m)
+	s := int(math.Ceil(q / w))
+	if s < 1 {
+		s = 1
+	}
+	if s > m {
+		s = m
+	}
+	return s
+}
+
+// BinWidth returns the bin width used by Discretize for the given range.
+func BinWidth(lo, hi float64, m int) float64 {
+	if m < 1 || hi <= lo {
+		return 0
+	}
+	return (hi - lo) / float64(m)
+}

@@ -1,0 +1,86 @@
+// Package stats provides the random-variate generators, empirical
+// distributions, and probability-mass/CDF helpers shared by the simulator,
+// the inference models, and the experiment harness.
+//
+// All randomness in the repository flows through RNG so that every
+// simulation and every EM initialization is reproducible from a seed.
+package stats
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RNG is a seeded source of the random variates used across the repository.
+// It wraps math/rand.Rand with the distributions the simulator needs
+// (exponential, Pareto, bounded uniform) and a Split method for deriving
+// independent child streams deterministically.
+type RNG struct {
+	r *rand.Rand
+}
+
+// NewRNG returns a deterministic generator seeded with seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{r: rand.New(rand.NewSource(seed))}
+}
+
+// Split derives a child RNG whose stream is independent of, but fully
+// determined by, the parent's seed and the supplied label. Use it to give
+// each traffic source its own stream so that adding a source does not
+// perturb the variates drawn by the others.
+func (g *RNG) Split(label int64) *RNG {
+	// Mix the label into a fresh seed drawn from the parent stream.
+	s := g.r.Int63() ^ (label * 0x9e3779b97f4a7c)
+	return NewRNG(s)
+}
+
+// Float64 returns a uniform variate in [0,1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// Intn returns a uniform integer in [0,n).
+func (g *RNG) Intn(n int) int { return g.r.Intn(n) }
+
+// Int63 returns a non-negative pseudo-random 63-bit integer.
+func (g *RNG) Int63() int64 { return g.r.Int63() }
+
+// Uniform returns a uniform variate in [lo,hi).
+func (g *RNG) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*g.r.Float64()
+}
+
+// Exp returns an exponential variate with the given mean.
+func (g *RNG) Exp(mean float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	return g.r.ExpFloat64() * mean
+}
+
+// Pareto returns a Pareto variate with the given shape alpha and scale
+// (minimum value) xm. For alpha <= 1 the distribution has infinite mean;
+// the HTTP page-size model uses alpha in (1,2) for heavy tails with a
+// finite mean.
+func (g *RNG) Pareto(alpha, xm float64) float64 {
+	u := g.r.Float64()
+	for u == 0 {
+		u = g.r.Float64()
+	}
+	return xm / math.Pow(u, 1/alpha)
+}
+
+// BoundedPareto returns a Pareto(alpha, xm) variate truncated to at most hi.
+func (g *RNG) BoundedPareto(alpha, xm, hi float64) float64 {
+	v := g.Pareto(alpha, xm)
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Normal returns a normal variate with the given mean and standard deviation.
+func (g *RNG) Normal(mean, stddev float64) float64 {
+	return mean + stddev*g.r.NormFloat64()
+}
+
+// Perm returns a pseudo-random permutation of [0,n).
+func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }

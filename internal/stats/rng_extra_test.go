@@ -1,0 +1,71 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+func TestNormalMoments(t *testing.T) {
+	g := NewRNG(11)
+	const n = 200000
+	var sum, sq float64
+	for i := 0; i < n; i++ {
+		v := g.Normal(5, 2)
+		sum += v
+		sq += v * v
+	}
+	mean := sum / n
+	std := math.Sqrt(sq/n - mean*mean)
+	if math.Abs(mean-5) > 0.05 {
+		t.Fatalf("normal mean = %v", mean)
+	}
+	if math.Abs(std-2) > 0.05 {
+		t.Fatalf("normal std = %v", std)
+	}
+}
+
+func TestPerm(t *testing.T) {
+	g := NewRNG(12)
+	p := g.Perm(20)
+	if len(p) != 20 {
+		t.Fatalf("perm length %d", len(p))
+	}
+	sorted := append([]int(nil), p...)
+	sort.Ints(sorted)
+	for i, v := range sorted {
+		if v != i {
+			t.Fatalf("not a permutation: %v", p)
+		}
+	}
+}
+
+func TestIntnAndInt63(t *testing.T) {
+	g := NewRNG(13)
+	for i := 0; i < 1000; i++ {
+		if v := g.Intn(7); v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		if g.Int63() < 0 {
+			t.Fatal("Int63 negative")
+		}
+	}
+}
+
+// TestParetoTailHeavier: a smaller alpha gives a heavier tail (larger
+// high quantiles).
+func TestParetoTailHeavier(t *testing.T) {
+	draw := func(alpha float64, seed int64) float64 {
+		g := NewRNG(seed)
+		v := make([]float64, 20000)
+		for i := range v {
+			v[i] = g.Pareto(alpha, 1)
+		}
+		return NewEmpirical(v).Quantile(0.99)
+	}
+	light := draw(2.5, 1)
+	heavy := draw(1.1, 1)
+	if heavy <= light {
+		t.Fatalf("tail ordering wrong: alpha=1.1 q99=%v vs alpha=2.5 q99=%v", heavy, light)
+	}
+}

@@ -1,0 +1,280 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(7)
+	b := NewRNG(7)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestRNGSplitIndependence(t *testing.T) {
+	parent := NewRNG(1)
+	c1 := parent.Split(1)
+	parent2 := NewRNG(1)
+	c2 := parent2.Split(1)
+	for i := 0; i < 50; i++ {
+		if c1.Float64() != c2.Float64() {
+			t.Fatalf("split streams with same lineage diverged at %d", i)
+		}
+	}
+	// Different labels give different streams.
+	p3 := NewRNG(1)
+	d1 := p3.Split(2)
+	same := true
+	c3 := NewRNG(1).Split(1)
+	for i := 0; i < 20; i++ {
+		if c3.Float64() != d1.Float64() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different split labels produced identical streams")
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	g := NewRNG(3)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += g.Exp(2.5)
+	}
+	mean := sum / n
+	if math.Abs(mean-2.5) > 0.05 {
+		t.Fatalf("exponential mean = %v, want ~2.5", mean)
+	}
+	if g.Exp(0) != 0 || g.Exp(-1) != 0 {
+		t.Fatal("non-positive mean should return 0")
+	}
+}
+
+func TestParetoProperties(t *testing.T) {
+	g := NewRNG(4)
+	for i := 0; i < 10000; i++ {
+		v := g.Pareto(1.3, 2)
+		if v < 2 {
+			t.Fatalf("Pareto below scale: %v", v)
+		}
+	}
+	for i := 0; i < 10000; i++ {
+		v := g.BoundedPareto(1.3, 2, 50)
+		if v < 2 || v > 50 {
+			t.Fatalf("BoundedPareto out of [2,50]: %v", v)
+		}
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	g := NewRNG(5)
+	for i := 0; i < 10000; i++ {
+		v := g.Uniform(3, 7)
+		if v < 3 || v >= 7 {
+			t.Fatalf("Uniform out of range: %v", v)
+		}
+	}
+}
+
+func TestPMFNormalize(t *testing.T) {
+	p := PMF{2, 4, 2}
+	p.Normalize()
+	want := PMF{0.25, 0.5, 0.25}
+	for i := range p {
+		if math.Abs(p[i]-want[i]) > 1e-12 {
+			t.Fatalf("normalize: got %v, want %v", p, want)
+		}
+	}
+	zero := PMF{0, 0}
+	zero.Normalize() // must not panic or produce NaN
+	if zero[0] != 0 {
+		t.Fatal("zero PMF should stay zero")
+	}
+}
+
+func TestPMFMode(t *testing.T) {
+	if m := (PMF{0.1, 0.7, 0.2}).Mode(); m != 2 {
+		t.Fatalf("mode = %d, want 2", m)
+	}
+	if m := (PMF{0.5, 0.5}).Mode(); m != 1 {
+		t.Fatalf("tie mode = %d, want 1 (smallest)", m)
+	}
+}
+
+func TestCDFAt(t *testing.T) {
+	f := PMF{0.2, 0.3, 0.5}.CDF()
+	cases := []struct {
+		sym  int
+		want float64
+	}{{0, 0}, {1, 0.2}, {2, 0.5}, {3, 1}, {4, 1}, {10, 1}}
+	for _, c := range cases {
+		if got := f.At(c.sym); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("F(%d) = %v, want %v", c.sym, got, c.want)
+		}
+	}
+}
+
+func TestCDFMinPositive(t *testing.T) {
+	f := CDF{0, 0.01, 0.5, 1}
+	if got := f.MinPositive(0); got != 2 {
+		t.Fatalf("MinPositive(0) = %d, want 2", got)
+	}
+	if got := f.MinPositive(0.05); got != 3 {
+		t.Fatalf("MinPositive(0.05) = %d, want 3", got)
+	}
+	if got := f.MinPositive(2); got != 5 {
+		t.Fatalf("MinPositive above range = %d, want len+1 = 5", got)
+	}
+}
+
+// TestCDFMonotoneProperty: any normalized PMF yields a nondecreasing CDF
+// ending at ~1.
+func TestCDFMonotoneProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		p := make(PMF, len(raw))
+		for i, v := range raw {
+			p[i] = math.Abs(v)
+			if math.IsNaN(p[i]) || math.IsInf(p[i], 0) {
+				p[i] = 1
+			}
+		}
+		p.Normalize()
+		if p.Sum() == 0 {
+			return true
+		}
+		cdf := p.CDF()
+		prev := 0.0
+		for _, v := range cdf {
+			if v < prev-1e-12 {
+				return false
+			}
+			prev = v
+		}
+		return math.Abs(cdf[len(cdf)-1]-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiscretize(t *testing.T) {
+	// Range [10, 20], 5 bins of width 2.
+	cases := []struct {
+		d    float64
+		want int
+	}{
+		{9, 1}, {10, 1}, {10.5, 1}, {12, 1}, {12.0001, 2},
+		{14, 2}, {15, 3}, {18.5, 5}, {20, 5}, {25, 5},
+	}
+	for _, c := range cases {
+		if got := Discretize(c.d, 10, 20, 5); got != c.want {
+			t.Fatalf("Discretize(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+	if got := Discretize(5, 10, 10, 5); got != 1 {
+		t.Fatalf("degenerate range: got %d, want 1", got)
+	}
+}
+
+// TestDiscretizeInRangeProperty: the symbol is always in 1..M.
+func TestDiscretizeInRangeProperty(t *testing.T) {
+	f := func(d, lo, span float64, mRaw uint8) bool {
+		m := int(mRaw%50) + 1
+		hi := lo + math.Abs(span)
+		if math.IsNaN(d) || math.IsNaN(lo) || math.IsNaN(hi) ||
+			math.IsInf(d, 0) || math.IsInf(lo, 0) || math.IsInf(hi, 0) {
+			return true
+		}
+		s := Discretize(d, lo, hi, m)
+		return s >= 1 && s <= m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinWidth(t *testing.T) {
+	if w := BinWidth(0, 10, 5); w != 2 {
+		t.Fatalf("BinWidth = %v, want 2", w)
+	}
+	if w := BinWidth(10, 10, 5); w != 0 {
+		t.Fatalf("degenerate BinWidth = %v, want 0", w)
+	}
+}
+
+func TestEmpirical(t *testing.T) {
+	e := NewEmpirical([]float64{5, 1, 3, 2, 4})
+	if e.Min() != 1 || e.Max() != 5 {
+		t.Fatalf("min/max = %v/%v", e.Min(), e.Max())
+	}
+	if q := e.Quantile(0.5); q != 3 {
+		t.Fatalf("median = %v, want 3", q)
+	}
+	if q := e.Quantile(0); q != 1 {
+		t.Fatalf("q0 = %v, want 1", q)
+	}
+	if q := e.Quantile(1); q != 5 {
+		t.Fatalf("q1 = %v, want 5", q)
+	}
+	if m := e.Mean(); m != 3 {
+		t.Fatalf("mean = %v, want 3", m)
+	}
+	empty := NewEmpirical(nil)
+	if !math.IsNaN(empty.Mean()) || !math.IsNaN(empty.Quantile(0.5)) {
+		t.Fatal("empty sample should give NaN")
+	}
+}
+
+// TestQuantileMonotoneProperty: quantiles are nondecreasing in q and lie
+// within [min, max].
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(sample []float64) bool {
+		clean := sample[:0]
+		for _, v := range sample {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				clean = append(clean, v)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		e := NewEmpirical(clean)
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v := e.Quantile(q)
+			if v < prev || v < e.Min() || v > e.Max() {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestL1Distance(t *testing.T) {
+	p := PMF{0.5, 0.5}
+	q := PMF{1, 0}
+	if d := p.L1Distance(q); math.Abs(d-1) > 1e-12 {
+		t.Fatalf("L1 = %v, want 1", d)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch should panic")
+		}
+	}()
+	p.L1Distance(PMF{1})
+}

@@ -1,0 +1,157 @@
+// Package trace defines the probe observation records exchanged between
+// the simulator/measurement side and the inference side, together with
+// CSV serialization so traces can be saved and re-analyzed offline by the
+// command-line tools.
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Observation is one periodic probe: either a one-way delay in seconds or
+// a loss. This is all the model-based identification consumes.
+type Observation struct {
+	Seq      int64
+	SendTime float64
+	Delay    float64 // one-way delay, seconds; undefined when Lost
+	Lost     bool
+}
+
+// GroundTruth is the simulator-side record for one probe: where it was
+// lost (if anywhere) and the virtual queuing delays of the paper's §III,
+// available only in simulation and used for validation.
+type GroundTruth struct {
+	Seq            int64
+	Lost           bool
+	LostHop        int     // 0-based hop index along the monitored path; -1 if not lost
+	VirtualQueuing float64 // aggregate (virtual) queuing delay D(t), seconds
+	PerHopQueuing  []float64
+}
+
+// Trace couples the observable sequence with optional ground truth.
+type Trace struct {
+	Observations []Observation
+	Truth        []GroundTruth // empty when unavailable (real measurements)
+	// PropagationDelay is the true end-end propagation (plus transmission)
+	// floor when known, else 0. The identification pipeline does not need
+	// it (it approximates it with the minimum observed delay, §V-A) but
+	// experiments use it to quantify that approximation (Fig. 14).
+	PropagationDelay float64
+}
+
+// LossCount returns the number of lost probes.
+func (t *Trace) LossCount() int {
+	n := 0
+	for _, o := range t.Observations {
+		if o.Lost {
+			n++
+		}
+	}
+	return n
+}
+
+// LossRate returns the fraction of probes lost.
+func (t *Trace) LossRate() float64 {
+	if len(t.Observations) == 0 {
+		return 0
+	}
+	return float64(t.LossCount()) / float64(len(t.Observations))
+}
+
+// Slice returns the sub-trace of observations with index in [from, to)
+// together with the matching ground truth. It is used to study the effect
+// of probing duration (Figs. 9 and 14).
+func (t *Trace) Slice(from, to int) *Trace {
+	if from < 0 {
+		from = 0
+	}
+	if to > len(t.Observations) {
+		to = len(t.Observations)
+	}
+	if from > to {
+		from = to
+	}
+	s := &Trace{
+		Observations:     t.Observations[from:to],
+		PropagationDelay: t.PropagationDelay,
+	}
+	if len(t.Truth) == len(t.Observations) {
+		s.Truth = t.Truth[from:to]
+	}
+	return s
+}
+
+// Duration returns the time span covered by the observations in seconds.
+func (t *Trace) Duration() float64 {
+	if len(t.Observations) < 2 {
+		return 0
+	}
+	return t.Observations[len(t.Observations)-1].SendTime - t.Observations[0].SendTime
+}
+
+// WriteCSV writes the observations as "seq,send_time,delay,lost" rows.
+func (t *Trace) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"seq", "send_time", "delay", "lost"}); err != nil {
+		return err
+	}
+	for _, o := range t.Observations {
+		lost := "0"
+		if o.Lost {
+			lost = "1"
+		}
+		rec := []string{
+			strconv.FormatInt(o.Seq, 10),
+			strconv.FormatFloat(o.SendTime, 'g', -1, 64),
+			strconv.FormatFloat(o.Delay, 'g', -1, 64),
+			lost,
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a trace written by WriteCSV.
+func ReadCSV(r io.Reader) (*Trace, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) == 0 {
+		return &Trace{}, nil
+	}
+	start := 0
+	if rows[0][0] == "seq" {
+		start = 1
+	}
+	t := &Trace{}
+	for i := start; i < len(rows); i++ {
+		row := rows[i]
+		if len(row) < 4 {
+			return nil, fmt.Errorf("trace: row %d has %d fields, want 4", i, len(row))
+		}
+		seq, err := strconv.ParseInt(row[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: row %d seq: %v", i, err)
+		}
+		st, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: row %d send_time: %v", i, err)
+		}
+		d, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: row %d delay: %v", i, err)
+		}
+		t.Observations = append(t.Observations, Observation{
+			Seq: seq, SendTime: st, Delay: d, Lost: row[3] == "1",
+		})
+	}
+	return t, nil
+}

@@ -1,0 +1,152 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func sample() *Trace {
+	return &Trace{
+		Observations: []Observation{
+			{Seq: 0, SendTime: 0.00, Delay: 0.010},
+			{Seq: 1, SendTime: 0.02, Lost: true},
+			{Seq: 2, SendTime: 0.04, Delay: 0.012},
+			{Seq: 3, SendTime: 0.06, Delay: 0.011},
+			{Seq: 4, SendTime: 0.08, Lost: true},
+		},
+		Truth: []GroundTruth{
+			{Seq: 0, LostHop: -1},
+			{Seq: 1, Lost: true, LostHop: 2, VirtualQueuing: 0.05},
+			{Seq: 2, LostHop: -1},
+			{Seq: 3, LostHop: -1},
+			{Seq: 4, Lost: true, LostHop: 2, VirtualQueuing: 0.06},
+		},
+		PropagationDelay: 0.009,
+	}
+}
+
+func TestLossRate(t *testing.T) {
+	tr := sample()
+	if n := tr.LossCount(); n != 2 {
+		t.Fatalf("LossCount = %d, want 2", n)
+	}
+	if r := tr.LossRate(); math.Abs(r-0.4) > 1e-12 {
+		t.Fatalf("LossRate = %v, want 0.4", r)
+	}
+	empty := &Trace{}
+	if empty.LossRate() != 0 {
+		t.Fatal("empty trace loss rate should be 0")
+	}
+}
+
+func TestDuration(t *testing.T) {
+	tr := sample()
+	if d := tr.Duration(); math.Abs(d-0.08) > 1e-12 {
+		t.Fatalf("Duration = %v, want 0.08", d)
+	}
+	if (&Trace{}).Duration() != 0 {
+		t.Fatal("empty duration should be 0")
+	}
+}
+
+func TestSlice(t *testing.T) {
+	tr := sample()
+	s := tr.Slice(1, 4)
+	if len(s.Observations) != 3 || len(s.Truth) != 3 {
+		t.Fatalf("slice lengths = %d/%d, want 3/3", len(s.Observations), len(s.Truth))
+	}
+	if s.Observations[0].Seq != 1 || s.Truth[0].Seq != 1 {
+		t.Fatal("slice misaligned")
+	}
+	if s.PropagationDelay != tr.PropagationDelay {
+		t.Fatal("slice should keep propagation delay")
+	}
+	// Out-of-range clamping.
+	s = tr.Slice(-5, 100)
+	if len(s.Observations) != 5 {
+		t.Fatalf("clamped slice length = %d, want 5", len(s.Observations))
+	}
+	s = tr.Slice(4, 2)
+	if len(s.Observations) != 0 {
+		t.Fatal("inverted slice should be empty")
+	}
+	// Slicing without aligned truth drops truth.
+	noTruth := &Trace{Observations: tr.Observations, Truth: tr.Truth[:2]}
+	s = noTruth.Slice(0, 3)
+	if s.Truth != nil {
+		t.Fatal("misaligned truth should not be sliced")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tr := sample()
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Observations) != len(tr.Observations) {
+		t.Fatalf("round trip count = %d, want %d", len(got.Observations), len(tr.Observations))
+	}
+	for i, o := range got.Observations {
+		w := tr.Observations[i]
+		if o.Seq != w.Seq || o.Lost != w.Lost || o.SendTime != w.SendTime {
+			t.Fatalf("row %d mismatch: %+v vs %+v", i, o, w)
+		}
+		if !o.Lost && o.Delay != w.Delay {
+			t.Fatalf("row %d delay mismatch", i)
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("seq,send_time,delay,lost\nx,0,0,0\n")); err == nil {
+		t.Fatal("bad seq should error")
+	}
+	if _, err := ReadCSV(strings.NewReader("seq,send_time,delay,lost\n1,y,0,0\n")); err == nil {
+		t.Fatal("bad send_time should error")
+	}
+	if _, err := ReadCSV(strings.NewReader("seq,send_time,delay,lost\n1,0,z,0\n")); err == nil {
+		t.Fatal("bad delay should error")
+	}
+	tr, err := ReadCSV(strings.NewReader(""))
+	if err != nil || len(tr.Observations) != 0 {
+		t.Fatal("empty input should give empty trace")
+	}
+	// Headerless input is accepted too.
+	tr, err = ReadCSV(strings.NewReader("3,0.1,0.02,0\n"))
+	if err != nil || len(tr.Observations) != 1 || tr.Observations[0].Seq != 3 {
+		t.Fatalf("headerless parse failed: %v %+v", err, tr)
+	}
+}
+
+// FuzzReadCSV exercises the parser with arbitrary input; it must never
+// panic, and whatever it accepts must round-trip through WriteCSV.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("seq,send_time,delay,lost\n1,0.02,0.031,0\n2,0.04,0,1\n")
+	f.Add("3,0.1,0.02,0\n")
+	f.Add("")
+	f.Add("x,y\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		tr, err := ReadCSV(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := tr.WriteCSV(&buf); err != nil {
+			t.Fatalf("accepted trace failed to serialize: %v", err)
+		}
+		back, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("serialized trace failed to parse: %v", err)
+		}
+		if len(back.Observations) != len(tr.Observations) {
+			t.Fatalf("round trip changed length: %d -> %d", len(tr.Observations), len(back.Observations))
+		}
+	})
+}

@@ -1,0 +1,161 @@
+package traffic
+
+import (
+	"dominantlink/internal/sim"
+	"dominantlink/internal/stats"
+)
+
+// FlowIDs hands out unique flow identifiers per simulator run. Flow IDs
+// only need to be unique within one Simulator; a plain counter per source
+// group suffices because scenario builders construct all sources up front.
+type FlowIDs struct{ next int }
+
+func (f *FlowIDs) Next() int { f.next++; return f.next }
+
+// FTP starts n persistent TCP Reno bulk transfers over fwd/rev at time
+// start, with per-flow start times staggered by stagger seconds to avoid
+// synchronization. It returns the senders for inspection.
+func FTP(s *sim.Simulator, ids *FlowIDs, n int, fwd, rev []*sim.Link, start, stagger float64) []*TCPSender {
+	senders := make([]*TCPSender, n)
+	for i := 0; i < n; i++ {
+		snd := NewTCP(s, ids.Next(), fwd, rev, TCPConfig{SendJitter: 0.001}, nil)
+		senders[i] = snd
+		at := start + float64(i)*stagger
+		s.At(at, snd.Start)
+	}
+	return senders
+}
+
+// HTTPConfig parameterizes an HTTP-like on/off source: a sequence of TCP
+// transfers with heavy-tailed sizes separated by exponential think times,
+// standing in for the empirical web-traffic generator of ns-2.
+type HTTPConfig struct {
+	MeanThinkTime float64 // seconds between transfers (default 5)
+	ParetoAlpha   float64 // page-size tail index (default 1.3)
+	MinPagePkts   float64 // minimum page size in segments (default 2)
+	MaxPagePkts   float64 // truncation of the page size (default 200)
+	SendJitter    float64 // per-segment send jitter for the transfers (see TCPConfig)
+}
+
+func (c *HTTPConfig) defaults() {
+	if c.MeanThinkTime == 0 {
+		c.MeanThinkTime = 5
+	}
+	if c.ParetoAlpha == 0 {
+		c.ParetoAlpha = 1.3
+	}
+	if c.MinPagePkts == 0 {
+		c.MinPagePkts = 2
+	}
+	if c.MaxPagePkts == 0 {
+		c.MaxPagePkts = 200
+	}
+}
+
+// HTTPSession runs think/transfer cycles forever. Each transfer is an
+// independent TCP Reno connection.
+type HTTPSession struct {
+	s   *sim.Simulator
+	ids *FlowIDs
+	fwd []*sim.Link
+	rev []*sim.Link
+	cfg HTTPConfig
+	rng *stats.RNG
+	// Transfers counts completed page downloads.
+	Transfers int64
+}
+
+// NewHTTPSession creates a session that starts its first think period at
+// time start.
+func NewHTTPSession(s *sim.Simulator, ids *FlowIDs, fwd, rev []*sim.Link, cfg HTTPConfig, rng *stats.RNG, start float64) *HTTPSession {
+	cfg.defaults()
+	h := &HTTPSession{s: s, ids: ids, fwd: fwd, rev: rev, cfg: cfg, rng: rng}
+	s.At(start, h.think)
+	return h
+}
+
+func (h *HTTPSession) think() {
+	h.s.After(h.rng.Exp(h.cfg.MeanThinkTime), h.transfer)
+}
+
+func (h *HTTPSession) transfer() {
+	pkts := int64(h.rng.BoundedPareto(h.cfg.ParetoAlpha, h.cfg.MinPagePkts, h.cfg.MaxPagePkts))
+	if pkts < 1 {
+		pkts = 1
+	}
+	snd := NewTCP(h.s, h.ids.Next(), h.fwd, h.rev, TCPConfig{TotalPkts: pkts, SendJitter: h.cfg.SendJitter}, func() {
+		h.Transfers++
+		h.think()
+	})
+	snd.Start()
+}
+
+// OnOffUDPConfig parameterizes an exponential on-off constant-bit-rate
+// UDP source.
+type OnOffUDPConfig struct {
+	Rate    float64 // bits/s while on
+	PktSize int     // bytes (default 500)
+	MeanOn  float64 // seconds (default 1)
+	MeanOff float64 // seconds (default 1)
+}
+
+func (c *OnOffUDPConfig) defaults() {
+	if c.PktSize == 0 {
+		c.PktSize = 500
+	}
+	if c.MeanOn == 0 {
+		c.MeanOn = 1
+	}
+	if c.MeanOff == 0 {
+		c.MeanOff = 1
+	}
+}
+
+// OnOffUDP emits CBR packets during exponentially distributed on periods
+// separated by exponentially distributed off periods.
+type OnOffUDP struct {
+	s    *sim.Simulator
+	flow int
+	fwd  []*sim.Link
+	cfg  OnOffUDPConfig
+	rng  *stats.RNG
+	on   bool
+	// Sent counts emitted packets.
+	Sent int64
+}
+
+// NewOnOffUDP creates a source whose first off period ends at start.
+func NewOnOffUDP(s *sim.Simulator, ids *FlowIDs, fwd []*sim.Link, cfg OnOffUDPConfig, rng *stats.RNG, start float64) *OnOffUDP {
+	cfg.defaults()
+	if cfg.Rate <= 0 {
+		panic("traffic: on-off UDP rate must be positive")
+	}
+	u := &OnOffUDP{s: s, flow: ids.Next(), fwd: fwd, cfg: cfg, rng: rng}
+	s.At(start, u.turnOn)
+	return u
+}
+
+func (u *OnOffUDP) interval() float64 {
+	return float64(u.cfg.PktSize*8) / u.cfg.Rate
+}
+
+func (u *OnOffUDP) turnOn() {
+	u.on = true
+	u.s.After(u.rng.Exp(u.cfg.MeanOn), u.turnOff)
+	u.emit()
+}
+
+func (u *OnOffUDP) turnOff() {
+	u.on = false
+	u.s.After(u.rng.Exp(u.cfg.MeanOff), u.turnOn)
+}
+
+func (u *OnOffUDP) emit() {
+	if !u.on {
+		return
+	}
+	p := u.s.NewPacket(sim.UDPData, u.flow, u.cfg.PktSize, u.fwd, nil)
+	p.Forward(u.s)
+	u.Sent++
+	u.s.After(u.interval(), u.emit)
+}

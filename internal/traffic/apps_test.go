@@ -1,0 +1,191 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+
+	"dominantlink/internal/sim"
+	"dominantlink/internal/stats"
+)
+
+func TestFlowIDsUnique(t *testing.T) {
+	ids := &FlowIDs{}
+	seen := map[int]bool{}
+	for i := 0; i < 100; i++ {
+		id := ids.Next()
+		if seen[id] {
+			t.Fatalf("duplicate flow id %d", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestOnOffUDPRate(t *testing.T) {
+	s := sim.New(1)
+	l := s.NewLink("l", 10e6, 0, sim.NewDropTail(1<<20))
+	ids := &FlowIDs{}
+	rng := stats.NewRNG(2)
+	u := NewOnOffUDP(s, ids, []*sim.Link{l}, OnOffUDPConfig{
+		Rate: 1e6, PktSize: 1000, MeanOn: 1, MeanOff: 1,
+	}, rng, 0)
+	s.Run(200)
+	// Duty cycle 50% => average rate ~0.5 Mb/s => ~12.5k packets in 200 s.
+	got := float64(u.Sent)
+	want := 200.0 * 0.5e6 / (1000 * 8)
+	if math.Abs(got-want)/want > 0.2 {
+		t.Fatalf("sent %v packets, want ~%v (±20%%)", got, want)
+	}
+}
+
+func TestOnOffUDPValidation(t *testing.T) {
+	s := sim.New(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero rate should panic")
+		}
+	}()
+	NewOnOffUDP(s, &FlowIDs{}, nil, OnOffUDPConfig{}, stats.NewRNG(1), 0)
+}
+
+func TestHTTPSessionCycles(t *testing.T) {
+	s := sim.New(3)
+	f := s.NewLink("f", 10e6, 0.005, sim.NewDropTail(1<<20))
+	r := s.NewLink("r", 10e6, 0.005, sim.NewDropTail(1<<20))
+	ids := &FlowIDs{}
+	h := NewHTTPSession(s, ids, []*sim.Link{f}, []*sim.Link{r}, HTTPConfig{
+		MeanThinkTime: 0.5,
+	}, stats.NewRNG(4), 0)
+	s.Run(120)
+	if h.Transfers < 20 {
+		t.Fatalf("only %d transfers in 120 s with 0.5 s think time", h.Transfers)
+	}
+	if f.TxBytes == 0 {
+		t.Fatal("no bytes moved")
+	}
+}
+
+func TestFTPStaggeredStarts(t *testing.T) {
+	s := sim.New(5)
+	f := s.NewLink("f", 1e6, 0.01, sim.NewDropTail(20000))
+	r := s.NewLink("r", 1e6, 0.01, sim.NewDropTail(1<<20))
+	senders := FTP(s, &FlowIDs{}, 3, []*sim.Link{f}, []*sim.Link{r}, 0, 2)
+	s.Run(30)
+	if len(senders) != 3 {
+		t.Fatalf("senders = %d", len(senders))
+	}
+	for i, snd := range senders {
+		if snd.SentPkts == 0 {
+			t.Fatalf("FTP flow %d never started", i)
+		}
+	}
+}
+
+func TestProberCollectsTrace(t *testing.T) {
+	s := sim.New(6)
+	l := s.NewLink("l", 1e6, 0.005, sim.NewDropTail(20000))
+	ids := &FlowIDs{}
+	pr := NewProber(s, ids, []*sim.Link{l}, ProbeConfig{Interval: 0.02, Start: 0, Stop: 10})
+	s.Run(12)
+	tr := pr.BuildTrace(0.005)
+	if pr.Count() < 499 || pr.Count() > 501 {
+		t.Fatalf("probe count = %d, want ~500", pr.Count())
+	}
+	if len(tr.Observations) != len(tr.Truth) {
+		t.Fatal("observations and truth misaligned")
+	}
+	if tr.LossCount() != 0 {
+		t.Fatalf("losses on an idle link: %d", tr.LossCount())
+	}
+	for i, o := range tr.Observations {
+		if o.Lost {
+			continue
+		}
+		if o.Delay < 0.005 || o.Delay > 0.006 {
+			t.Fatalf("obs %d delay %v out of expected idle-path range", i, o.Delay)
+		}
+		if o.Seq != int64(i) {
+			t.Fatalf("seq misnumbered at %d", i)
+		}
+	}
+	if tr.PropagationDelay != 0.005 {
+		t.Fatal("propagation not recorded")
+	}
+}
+
+func TestProberRecordsLosses(t *testing.T) {
+	s := sim.New(7)
+	l := s.NewLink("l", 0.1e6, 0.001, sim.NewDropTail(3000))
+	ids := &FlowIDs{}
+	// Saturate the link so probes get dropped.
+	rng := stats.NewRNG(1)
+	NewOnOffUDP(s, ids, []*sim.Link{l}, OnOffUDPConfig{
+		Rate: 0.2e6, PktSize: 1000, MeanOn: 100, MeanOff: 0.001,
+	}, rng, 0)
+	pr := NewProber(s, ids, []*sim.Link{l}, ProbeConfig{Interval: 0.02, Start: 1, Stop: 30})
+	s.Run(40)
+	tr := pr.BuildTrace(0)
+	if tr.LossCount() == 0 {
+		t.Fatal("saturated link produced no probe losses")
+	}
+	for i, g := range tr.Truth {
+		if g.Lost != tr.Observations[i].Lost {
+			t.Fatalf("truth/observation lost flag mismatch at %d", i)
+		}
+		if g.Lost && g.LostHop != 0 {
+			t.Fatalf("loss attributed to hop %d, want 0", g.LostHop)
+		}
+		if g.Lost && g.VirtualQueuing <= 0 {
+			t.Fatalf("lost probe has no virtual queuing delay at %d", i)
+		}
+	}
+}
+
+func TestLossPairImputation(t *testing.T) {
+	p := &LossPairProber{}
+	p.pairs = []*pairFate{
+		{delay: [2]float64{0.05, 0.06}}, // both delivered: uninformative
+		{delay: [2]float64{-1, 0.07}},   // first lost: impute 0.07
+		{delay: [2]float64{0.08, -1}},   // second lost: impute 0.08
+		{delay: [2]float64{-1, -1}},     // both lost: uninformative
+	}
+	imp := p.ImputedDelays()
+	if len(imp) != 2 || imp[0] != 0.07 || imp[1] != 0.08 {
+		t.Fatalf("imputed = %v", imp)
+	}
+	obs := p.ObservedDelays()
+	if len(obs) != 4 {
+		t.Fatalf("observed = %v", obs)
+	}
+	if obs[0] != 0.05 || obs[3] != 0.08 {
+		t.Fatalf("observed unsorted or wrong: %v", obs)
+	}
+}
+
+func TestLossPairProberEndToEnd(t *testing.T) {
+	s := sim.New(8)
+	l := s.NewLink("l", 0.5e6, 0.001, sim.NewDropTail(5000))
+	ids := &FlowIDs{}
+	rng := stats.NewRNG(2)
+	NewOnOffUDP(s, ids, []*sim.Link{l}, OnOffUDPConfig{
+		Rate: 0.45e6, PktSize: 1000, MeanOn: 2, MeanOff: 1,
+	}, rng, 0)
+	NewOnOffUDP(s, ids, []*sim.Link{l}, OnOffUDPConfig{
+		Rate: 0.3e6, PktSize: 1000, MeanOn: 1, MeanOff: 1,
+	}, rng.Split(9), 0)
+	pp := NewLossPairProber(s, ids, []*sim.Link{l}, LossPairConfig{Start: 5, Stop: 200})
+	s.Run(210)
+	if pp.Pairs() < 4000 {
+		t.Fatalf("pairs sent = %d", pp.Pairs())
+	}
+	imp := pp.ImputedDelays()
+	if len(imp) == 0 {
+		t.Fatal("no informative loss pairs on a lossy link")
+	}
+	// Imputed delays come from survivors that saw a nearly full queue:
+	// they must sit in the upper part of the delay range.
+	obs := pp.ObservedDelays()
+	maxObs := obs[len(obs)-1]
+	if imp[len(imp)/2] < 0.5*maxObs {
+		t.Fatalf("median imputed %v too low vs max observed %v", imp[len(imp)/2], maxObs)
+	}
+}

@@ -1,0 +1,95 @@
+package traffic
+
+import (
+	"testing"
+
+	"dominantlink/internal/sim"
+	"dominantlink/internal/stats"
+)
+
+func TestHTTPConfigDefaults(t *testing.T) {
+	var c HTTPConfig
+	c.defaults()
+	if c.MeanThinkTime != 5 || c.ParetoAlpha != 1.3 || c.MinPagePkts != 2 || c.MaxPagePkts != 200 {
+		t.Fatalf("defaults wrong: %+v", c)
+	}
+}
+
+// TestHTTPPageSizes: transfers stay within the configured size bounds and
+// show heavy-tail variety.
+func TestHTTPPageSizes(t *testing.T) {
+	s := sim.New(1)
+	f := s.NewLink("f", 100e6, 0.001, sim.NewDropTail(1<<22))
+	r := s.NewLink("r", 100e6, 0.001, sim.NewDropTail(1<<22))
+	ids := &FlowIDs{}
+	rng := stats.NewRNG(7)
+	// Short think time so many transfers complete quickly.
+	h := NewHTTPSession(s, ids, []*sim.Link{f}, []*sim.Link{r}, HTTPConfig{
+		MeanThinkTime: 0.05, MinPagePkts: 2, MaxPagePkts: 50,
+	}, rng, 0)
+	s.Run(120)
+	if h.Transfers < 100 {
+		t.Fatalf("only %d transfers completed", h.Transfers)
+	}
+	// Aggregate bytes must be between min and max page sizes per transfer
+	// (acks excluded because they flow on r).
+	minBytes := int64(h.Transfers) * 2 * 1000
+	maxBytes := int64(h.Transfers+1) * 50 * 1000 * 2 // slack for retransmits/in-flight
+	if f.TxBytes < minBytes || f.TxBytes > maxBytes {
+		t.Fatalf("TxBytes %d outside [%d, %d] for %d transfers", f.TxBytes, minBytes, maxBytes, h.Transfers)
+	}
+}
+
+func TestTCPConfigDefaults(t *testing.T) {
+	var c TCPConfig
+	c.defaults()
+	if c.MSS != 1000 || c.AckSize != 40 || c.WindowMax != 64 || c.InitialRTO != 1 {
+		t.Fatalf("defaults wrong: %+v", c)
+	}
+	if c.TotalPkts <= 0 {
+		t.Fatal("unbounded transfer should get a huge TotalPkts")
+	}
+}
+
+func TestProbeConfigDefaults(t *testing.T) {
+	var c ProbeConfig
+	c.defaults()
+	if c.Interval != 0.02 || c.Size != 10 {
+		t.Fatalf("defaults wrong: %+v", c)
+	}
+	var lp LossPairConfig
+	lp.defaults()
+	if lp.Interval != 0.04 || lp.FirstSize != 1000 || lp.Size != 10 {
+		t.Fatalf("loss-pair defaults wrong: %+v", lp)
+	}
+}
+
+// TestProberStops: no probes are sent at or after Stop.
+func TestProberStops(t *testing.T) {
+	s := sim.New(2)
+	l := s.NewLink("l", 10e6, 0.001, sim.NewDropTail(1<<20))
+	pr := NewProber(s, &FlowIDs{}, []*sim.Link{l}, ProbeConfig{Interval: 0.02, Start: 0, Stop: 1})
+	s.Run(5)
+	if pr.Count() < 49 || pr.Count() > 51 {
+		t.Fatalf("probe count = %d, want ~50", pr.Count())
+	}
+	tr := pr.BuildTrace(0)
+	last := tr.Observations[len(tr.Observations)-1]
+	if last.SendTime >= 1 {
+		t.Fatalf("probe sent at %v, after stop", last.SendTime)
+	}
+}
+
+// TestTCPJitterStillCorrect: with send jitter enabled the transfer still
+// completes and paces within the link capacity.
+func TestTCPJitterStillCorrect(t *testing.T) {
+	s := sim.New(3)
+	fwd, rev := pipe(s, 1e6, 0.01, 32000)
+	done := false
+	snd := NewTCP(s, 1, fwd, rev, TCPConfig{TotalPkts: 300, SendJitter: 0.001}, func() { done = true })
+	snd.Start()
+	s.Run(60)
+	if !done {
+		t.Fatalf("jittered transfer stalled at %d/300", snd.highestAcked)
+	}
+}

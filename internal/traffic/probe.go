@@ -1,0 +1,216 @@
+package traffic
+
+import (
+	"sort"
+
+	"dominantlink/internal/sim"
+	"dominantlink/internal/trace"
+)
+
+// ProbeConfig parameterizes the periodic probe process of the paper: by
+// default 10-byte UDP probes every 20 ms (4 kb/s).
+type ProbeConfig struct {
+	Interval float64 // seconds between probes (default 0.02)
+	Size     int     // probe size, bytes (default 10)
+	Start    float64 // first probe send time
+	Stop     float64 // no probes at or after this time (0 = forever)
+}
+
+func (c *ProbeConfig) defaults() {
+	if c.Interval == 0 {
+		c.Interval = 0.02
+	}
+	if c.Size == 0 {
+		c.Size = 10
+	}
+}
+
+// Prober periodically sends traced probes along a path and collects the
+// resulting observation sequence plus the simulator-side ground truth.
+type Prober struct {
+	s    *sim.Simulator
+	cfg  ProbeConfig
+	flow int
+	path []*sim.Link
+
+	sent   []*sim.ProbeTrace
+	delays []float64 // arrival-observed one-way delay per seq; -1 when lost
+}
+
+// NewProber installs a periodic probe source over path.
+func NewProber(s *sim.Simulator, ids *FlowIDs, path []*sim.Link, cfg ProbeConfig) *Prober {
+	cfg.defaults()
+	p := &Prober{s: s, cfg: cfg, flow: ids.Next(), path: path}
+	s.At(cfg.Start, p.tick)
+	return p
+}
+
+func (p *Prober) tick() {
+	if p.cfg.Stop > 0 && p.s.Now() >= p.cfg.Stop {
+		return
+	}
+	seq := int64(len(p.sent))
+	pkt := p.s.NewPacket(sim.Probe, p.flow, p.cfg.Size, p.path, sim.ReceiverFunc(func(rp *sim.Packet, now sim.Time) {
+		p.delays[rp.Seq] = now - rp.SendTime
+	}))
+	pkt.Seq = seq
+	tr := sim.NewProbeTrace(pkt)
+	p.sent = append(p.sent, tr)
+	p.delays = append(p.delays, -1)
+	pkt.Forward(p.s)
+	p.s.After(p.cfg.Interval, p.tick)
+}
+
+// Count returns the number of probes sent so far.
+func (p *Prober) Count() int { return len(p.sent) }
+
+// BuildTrace assembles the observation sequence and ground truth for all
+// probes whose fate is settled (delivered, virtually completed, or — for
+// safety — sent long enough ago that they cannot still be in flight).
+// propagation is the known propagation+transmission floor of the path
+// (pass 0 when unknown).
+func (p *Prober) BuildTrace(propagation float64) *trace.Trace {
+	t := &trace.Trace{PropagationDelay: propagation}
+	for i, tr := range p.sent {
+		if !tr.Done {
+			continue // still in flight at the end of the run
+		}
+		lost := tr.Lost
+		delay := p.delays[i]
+		if !lost && delay < 0 {
+			// Delivered flag missing: should not happen, skip defensively.
+			continue
+		}
+		obs := trace.Observation{
+			Seq:      int64(i),
+			SendTime: tr.SendTime,
+			Lost:     lost,
+		}
+		if !lost {
+			obs.Delay = delay
+		}
+		t.Observations = append(t.Observations, obs)
+		gt := trace.GroundTruth{
+			Seq:            int64(i),
+			Lost:           lost,
+			LostHop:        tr.LostHop,
+			VirtualQueuing: tr.QueuingTotal(),
+			PerHopQueuing:  append([]float64(nil), tr.PerLink...),
+		}
+		if !lost {
+			gt.LostHop = -1
+		}
+		t.Truth = append(t.Truth, gt)
+	}
+	return t
+}
+
+// LossPairConfig parameterizes the loss-pair baseline probe process of
+// Liu & Crovella: two back-to-back packets per round; when exactly one is
+// lost, the survivor's delay stands in for the lost packet's. The paper
+// sends one pair every 40 ms so the probe count matches a 20 ms
+// single-probe stream. The first packet of each pair is full-sized (the
+// loss-pair technique was designed around data/probe pairs), which is
+// what makes discordant fates — the informative outcome — likely at a
+// droptail buffer.
+type LossPairConfig struct {
+	Interval  float64 // seconds between pairs (default 0.04)
+	FirstSize int     // leading packet size, bytes (default 1000)
+	Size      int     // trailing probe size, bytes (default 10)
+	Start     float64
+	Stop      float64
+}
+
+func (c *LossPairConfig) defaults() {
+	if c.Interval == 0 {
+		c.Interval = 0.04
+	}
+	if c.FirstSize == 0 {
+		c.FirstSize = 1000
+	}
+	if c.Size == 0 {
+		c.Size = 10
+	}
+}
+
+// pairFate tracks the two probes of one loss-pair round.
+type pairFate struct {
+	delay [2]float64 // -1 = lost (or pending)
+	done  [2]bool
+}
+
+// LossPairProber sends back-to-back probe pairs and implements the
+// loss-pair estimator: when exactly one probe of a pair is lost, the
+// surviving probe's delay is taken as the virtual delay of the lost one.
+type LossPairProber struct {
+	s     *sim.Simulator
+	cfg   LossPairConfig
+	flow  int
+	path  []*sim.Link
+	pairs []*pairFate
+}
+
+// NewLossPairProber installs a loss-pair source over path.
+func NewLossPairProber(s *sim.Simulator, ids *FlowIDs, path []*sim.Link, cfg LossPairConfig) *LossPairProber {
+	cfg.defaults()
+	p := &LossPairProber{s: s, cfg: cfg, flow: ids.Next(), path: path}
+	s.At(cfg.Start, p.tick)
+	return p
+}
+
+func (p *LossPairProber) tick() {
+	if p.cfg.Stop > 0 && p.s.Now() >= p.cfg.Stop {
+		return
+	}
+	f := &pairFate{delay: [2]float64{-1, -1}}
+	p.pairs = append(p.pairs, f)
+	sizes := [2]int{p.cfg.FirstSize, p.cfg.Size}
+	for k := 0; k < 2; k++ {
+		k := k
+		pkt := p.s.NewPacket(sim.Probe, p.flow, sizes[k], p.path, sim.ReceiverFunc(func(rp *sim.Packet, now sim.Time) {
+			f.delay[k] = now - rp.SendTime
+			f.done[k] = true
+		}))
+		pkt.Forward(p.s)
+	}
+	p.s.After(p.cfg.Interval, p.tick)
+}
+
+// Pairs returns the number of pairs sent.
+func (p *LossPairProber) Pairs() int { return len(p.pairs) }
+
+// ImputedDelays returns, for every loss pair in which exactly one probe was
+// delivered, the surviving probe's one-way delay — the loss-pair estimate
+// of the lost probe's virtual one-way delay. The slice is sorted.
+func (p *LossPairProber) ImputedDelays() []float64 {
+	var out []float64
+	for _, f := range p.pairs {
+		aLost := f.delay[0] < 0
+		bLost := f.delay[1] < 0
+		if aLost == bLost {
+			continue // both survived or both lost: no information
+		}
+		if aLost {
+			out = append(out, f.delay[1])
+		} else {
+			out = append(out, f.delay[0])
+		}
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// ObservedDelays returns the one-way delays of all delivered loss-pair
+// probes (used to estimate the propagation floor), sorted.
+func (p *LossPairProber) ObservedDelays() []float64 {
+	var out []float64
+	for _, f := range p.pairs {
+		for k := 0; k < 2; k++ {
+			if f.delay[k] >= 0 {
+				out = append(out, f.delay[k])
+			}
+		}
+	}
+	sort.Float64s(out)
+	return out
+}

@@ -1,0 +1,322 @@
+// Package traffic implements the traffic sources used in the paper's
+// validation: TCP Reno bulk (FTP) and HTTP-like transfers, exponential
+// on-off UDP, the periodic probe process, and the back-to-back loss-pair
+// probe process used by the comparison baseline.
+package traffic
+
+import (
+	"math"
+
+	"dominantlink/internal/sim"
+	"dominantlink/internal/stats"
+)
+
+// TCPConfig parameterizes a Reno sender.
+type TCPConfig struct {
+	MSS        int     // segment size, bytes (default 1000)
+	AckSize    int     // ack packet size, bytes (default 40)
+	WindowMax  float64 // cwnd cap in segments (default 64)
+	TotalPkts  int64   // number of segments to transfer; <=0 means unbounded (FTP)
+	InitialRTO float64 // seconds (default 1)
+	// SendJitter delays each segment by a uniform random amount in
+	// [0, SendJitter) seconds. Deterministic simulations of droptail
+	// queues exhibit phase effects in which one of several identical
+	// flows captures the buffer; a sub-millisecond jitter (ns-2's
+	// "overhead" parameter) removes the artifact. 0 disables it.
+	SendJitter float64
+}
+
+func (c *TCPConfig) defaults() {
+	if c.MSS == 0 {
+		c.MSS = 1000
+	}
+	if c.AckSize == 0 {
+		c.AckSize = 40
+	}
+	if c.WindowMax == 0 {
+		c.WindowMax = 64
+	}
+	if c.TotalPkts <= 0 {
+		c.TotalPkts = math.MaxInt64 / 4
+	}
+	if c.InitialRTO == 0 {
+		c.InitialRTO = 1
+	}
+}
+
+// TCPSender is a packet-granularity TCP Reno sender: slow start,
+// congestion avoidance, fast retransmit/recovery on three duplicate acks,
+// and an exponential-backoff retransmission timer with SRTT/RTTVAR
+// estimation. Sequence numbers count segments, not bytes.
+type TCPSender struct {
+	s    *sim.Simulator
+	cfg  TCPConfig
+	flow int
+	fwd  []*sim.Link
+	rcv  *tcpReceiver
+
+	cwnd     float64
+	ssthresh float64
+
+	nextSeq      int64 // next never-sent segment
+	highestAcked int64 // cumulative ack: all segments < this delivered
+	dupAcks      int
+	inRecovery   bool
+	recover      int64
+
+	srtt, rttvar, rto float64
+	haveSRTT          bool
+	rttSeq            int64 // segment whose ack will be timed; -1 when none
+	rttSentAt         sim.Time
+
+	timerGen  uint64
+	timerLive bool
+
+	jitter *stats.RNG // non-nil when SendJitter > 0
+
+	started bool
+	doneFn  func()
+	isDone  bool
+
+	// Counters for tests and reporting.
+	SentPkts, Retransmits, Timeouts int64
+}
+
+// NewTCP wires a Reno sender/receiver pair: data flows over fwd, acks
+// return over rev. done (may be nil) fires once when the configured
+// transfer completes.
+func NewTCP(s *sim.Simulator, flow int, fwd, rev []*sim.Link, cfg TCPConfig, done func()) *TCPSender {
+	cfg.defaults()
+	snd := &TCPSender{
+		s:        s,
+		cfg:      cfg,
+		flow:     flow,
+		fwd:      fwd,
+		cwnd:     2,
+		ssthresh: cfg.WindowMax,
+		rto:      cfg.InitialRTO,
+		rttSeq:   -1,
+		doneFn:   done,
+	}
+	if cfg.SendJitter > 0 {
+		snd.jitter = s.RNG().Split(int64(flow) + 424243)
+	}
+	snd.rcv = &tcpReceiver{s: s, snd: snd, rev: rev, flow: flow}
+	return snd
+}
+
+// Start begins the transfer at the current simulation time.
+func (t *TCPSender) Start() {
+	if t.started {
+		return
+	}
+	t.started = true
+	t.trySend()
+}
+
+// Done reports whether the configured transfer has completed.
+func (t *TCPSender) Done() bool { return t.isDone }
+
+// Cwnd exposes the congestion window (segments) for tests.
+func (t *TCPSender) Cwnd() float64 { return t.cwnd }
+
+func (t *TCPSender) window() int64 {
+	w := math.Min(t.cwnd, t.cfg.WindowMax)
+	if w < 1 {
+		w = 1
+	}
+	return int64(w)
+}
+
+func (t *TCPSender) trySend() {
+	if t.isDone {
+		return
+	}
+	for t.nextSeq < t.highestAcked+t.window() && t.nextSeq < t.cfg.TotalPkts {
+		t.sendSegment(t.nextSeq, false)
+		t.nextSeq++
+	}
+}
+
+func (t *TCPSender) sendSegment(seq int64, isRetransmit bool) {
+	p := t.s.NewPacket(sim.TCPData, t.flow, t.cfg.MSS, t.fwd, t.rcv)
+	p.Seq = seq
+	t.SentPkts++
+	if isRetransmit {
+		t.Retransmits++
+		// Karn's algorithm: never time a retransmitted segment.
+		if t.rttSeq == seq {
+			t.rttSeq = -1
+		}
+	} else if t.rttSeq < 0 {
+		t.rttSeq = seq
+		t.rttSentAt = t.s.Now()
+	}
+	if !t.timerLive {
+		t.armTimer()
+	}
+	if t.jitter != nil {
+		t.s.After(t.jitter.Uniform(0, t.cfg.SendJitter), func() { p.Forward(t.s) })
+		return
+	}
+	p.Forward(t.s)
+}
+
+func (t *TCPSender) armTimer() {
+	t.timerGen++
+	gen := t.timerGen
+	t.timerLive = true
+	t.s.After(t.rto, func() {
+		if gen != t.timerGen {
+			return // cancelled or re-armed
+		}
+		t.timerLive = false
+		t.onTimeout()
+	})
+}
+
+func (t *TCPSender) cancelTimer() {
+	t.timerGen++
+	t.timerLive = false
+}
+
+func (t *TCPSender) onTimeout() {
+	if t.isDone || t.highestAcked >= t.cfg.TotalPkts {
+		return
+	}
+	t.Timeouts++
+	t.ssthresh = math.Max(t.cwnd/2, 2)
+	t.cwnd = 1
+	t.dupAcks = 0
+	t.inRecovery = false
+	t.rto = math.Min(t.rto*2, 60) // backoff
+	// Karn's algorithm, cumulative-ack form: any in-flight measurement is
+	// now ambiguous (its ack may be released by the retransmission filling
+	// the hole), so cancel it rather than record a timeout-length sample.
+	t.rttSeq = -1
+	t.sendSegment(t.highestAcked, true)
+	// Go back to the first unacknowledged segment: everything beyond it is
+	// presumed lost and is resent as the window reopens in slow start
+	// (snd_nxt = snd_una + 1, classic post-RTO behaviour).
+	if t.nextSeq > t.highestAcked+1 {
+		t.nextSeq = t.highestAcked + 1
+	}
+	t.armTimer()
+}
+
+func (t *TCPSender) updateRTT(sample float64) {
+	if !t.haveSRTT {
+		t.srtt = sample
+		t.rttvar = sample / 2
+		t.haveSRTT = true
+	} else {
+		const alpha, beta = 1.0 / 8, 1.0 / 4
+		t.rttvar = (1-beta)*t.rttvar + beta*math.Abs(t.srtt-sample)
+		t.srtt = (1-alpha)*t.srtt + alpha*sample
+	}
+	t.rto = t.srtt + math.Max(4*t.rttvar, 0.01)
+	if t.rto < 0.2 {
+		t.rto = 0.2
+	}
+	if t.rto > 60 {
+		t.rto = 60
+	}
+}
+
+// onAck processes a cumulative acknowledgment (first unreceived segment).
+func (t *TCPSender) onAck(ack int64) {
+	if t.isDone {
+		return
+	}
+	if ack > t.highestAcked {
+		// New data acknowledged.
+		if t.rttSeq >= 0 && ack > t.rttSeq {
+			t.updateRTT(t.s.Now() - t.rttSentAt)
+			t.rttSeq = -1
+		}
+		newly := ack - t.highestAcked
+		t.highestAcked = ack
+		t.dupAcks = 0
+		if t.inRecovery {
+			if ack >= t.recover {
+				t.inRecovery = false
+				t.cwnd = t.ssthresh
+			} else {
+				// Partial ack (NewReno-style): retransmit the next hole and
+				// deflate by the amount acked.
+				t.cwnd = math.Max(t.cwnd-float64(newly)+1, 1)
+				t.sendSegment(t.highestAcked, true)
+			}
+		} else if t.cwnd < t.ssthresh {
+			t.cwnd += float64(newly) // slow start
+		} else {
+			t.cwnd += float64(newly) / t.cwnd // congestion avoidance
+		}
+		if t.highestAcked >= t.cfg.TotalPkts {
+			t.finish()
+			return
+		}
+		t.cancelTimer()
+		t.armTimer()
+		t.trySend()
+		return
+	}
+	// Duplicate ack.
+	t.dupAcks++
+	if !t.inRecovery && t.dupAcks == 3 {
+		t.ssthresh = math.Max(t.cwnd/2, 2)
+		t.cwnd = t.ssthresh + 3
+		t.inRecovery = true
+		t.recover = t.nextSeq
+		t.rttSeq = -1 // measurement ambiguous once we retransmit (Karn)
+		t.sendSegment(t.highestAcked, true)
+	} else if t.inRecovery {
+		t.cwnd++ // window inflation per arriving dup ack
+	}
+	t.trySend()
+}
+
+func (t *TCPSender) finish() {
+	t.isDone = true
+	t.cancelTimer()
+	if t.doneFn != nil {
+		t.doneFn()
+	}
+}
+
+// tcpReceiver delivers cumulative acks back to the sender over the reverse
+// path. It buffers out-of-order segments so the cumulative ack advances
+// past filled holes.
+type tcpReceiver struct {
+	s        *sim.Simulator
+	snd      *TCPSender
+	rev      []*sim.Link
+	flow     int
+	expected int64
+	buffered map[int64]bool
+}
+
+// Receive implements sim.Receiver for data segments.
+func (r *tcpReceiver) Receive(p *sim.Packet, _ sim.Time) {
+	if p.Seq == r.expected {
+		r.expected++
+		for r.buffered[r.expected] {
+			delete(r.buffered, r.expected)
+			r.expected++
+		}
+	} else if p.Seq > r.expected {
+		if r.buffered == nil {
+			r.buffered = make(map[int64]bool)
+		}
+		r.buffered[p.Seq] = true
+	}
+	ack := r.s.NewPacket(sim.TCPAck, r.flow, r.snd.cfg.AckSize, r.rev, ackSink{r.snd})
+	ack.Ack = r.expected
+	ack.Forward(r.s)
+}
+
+// ackSink delivers acks arriving at the sender side.
+type ackSink struct{ snd *TCPSender }
+
+// Receive implements sim.Receiver for acks.
+func (a ackSink) Receive(p *sim.Packet, _ sim.Time) { a.snd.onAck(p.Ack) }
