@@ -8,6 +8,7 @@ package dominantlink_test
 // top-level benches exercise the end-to-end paths.
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -155,6 +156,47 @@ func BenchmarkFig14Consistency(b *testing.B) {
 	identifyBench(b, seg, core.IdentifyConfig{
 		X: 0.06, Y: 1e-9, Restarts: 1, KnownPropagation: res.Run.TrueProp,
 	})
+}
+
+// BenchmarkIdentifyRestarts compares the serial restart loop with the
+// parallel restart pool at Restarts=8 on the Table III trace. Both
+// sub-benchmarks select the same fit (determinism is tested in
+// internal/core); the parallel one should approach a GOMAXPROCS-fold
+// speedup on multi-core hosts.
+func BenchmarkIdentifyRestarts(b *testing.B) {
+	run := cachedRun(b, "t3", func() *scenario.Run { return scenario.WeaklyDominant(0.7e6, 1, 42).Execute() })
+	cfg := core.IdentifyConfig{X: 0.06, Y: 1e-9, Restarts: 8}
+	b.Run("serial", func(b *testing.B) {
+		cfg := cfg
+		cfg.Parallelism = 1
+		identifyBench(b, run.Trace, cfg)
+	})
+	b.Run("parallel", func(b *testing.B) {
+		cfg := cfg
+		cfg.Parallelism = 0 // GOMAXPROCS workers
+		identifyBench(b, run.Trace, cfg)
+	})
+}
+
+// BenchmarkIdentifyBatch runs the N=1..4 sweep of Fig. 5 through the batch
+// engine — the experiment drivers' workload shape.
+func BenchmarkIdentifyBatch(b *testing.B) {
+	run := cachedRun(b, "t2", func() *scenario.Run { return scenario.StronglyDominant(1e6, 42).Execute() })
+	jobs := make([]core.Job, 4)
+	for n := 1; n <= 4; n++ {
+		jobs[n-1] = core.Job{Trace: run.Trace, Config: core.IdentifyConfig{
+			HiddenStates: n, X: 0.06, Y: 1e-9,
+		}}
+	}
+	engine := core.NewEngine(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, res := range engine.IdentifyJobs(context.Background(), jobs) {
+			if res.Err != nil {
+				b.Fatal(res.Err)
+			}
+		}
+	}
 }
 
 // BenchmarkScenarioSimulation measures the raw simulation cost of a full

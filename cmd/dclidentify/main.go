@@ -1,17 +1,21 @@
 // Command dclidentify runs model-based dominant-congested-link
-// identification on a probe trace CSV (as written by dclsim or by any
-// measurement tool producing "seq,send_time,delay,lost" rows).
+// identification on one or more probe trace CSVs (as written by dclsim or
+// by any measurement tool producing "seq,send_time,delay,lost" rows).
 //
 // Usage:
 //
 //	dclidentify -trace trace.csv [-model mmhd|hmm] [-m 5] [-n 2] [-x 0.06] [-y 0] [-skew]
+//	dclidentify trace1.csv trace2.csv ...   # batch: identified concurrently
 //
-// With -skew, receiver clock offset and skew are removed from the one-way
-// delays before identification (use for traces captured between
-// unsynchronized hosts).
+// Multiple traces are identified concurrently by the batch engine; results
+// are printed in input order. With -skew, receiver clock offset and skew
+// are removed from the one-way delays before identification (use for
+// traces captured between unsynchronized hosts).
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -26,66 +30,36 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("dclidentify: ")
 	var (
-		path    = flag.String("trace", "", "probe trace CSV (required)")
+		path    = flag.String("trace", "", "probe trace CSV (or pass trace files as arguments)")
 		model   = flag.String("model", "mmhd", "inference model: mmhd or hmm")
 		m       = flag.Int("m", 5, "number of delay symbols M")
 		n       = flag.Int("n", 2, "number of hidden states N")
 		x       = flag.Float64("x", 0.06, "WDCL loss parameter x")
-		y       = flag.Float64("y", 0, "WDCL delay parameter y")
+		y       = flag.Float64("y", 0, "WDCL delay parameter y (0 = the paper's strict delay condition)")
 		seed    = flag.Int64("seed", 1, "EM initialization seed")
 		prop    = flag.Float64("prop", 0, "known propagation delay in seconds (0 = estimate from min delay)")
 		deskew  = flag.Bool("skew", false, "remove receiver clock offset/skew before identification")
 		paperEM = flag.Bool("paper-em", false, "use the paper's exact per-symbol loss probabilities")
+		workers = flag.Int("workers", 0, "batch worker-pool size (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
-	if *path == "" {
+	paths := flag.Args()
+	if *path != "" {
+		paths = append([]string{*path}, paths...)
+	}
+	if len(paths) == 0 {
 		flag.Usage()
 		os.Exit(2)
 	}
 
-	f, err := os.Open(*path)
-	if err != nil {
-		log.Fatal(err)
-	}
-	tr, err := trace.ReadCSV(f)
-	f.Close()
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("trace: %d probes, %.2f%% loss, %.0f s\n",
-		len(tr.Observations), 100*tr.LossRate(), tr.Duration())
-
-	if *deskew {
-		var ts, ds []float64
-		for _, o := range tr.Observations {
-			if !o.Lost {
-				ts = append(ts, o.SendTime)
-				ds = append(ds, o.Delay)
-			}
-		}
-		line, err := clocksync.Estimate(ts, ds)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("clock: removed skew %.3g s/s (offset component %.3f ms)\n", line.Beta, 1e3*line.Alpha)
-		for i := range tr.Observations {
-			if !tr.Observations[i].Lost {
-				tr.Observations[i].Delay -= line.Beta * tr.Observations[i].SendTime
-			}
-		}
-	}
-
-	if *y == 0 {
-		// IdentifyConfig treats Y==0 as "use the default"; the paper's
-		// y=0 (the delay condition must always hold) is expressed with a
-		// negligible epsilon.
-		*y = 1e-9
-	}
+	// An explicit -y 0 is the paper's strict WDCL delay condition; the
+	// Exact marker keeps it from being replaced by the 0.06 default.
 	cfg := core.IdentifyConfig{
 		Symbols:          *m,
 		HiddenStates:     *n,
 		X:                *x,
 		Y:                *y,
+		ExactY:           *y == 0,
 		Seed:             *seed,
 		KnownPropagation: *prop,
 		PerSymbolLoss:    *paperEM,
@@ -99,10 +73,76 @@ func main() {
 		log.Fatalf("unknown model %q", *model)
 	}
 
-	id, err := core.Identify(tr, cfg)
-	if err != nil {
-		log.Fatal(err)
+	traces := make([]*trace.Trace, len(paths))
+	for i, p := range paths {
+		tr, err := readTrace(p, *deskew)
+		if err != nil {
+			log.Fatal(err)
+		}
+		traces[i] = tr
 	}
+
+	results := core.NewEngine(*workers).IdentifyBatch(context.Background(), traces, cfg)
+	failed := 0
+	for i, res := range results {
+		if len(paths) > 1 {
+			fmt.Printf("==== %s ====\n", paths[i])
+		}
+		fmt.Printf("trace: %d probes, %.2f%% loss, %.0f s\n",
+			len(traces[i].Observations), 100*traces[i].LossRate(), traces[i].Duration())
+		switch {
+		case errors.Is(res.Err, core.ErrNoLosses):
+			fmt.Println("no losses in trace: dominant congested link undefined (need lost probes)")
+			failed++
+		case errors.Is(res.Err, core.ErrEmptyTrace):
+			fmt.Println("trace has no observations")
+			failed++
+		case res.Err != nil:
+			fmt.Printf("identification failed: %v\n", res.Err)
+			failed++
+		default:
+			report(res.ID)
+		}
+	}
+	if failed == len(results) {
+		os.Exit(1)
+	}
+}
+
+// readTrace loads one CSV and optionally removes receiver clock skew.
+func readTrace(path string, deskew bool) (*trace.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := trace.ReadCSV(f)
+	f.Close()
+	if err != nil {
+		return nil, err
+	}
+	if deskew {
+		var ts, ds []float64
+		for _, o := range tr.Observations {
+			if !o.Lost {
+				ts = append(ts, o.SendTime)
+				ds = append(ds, o.Delay)
+			}
+		}
+		line, err := clocksync.Estimate(ts, ds)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Printf("clock(%s): removed skew %.3g s/s (offset component %.3f ms)\n", path, line.Beta, 1e3*line.Alpha)
+		for i := range tr.Observations {
+			if !tr.Observations[i].Lost {
+				tr.Observations[i].Delay -= line.Beta * tr.Observations[i].SendTime
+			}
+		}
+	}
+	return tr, nil
+}
+
+func report(id *core.Identification) {
 	fmt.Printf("discretization: d_prop≈%.3fms range=%.3fms bin=%.3fms (M=%d)\n",
 		1e3*id.Disc.Lo, 1e3*(id.Disc.Hi-id.Disc.Lo), 1e3*id.Disc.BinWidth, id.Disc.M)
 	fmt.Printf("EM: %d iterations, converged=%v, loglik=%.1f\n", id.EMIterations, id.EMConverged, id.LogLik)

@@ -61,17 +61,22 @@ func emsweep(p params) {
 	}
 	truth := core.TruthVirtualPMF(run.Trace, disc, run.TrueProp)
 	fmt.Printf("setting: Table II, bw=1.0 Mb/s; ground truth %s\n", pmfString(truth))
-	for _, th := range []float64{1e-3, 1e-4} {
+	thresholds := []float64{1e-3, 1e-4}
+	var jobs []core.Job
+	for _, th := range thresholds {
 		for n := 1; n <= 4; n++ {
-			id, err := core.Identify(run.Trace, core.IdentifyConfig{
-				HiddenStates: n, Threshold: th, X: 0.06, Y: 1e-9,
-			})
-			if err != nil {
-				panic(err)
-			}
-			fmt.Printf("  thresh=%.0e N=%d: iters=%3d SDCL=%s L1dist=%.3f\n",
-				th, n, id.EMIterations, boolMark(id.SDCL.Accept), truth.L1Distance(id.VirtualPMF))
+			jobs = append(jobs, core.Job{Trace: run.Trace, Config: core.IdentifyConfig{
+				HiddenStates: n, Threshold: th, X: 0.06, Y: 0, ExactY: true,
+			}})
 		}
+	}
+	for i, res := range identifyJobs(jobs) {
+		if res.Err != nil {
+			panic(res.Err)
+		}
+		th, n, id := thresholds[i/4], i%4+1, res.ID
+		fmt.Printf("  thresh=%.0e N=%d: iters=%3d SDCL=%s L1dist=%.3f\n",
+			th, n, id.EMIterations, boolMark(id.SDCL.Accept), truth.L1Distance(id.VirtualPMF))
 	}
 	fmt.Println("paper: both thresholds and all N give similar, correct results")
 }
@@ -83,7 +88,7 @@ func intervalAblation(p params) {
 		sp := scenario.StronglyDominant(1e6, p.seed)
 		sp.Probe.Interval = iv
 		run := sp.Execute()
-		id, err := core.Identify(run.Trace, core.IdentifyConfig{X: 0.06, Y: 1e-9})
+		id, err := core.Identify(run.Trace, core.IdentifyConfig{X: 0.06, Y: 0, ExactY: true})
 		if err != nil {
 			fmt.Printf("  interval=%3.0fms: %v\n", 1e3*iv, err)
 			continue

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"errors"
 	"fmt"
 
 	"dominantlink/internal/core"
@@ -19,20 +20,26 @@ func init() {
 	register("fig11", "adaptive RED, no-DCL scenario: small vs large min-threshold", fig11)
 }
 
-// nSweep fits the model for N=1..4 and prints each PMF plus its L1
-// distance to the ground truth.
+// nSweep fits the model for N=1..4 concurrently and prints each PMF plus
+// its L1 distance to the ground truth.
 func nSweep(tr *trace.Trace, truth stats.PMF, model core.ModelKind) {
+	jobs := make([]core.Job, 0, 4)
 	for n := 1; n <= 4; n++ {
-		id, err := core.Identify(tr, core.IdentifyConfig{Model: model, HiddenStates: n, X: 0.06, Y: 1e-9})
-		if err != nil {
-			fmt.Printf("  %s N=%d: %v\n", model, n, err)
+		jobs = append(jobs, core.Job{Trace: tr, Config: core.IdentifyConfig{
+			Model: model, HiddenStates: n, X: 0.06, Y: 0, ExactY: true,
+		}})
+	}
+	for i, res := range identifyJobs(jobs) {
+		n := i + 1
+		if res.Err != nil {
+			fmt.Printf("  %s N=%d: %v\n", model, n, res.Err)
 			continue
 		}
 		dist := 0.0
 		if truth != nil {
-			dist = truth.L1Distance(id.VirtualPMF)
+			dist = truth.L1Distance(res.ID.VirtualPMF)
 		}
-		fmt.Printf("  %s N=%d: %s  (L1 dist to truth %.3f)\n", model, n, pmfString(id.VirtualPMF), dist)
+		fmt.Printf("  %s N=%d: %s  (L1 dist to truth %.3f)\n", model, n, pmfString(res.ID.VirtualPMF), dist)
 	}
 }
 
@@ -67,7 +74,7 @@ func fig6(p params) {
 
 func fig7(p params) {
 	run := scenario.WeaklyDominant(0.7e6, 1, p.seed).Execute()
-	id, err := core.Identify(run.Trace, core.IdentifyConfig{Symbols: 100, X: 0.06, Y: 1e-9, Restarts: 2})
+	id, err := core.Identify(run.Trace, core.IdentifyConfig{Symbols: 100, X: 0.06, Y: 0, ExactY: true, Restarts: 2})
 	if err != nil {
 		panic(err)
 	}
@@ -93,7 +100,10 @@ func fig8(p params) {
 }
 
 // durationSweep estimates the fraction of random trace segments of each
-// duration whose WDCL verdict matches wantAccept.
+// duration whose WDCL verdict matches wantAccept. The reps segments of
+// each duration are identified as one concurrent batch; the segment
+// starts are drawn before the batch runs, in the same RNG order as the
+// old serial loop, so the sweep's numbers are unchanged.
 func durationSweep(tr *trace.Trace, durations []float64, reps int, seed int64, wantAccept bool, knownProp float64) {
 	rng := stats.NewRNG(seed)
 	interval := 0.02
@@ -102,17 +112,22 @@ func durationSweep(tr *trace.Trace, durations []float64, reps int, seed int64, w
 		if n >= len(tr.Observations) {
 			n = len(tr.Observations) - 1
 		}
-		correct := 0
+		jobs := make([]core.Job, reps)
 		for r := 0; r < reps; r++ {
 			start := rng.Intn(len(tr.Observations) - n)
-			seg := tr.Slice(start, start+n)
-			id, err := core.Identify(seg, core.IdentifyConfig{
-				X: 0.06, Y: 1e-9, Seed: int64(r), Restarts: 1, KnownPropagation: knownProp,
-			})
-			if err != nil {
+			jobs[r] = core.Job{Trace: tr.Slice(start, start+n), Config: core.IdentifyConfig{
+				X: 0.06, Y: 0, ExactY: true, Seed: int64(r), Restarts: 1, KnownPropagation: knownProp,
+			}}
+		}
+		correct := 0
+		for _, res := range identifyJobs(jobs) {
+			if res.Err != nil {
+				if !errors.Is(res.Err, core.ErrNoLosses) {
+					fmt.Printf("  unexpected error: %v\n", res.Err)
+				}
 				continue // segment unusable (e.g. no losses): counted incorrect
 			}
-			if id.WDCL.Accept == wantAccept {
+			if res.ID.WDCL.Accept == wantAccept {
 				correct++
 			}
 		}
@@ -134,7 +149,7 @@ func fig9(p params) {
 
 func redReport(name string, run *scenario.Run) {
 	truth, _ := truthAndObserved(run)
-	id, err := core.Identify(run.Trace, core.IdentifyConfig{X: 0.06, Y: 1e-9})
+	id, err := core.Identify(run.Trace, core.IdentifyConfig{X: 0.06, Y: 0, ExactY: true})
 	if err != nil {
 		fmt.Printf("%s: %v\n", name, err)
 		return

@@ -23,12 +23,19 @@ func internetReport(kind inet.PathKind, seed int64) {
 	tr := res.Corrected
 	fmt.Printf("%s: loss=%.3f%% skew removed=%.2e s/s (injected %.0e)\n",
 		kind, 100*tr.LossRate(), res.EstimatedLine.Beta, res.TrueSkew)
+	jobs := make([]core.Job, 0, 4)
 	for n := 1; n <= 4; n++ {
-		id, err := core.Identify(tr, core.IdentifyConfig{HiddenStates: n, X: 0.06, Y: 1e-9})
-		if err != nil {
-			fmt.Printf("  N=%d: %v\n", n, err)
+		jobs = append(jobs, core.Job{Trace: tr, Config: core.IdentifyConfig{
+			HiddenStates: n, X: 0.06, Y: 0, ExactY: true,
+		}})
+	}
+	for i, r := range identifyJobs(jobs) {
+		n := i + 1
+		if r.Err != nil {
+			fmt.Printf("  N=%d: %v\n", n, r.Err)
 			continue
 		}
+		id := r.ID
 		fmt.Printf("  N=%d: WDCL(0.06,0)=%s i*=%d F(2i*)=%.3f  %s\n",
 			n, boolMark(id.WDCL.Accept), id.WDCL.IStar, id.WDCL.FAt2I, pmfString(id.VirtualPMF))
 	}
@@ -53,7 +60,7 @@ func fig14(p params) {
 		return
 	}
 	tr := res.Corrected
-	full, err := core.Identify(tr, core.IdentifyConfig{X: 0.06, Y: 1e-9})
+	full, err := core.Identify(tr, core.IdentifyConfig{X: 0.06, Y: 0, ExactY: true})
 	if err != nil {
 		fmt.Println(err)
 		return
@@ -71,24 +78,30 @@ func fig14(p params) {
 			n = len(tr.Observations) - 1
 		}
 		// Evaluate both variants on the same random segments so the
-		// known-vs-unknown comparison is paired, as in the paper.
-		okUnknown, okKnown := 0, 0
+		// known-vs-unknown comparison is paired, as in the paper. Jobs are
+		// built in pairs (unknown then known propagation) per segment and
+		// identified as one concurrent batch; segment starts are drawn up
+		// front in the old serial RNG order.
+		jobs := make([]core.Job, 0, 2*p.reps)
 		for r := 0; r < p.reps; r++ {
 			start := rng.Intn(len(tr.Observations) - n)
 			seg := tr.Slice(start, start+n)
 			for _, known := range []float64{0, res.Run.TrueProp} {
-				id, err := core.Identify(seg, core.IdentifyConfig{
-					X: 0.06, Y: 1e-9, Seed: int64(r), Restarts: 1, KnownPropagation: known,
-				})
-				if err != nil {
-					continue
-				}
-				if id.WDCL.Accept == full.WDCL.Accept {
-					if known == 0 {
-						okUnknown++
-					} else {
-						okKnown++
-					}
+				jobs = append(jobs, core.Job{Trace: seg, Config: core.IdentifyConfig{
+					X: 0.06, Y: 0, ExactY: true, Seed: int64(r), Restarts: 1, KnownPropagation: known,
+				}})
+			}
+		}
+		okUnknown, okKnown := 0, 0
+		for i, r := range identifyJobs(jobs) {
+			if r.Err != nil {
+				continue
+			}
+			if r.ID.WDCL.Accept == full.WDCL.Accept {
+				if i%2 == 0 {
+					okUnknown++
+				} else {
+					okKnown++
 				}
 			}
 		}

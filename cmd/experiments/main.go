@@ -16,13 +16,28 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"sort"
 	"strings"
+
+	"dominantlink/internal/core"
 )
+
+// engine fans independent identifications (parameter sweeps, segment
+// studies) out over a GOMAXPROCS worker pool. Batching changes only
+// wall-clock, never results, so every experiment remains reproducible
+// from its seed.
+var engine = core.NewEngine(0)
+
+// identifyJobs runs a set of identification jobs concurrently and returns
+// the results in input order.
+func identifyJobs(jobs []core.Job) []core.BatchResult {
+	return engine.IdentifyJobs(context.Background(), jobs)
+}
 
 type experiment struct {
 	name string

@@ -31,15 +31,18 @@ func queuemode(p params) {
 			panic(err)
 		}
 		truth := core.TruthVirtualPMF(run.Trace, disc, run.TrueProp)
-		id, err := core.Identify(run.Trace, core.IdentifyConfig{X: 0.06, Y: 1e-9})
-		if err != nil {
-			fmt.Printf("%s: %v\n", name, err)
+		res := identifyJobs([]core.Job{
+			{Trace: run.Trace, Config: core.IdentifyConfig{X: 0.06, Y: 0, ExactY: true}},
+			{Trace: run.Trace, Config: core.IdentifyConfig{Symbols: 30, X: 0.06, Y: 0, ExactY: true, Restarts: 2}},
+		})
+		if res[0].Err != nil {
+			fmt.Printf("%s: %v\n", name, res[0].Err)
 			continue
 		}
-		fine, err := core.Identify(run.Trace, core.IdentifyConfig{Symbols: 30, X: 0.06, Y: 1e-9, Restarts: 2})
-		if err != nil {
-			panic(err)
+		if res[1].Err != nil {
+			panic(res[1].Err)
 		}
+		id, fine := res[0].ID, res[1].ID
 		fmt.Printf("%s:\n", name)
 		fmt.Printf("  loss=%.2f%% SDCL=%s bound(M=30)=%.0fms realized_Q1=%.0fms\n",
 			100*run.Trace.LossRate(), boolMark(id.SDCL.Accept),

@@ -14,27 +14,30 @@ func init() {
 }
 
 // identifyBoth runs the default-M identification (verdicts) and a fine
-// M=30 identification (bound), as the paper does (§VI-A1).
+// M=30 identification (bound) as one concurrent batch, as the paper does
+// (§VI-A1). y == 0 is the paper's strict WDCL delay condition.
 func identifyBoth(run *scenario.Run, x, y float64) (*core.Identification, *core.Identification) {
-	id, err := core.Identify(run.Trace, core.IdentifyConfig{X: x, Y: y})
-	if err != nil {
-		panic(err)
-	}
 	// The fine-grained bound fit is restart-light: the bound reads only the
 	// first-mass symbol, which is stable across EM optima in the accept
 	// cases this is used for.
-	fine, err := core.Identify(run.Trace, core.IdentifyConfig{Symbols: 30, X: x, Y: y, Restarts: 2})
-	if err != nil {
-		panic(err)
+	jobs := []core.Job{
+		{Trace: run.Trace, Config: core.IdentifyConfig{X: x, Y: y, ExactY: y == 0}},
+		{Trace: run.Trace, Config: core.IdentifyConfig{Symbols: 30, X: x, Y: y, ExactY: y == 0, Restarts: 2}},
 	}
-	return id, fine
+	res := identifyJobs(jobs)
+	for _, r := range res {
+		if r.Err != nil {
+			panic(r.Err)
+		}
+	}
+	return res[0].ID, res[1].ID
 }
 
 func table2(p params) {
 	fmt.Println("bw(Mb/s)  loss%  SDCL    Q1_nominal  Q1_realized  bound_mmhd  bound_losspair")
 	for _, bw := range scenario.Table2Bandwidths {
 		run := scenario.StronglyDominant(bw, p.seed).Execute()
-		id, fine := identifyBoth(run, 0.06, 1e-9)
+		id, fine := identifyBoth(run, 0.06, 0)
 		lp := core.LossPairBound(run.PairImputed, run.PairObserved)
 		fmt.Printf("%7.1f  %5.2f  %-6s  %7.0fms    %7.0fms   %7.0fms     %7.0fms\n",
 			bw/1e6, 100*run.Trace.LossRate(), boolMark(id.SDCL.Accept),
@@ -48,7 +51,7 @@ func table3(p params) {
 	fmt.Println("bw(Mb/s)  loss%  share_L1  SDCL    WDCL(.06,0)  WDCL(.02,.02)  Q1_realized  bound_mmhd  bound_losspair")
 	for _, bw := range scenario.Table3Bandwidths {
 		run := scenario.WeaklyDominant(bw, 1, p.seed).Execute()
-		id, fine := identifyBoth(run, 0.06, 1e-9)
+		id, fine := identifyBoth(run, 0.06, 0)
 		strict, err := core.Identify(run.Trace, core.IdentifyConfig{X: 0.02, Y: 0.02})
 		if err != nil {
 			panic(err)

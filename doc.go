@@ -24,6 +24,44 @@
 //	    fmt.Printf("dominant congested link, Q <= %v\n", id.BoundSeconds)
 //	}
 //
+// # Configuration contract
+//
+// The zero value of IdentifyConfig reproduces the paper's defaults (MMHD,
+// M=5, N=2, EM threshold 1e-3, 5 restarts, x=y=0.06); DefaultConfig
+// returns the same defaults materialized into every field. Because zero
+// means "use the default", a literal X=0, Y=0 or Tolerance=0 must be
+// accompanied by the matching ExactX/ExactY/ExactTolerance marker, or it
+// would silently become the paper default:
+//
+//	cfg := dominantlink.DefaultConfig()
+//	cfg.Y, cfg.ExactY = 0, true // the paper's strict WDCL(x, 0) test
+//
+// # Batch identification
+//
+// Identification of many traces or stationary segments — and of the EM
+// restarts inside a single identification — is embarrassingly parallel.
+// IdentifyBatch fans a batch out over a bounded worker pool with per-trace
+// error isolation and context cancellation:
+//
+//	results := dominantlink.IdentifyBatch(ctx, traces, cfg)
+//	for _, res := range results {
+//	    switch {
+//	    case errors.Is(res.Err, dominantlink.ErrNoLosses):
+//	        continue // segment unusable, not a failure
+//	    case res.Err != nil:
+//	        return res.Err
+//	    case res.ID.HasDCL():
+//	        fmt.Printf("trace %d: %s\n", res.Index, res.ID.Summary())
+//	    }
+//	}
+//
+// Batching never changes verdicts: each trace is identified exactly as a
+// lone Identify call would — per-restart seeds derive from the restart
+// index and log-likelihood ties resolve to the lowest index — so results
+// are reproducible from the Seed no matter how the work is scheduled.
+// NewEngine gives control over the pool size, and Engine.IdentifyJobs
+// accepts a per-job configuration for parameter sweeps.
+//
 // The cmd/ directory holds the executables (dclsim, dclidentify,
 // experiments) and examples/ holds runnable walkthroughs; DESIGN.md and
 // EXPERIMENTS.md document the architecture and the reproduction of every
@@ -31,6 +69,8 @@
 package dominantlink
 
 import (
+	"context"
+
 	"dominantlink/internal/clocksync"
 	"dominantlink/internal/core"
 	"dominantlink/internal/trace"
@@ -64,12 +104,61 @@ const (
 	HMM  = core.HMM
 )
 
+// Sentinel errors of the pipeline; match with errors.Is.
+var (
+	// ErrEmptyTrace reports a trace without observations.
+	ErrEmptyTrace = core.ErrEmptyTrace
+	// ErrNoLosses reports a trace without a single lost probe, on which
+	// the dominant-congested-link question is undefined (§III-A).
+	ErrNoLosses = core.ErrNoLosses
+	// ErrUnknownModel reports a ModelKind other than MMHD or HMM.
+	ErrUnknownModel = core.ErrUnknownModel
+)
+
+// DefaultConfig returns the paper's default IdentifyConfig with every
+// field materialized — the explicit form of the zero value, for callers
+// that need to set a field to a literal zero afterwards (see the
+// configuration contract in the package documentation).
+func DefaultConfig() IdentifyConfig { return core.DefaultConfig() }
+
 // Identify runs the full model-based identification of the paper on a
 // probe trace: discretize delays, fit the model by EM treating losses as
 // missing delay observations, extract P(V=m | loss), and apply the
 // SDCL/WDCL hypothesis tests.
 func Identify(tr *Trace, cfg IdentifyConfig) (*Identification, error) {
 	return core.Identify(tr, cfg)
+}
+
+// IdentifyContext is Identify with cancellation: a canceled ctx stops the
+// EM restart loop at the next restart boundary with ctx.Err().
+func IdentifyContext(ctx context.Context, tr *Trace, cfg IdentifyConfig) (*Identification, error) {
+	return core.IdentifyContext(ctx, tr, cfg)
+}
+
+// Batch identification types.
+type (
+	// Engine identifies many traces concurrently on a bounded worker
+	// pool; see NewEngine.
+	Engine = core.Engine
+	// Job is one unit of Engine.IdentifyJobs work: a trace plus its
+	// configuration.
+	Job = core.Job
+	// BatchResult is the per-trace outcome of a batch: exactly one of ID
+	// and Err is set, and Index is the job's position in the input.
+	BatchResult = core.BatchResult
+)
+
+// NewEngine returns an identification engine with the given worker-pool
+// size; workers <= 0 means GOMAXPROCS.
+func NewEngine(workers int) *Engine { return core.NewEngine(workers) }
+
+// IdentifyBatch identifies every trace of a batch concurrently on a
+// GOMAXPROCS-sized worker pool, with per-trace error isolation: one bad
+// trace (say a segment with no losses) yields an error in its slot while
+// the rest of the batch proceeds. Results are in input order. A canceled
+// ctx stops the batch promptly; unfinished jobs report ctx's error.
+func IdentifyBatch(ctx context.Context, traces []*Trace, cfg IdentifyConfig) []BatchResult {
+	return core.IdentifyBatch(ctx, traces, cfg)
 }
 
 // CorrectClock removes receiver clock skew from one-way delays measured

@@ -1,6 +1,8 @@
 package dominantlink_test
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
 
@@ -72,6 +74,74 @@ func TestPublicAPI(t *testing.T) {
 		Model: dominantlink.HMM, X: 0.06, Y: 1e-9,
 	}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestFacadeBatch drives the batch engine through the facade: several
+// traces identified concurrently, with the sentinel errors distinguishing
+// unusable traces from real failures, and results identical to the lone
+// Identify calls.
+func TestFacadeBatch(t *testing.T) {
+	lcg := uint64(777)
+	rnd := func() float64 {
+		lcg = lcg*6364136223846793005 + 1442695040888963407
+		return float64(lcg>>11) / float64(1<<53)
+	}
+	mkTrace := func(n int) *dominantlink.Trace {
+		tr := &dominantlink.Trace{}
+		for i := 0; i < n; i++ {
+			o := dominantlink.Observation{Seq: int64(i), SendTime: 0.02 * float64(i)}
+			if (i/100)%5 == 4 {
+				o.Delay = 0.100 + 0.004*rnd()
+				o.Lost = rnd() < 0.25
+			} else {
+				o.Delay = 0.020 + 0.040*rnd()
+			}
+			tr.Observations = append(tr.Observations, o)
+		}
+		return tr
+	}
+	good1, good2 := mkTrace(6000), mkTrace(6000)
+	noLosses := &dominantlink.Trace{Observations: []dominantlink.Observation{
+		{Delay: 0.02}, {SendTime: 0.02, Delay: 0.03}, {SendTime: 0.04, Delay: 0.04},
+	}}
+
+	cfg := dominantlink.DefaultConfig()
+	cfg.Y, cfg.ExactY = 0, true // the paper's strict WDCL(x, 0) condition
+	traces := []*dominantlink.Trace{good1, noLosses, good2, {}}
+	results := dominantlink.IdentifyBatch(context.Background(), traces, cfg)
+	if len(results) != len(traces) {
+		t.Fatalf("got %d results for %d traces", len(results), len(traces))
+	}
+	if !errors.Is(results[1].Err, dominantlink.ErrNoLosses) {
+		t.Fatalf("loss-free trace: %v, want ErrNoLosses", results[1].Err)
+	}
+	if !errors.Is(results[3].Err, dominantlink.ErrEmptyTrace) {
+		t.Fatalf("empty trace: %v, want ErrEmptyTrace", results[3].Err)
+	}
+	for _, i := range []int{0, 2} {
+		if results[i].Err != nil {
+			t.Fatalf("trace %d: %v", i, results[i].Err)
+		}
+		lone, err := dominantlink.Identify(traces[i], cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if results[i].ID.LogLik != lone.LogLik {
+			t.Fatalf("trace %d: batch loglik %v != lone %v", i, results[i].ID.LogLik, lone.LogLik)
+		}
+		if !results[i].ID.WDCL.Accept {
+			t.Fatalf("trace %d: expected a dominant congested link: %s", i, results[i].ID.Summary())
+		}
+	}
+
+	// A pre-canceled context reports promptly through every slot.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, res := range dominantlink.NewEngine(2).IdentifyBatch(ctx, traces, cfg) {
+		if !errors.Is(res.Err, context.Canceled) {
+			t.Fatalf("after cancel: %v, want context.Canceled", res.Err)
+		}
 	}
 }
 

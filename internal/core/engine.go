@@ -1,0 +1,147 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"dominantlink/internal/trace"
+)
+
+// Engine identifies many traces (or stationary segments) concurrently on a
+// bounded worker pool. It exists for the batch shape every experiment
+// driver has: N independent model fits over N path segments, which is
+// embarrassingly parallel. An Engine is stateless between calls, safe for
+// concurrent use, and free to construct — the worker pool is spun up per
+// batch, while the expensive per-worker state (EM scratch buffers) lives
+// inside each Identify call.
+type Engine struct {
+	workers int
+}
+
+// NewEngine returns an engine with the given worker-pool size; workers <= 0
+// means GOMAXPROCS.
+func NewEngine(workers int) *Engine {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{workers: workers}
+}
+
+// Workers reports the engine's worker-pool size.
+func (e *Engine) Workers() int { return e.workers }
+
+// Job is one unit of batch work: a trace plus the configuration to
+// identify it with.
+type Job struct {
+	Trace  *trace.Trace
+	Config IdentifyConfig
+}
+
+// BatchResult is the outcome of one job of a batch. Exactly one of ID and
+// Err is non-nil. Index is the job's position in the input slice (results
+// are returned in input order, so Index == position in the result slice;
+// it is carried so results can be filtered without losing provenance).
+type BatchResult struct {
+	Index int
+	ID    *Identification
+	Err   error
+}
+
+// IdentifyBatch identifies every trace of a batch with the same
+// configuration. Results are in input order. Errors are isolated per
+// trace: a trace that cannot be identified (say, a segment with no losses
+// — errors.Is(res.Err, ErrNoLosses)) yields an error result while the
+// rest of the batch proceeds. A canceled ctx stops the batch promptly;
+// jobs not yet finished report ctx's error.
+func (e *Engine) IdentifyBatch(ctx context.Context, traces []*trace.Trace, cfg IdentifyConfig) []BatchResult {
+	jobs := make([]Job, len(traces))
+	for i, tr := range traces {
+		jobs[i] = Job{Trace: tr, Config: cfg}
+	}
+	return e.IdentifyJobs(ctx, jobs)
+}
+
+// IdentifyJobs is IdentifyBatch with per-job configurations, for batches
+// that sweep a parameter (model kind, hidden-state count, symbols) over
+// one or many traces.
+//
+// Each job runs exactly as a lone IdentifyContext call would — same
+// restart seeds, same best-fit reduction — so batching never changes
+// results, only wall-clock. Restart-level parallelism inside a job
+// composes with the pool: jobs whose Config.Parallelism is 0 are fitted
+// with serial restarts when the batch alone can keep the pool busy
+// (len(jobs) >= workers), and keep their intra-trace parallelism
+// otherwise.
+func (e *Engine) IdentifyJobs(ctx context.Context, jobs []Job) []BatchResult {
+	results := make([]BatchResult, len(jobs))
+	workers := e.workers
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	saturated := len(jobs) >= e.workers
+	run := func(i int) {
+		job := jobs[i]
+		if saturated && job.Config.Parallelism == 0 {
+			job.Config.Parallelism = 1
+		}
+		id, err := e.identifyOne(ctx, job)
+		results[i] = BatchResult{Index: i, ID: id, Err: err}
+	}
+	if workers <= 1 {
+		for i := range jobs {
+			run(i)
+		}
+		return results
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(jobs) {
+					return
+				}
+				run(i)
+				if ctx.Err() != nil {
+					// Drain the remaining jobs with the context error so
+					// every result is populated, then stop.
+					for {
+						i := int(next.Add(1)) - 1
+						if i >= len(jobs) {
+							return
+						}
+						results[i] = BatchResult{Index: i, Err: ctx.Err()}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+// identifyOne runs one job, converting a panic in the pipeline into an
+// error so a malformed trace cannot sink the rest of the batch.
+func (e *Engine) identifyOne(ctx context.Context, job Job) (id *Identification, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			id, err = nil, fmt.Errorf("core: identification panicked: %v", r)
+		}
+	}()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return IdentifyContext(ctx, job.Trace, job.Config)
+}
+
+// IdentifyBatch identifies traces concurrently on a GOMAXPROCS-sized
+// default engine. See Engine.IdentifyBatch.
+func IdentifyBatch(ctx context.Context, traces []*trace.Trace, cfg IdentifyConfig) []BatchResult {
+	return NewEngine(0).IdentifyBatch(ctx, traces, cfg)
+}

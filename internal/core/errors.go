@@ -1,0 +1,21 @@
+package core
+
+import "errors"
+
+// Sentinel errors of the identification pipeline. They are wrapped (with
+// %w) where extra context helps, so match with errors.Is rather than
+// string comparison. The dominantlink facade re-exports all three.
+var (
+	// ErrEmptyTrace reports a trace with no observations at all.
+	ErrEmptyTrace = errors.New("core: empty trace")
+
+	// ErrNoLosses reports a trace without a single lost probe: the
+	// virtual-queuing-delay distribution P(V=m | loss) — and with it the
+	// dominant-congested-link question — is undefined without losses
+	// (§III-A). Callers identifying many segments should treat this as
+	// "segment unusable", not as a failure of the pipeline.
+	ErrNoLosses = errors.New("core: trace has no losses; dominant congested link is undefined without losses (§III-A)")
+
+	// ErrUnknownModel reports a ModelKind other than MMHD or HMM.
+	ErrUnknownModel = errors.New("core: unknown model kind")
+)

@@ -1,9 +1,12 @@
 package core
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"dominantlink/internal/hmm"
 	"dominantlink/internal/mmhd"
@@ -66,6 +69,36 @@ type IdentifyConfig struct {
 	// Tolerance is the numerical zero of the tests (default
 	// DefaultTolerance).
 	Tolerance float64
+
+	// ExactX, ExactY and ExactTolerance mark the corresponding field as
+	// explicitly set. The zero value of IdentifyConfig reproduces the
+	// paper's defaults, which makes a literal X=0, Y=0 or Tolerance=0
+	// indistinguishable from "unset"; setting the marker makes the
+	// pipeline honor the explicit zero instead of substituting the
+	// default. Y=0 with ExactY is the paper's strict WDCL delay
+	// condition; Tolerance=0 with ExactTolerance makes the SDCL test
+	// exact ("F(i) > 0" with no numerical slack).
+	ExactX, ExactY, ExactTolerance bool
+
+	// Parallelism bounds the number of EM restarts fitted concurrently
+	// (and is the worker count a zero-valued EngineConfig inherits).
+	// 0 means GOMAXPROCS; 1 forces the serial restart loop. The selected
+	// fit is independent of Parallelism: restarts derive their seeds from
+	// their index, and ties in log-likelihood resolve to the lowest
+	// restart index, so the winner is the same fit the serial loop picks.
+	Parallelism int
+}
+
+// DefaultConfig returns the paper's defaults materialized into every
+// field: MMHD with M=5 symbols, N=2 hidden states, EM threshold 1e-3
+// capped at 500 iterations, 5 restarts, WDCL parameters x=y=0.06, and
+// tolerance DefaultTolerance. It is the explicit form of the zero value —
+// use it as a starting point when a field must then be set to a literal
+// zero (together with the matching Exact* marker).
+func DefaultConfig() IdentifyConfig {
+	var c IdentifyConfig
+	c.defaults()
+	return c
 }
 
 func (c *IdentifyConfig) defaults() {
@@ -81,13 +114,13 @@ func (c *IdentifyConfig) defaults() {
 	if c.MaxIter == 0 {
 		c.MaxIter = 500
 	}
-	if c.X == 0 {
+	if c.X == 0 && !c.ExactX {
 		c.X = 0.06
 	}
-	if c.Y == 0 {
+	if c.Y == 0 && !c.ExactY {
 		c.Y = 0.06
 	}
-	if c.Tolerance == 0 {
+	if c.Tolerance == 0 && !c.ExactTolerance {
 		c.Tolerance = DefaultTolerance
 	}
 	if c.Restarts == 0 {
@@ -138,9 +171,24 @@ func (id *Identification) Summary() string {
 
 // Identify runs the full model-based pipeline of §V on a probe trace.
 func Identify(tr *trace.Trace, cfg IdentifyConfig) (*Identification, error) {
+	return IdentifyContext(context.Background(), tr, cfg)
+}
+
+// IdentifyContext is Identify with cancellation: the EM restarts are
+// fitted by a bounded worker pool (cfg.Parallelism workers, each with its
+// own reusable forward-backward scratch), and a canceled context stops the
+// pipeline at the next restart boundary with ctx.Err(). For a fixed Seed
+// the outcome is identical whatever the parallelism: restart r always runs
+// from seed stats.RestartSeed(cfg.Seed, r), and the best-log-likelihood
+// reduction breaks ties in favor of the lowest restart index, exactly as
+// the serial loop does.
+func IdentifyContext(ctx context.Context, tr *trace.Trace, cfg IdentifyConfig) (*Identification, error) {
 	cfg.defaults()
 	if len(tr.Observations) == 0 {
-		return nil, errors.New("core: empty trace")
+		return nil, ErrEmptyTrace
+	}
+	if cfg.Model != MMHD && cfg.Model != HMM {
+		return nil, fmt.Errorf("%w %d", ErrUnknownModel, cfg.Model)
 	}
 	disc, err := NewDiscretization(tr.Observations, cfg.Symbols, cfg.KnownPropagation)
 	if err != nil {
@@ -148,6 +196,10 @@ func Identify(tr *trace.Trace, cfg IdentifyConfig) (*Identification, error) {
 	}
 	obs := disc.Encode(tr.Observations)
 
+	fits, err := runRestarts(ctx, obs, cfg)
+	if err != nil {
+		return nil, err
+	}
 	var (
 		pmf        stats.PMF
 		iterations int
@@ -155,46 +207,121 @@ func Identify(tr *trace.Trace, cfg IdentifyConfig) (*Identification, error) {
 		loglik     float64
 	)
 	loglik = math.Inf(-1)
-	for r := 0; r < cfg.Restarts; r++ {
-		seed := cfg.Seed + int64(r)*1000003
-		switch cfg.Model {
-		case MMHD:
-			_, res, err := mmhd.Fit(obs, mmhd.Config{
-				HiddenStates: cfg.HiddenStates,
-				Symbols:      cfg.Symbols,
-				Threshold:    cfg.Threshold,
-				MaxIter:      cfg.MaxIter,
-				Seed:         seed,
-				PerStateLoss: !cfg.PerSymbolLoss,
-			})
-			if err != nil {
-				return nil, err
-			}
-			if res.LogLik > loglik {
-				pmf, iterations, converged, loglik = res.VirtualPMF, res.Iterations, res.Converged, res.LogLik
-			}
-		case HMM:
-			_, res, err := hmm.Fit(obs, hmm.Config{
-				HiddenStates: cfg.HiddenStates,
-				Symbols:      cfg.Symbols,
-				Threshold:    cfg.Threshold,
-				MaxIter:      cfg.MaxIter,
-				Seed:         seed,
-			})
-			if err != nil {
-				return nil, err
-			}
-			if res.LogLik > loglik {
-				pmf, iterations, converged, loglik = res.VirtualPMF, res.Iterations, res.Converged, res.LogLik
-			}
-		default:
-			return nil, fmt.Errorf("core: unknown model kind %d", cfg.Model)
+	for r := range fits {
+		if fits[r].err != nil {
+			return nil, fits[r].err
+		}
+		// Strict > keeps the lowest restart index on ties, matching the
+		// serial loop.
+		if fits[r].loglik > loglik {
+			pmf, iterations, converged, loglik =
+				fits[r].pmf, fits[r].iterations, fits[r].converged, fits[r].loglik
 		}
 	}
 	if pmf == nil {
-		return nil, errors.New("core: trace has no losses; dominant congested link is undefined without losses (§III-A)")
+		return nil, ErrNoLosses
 	}
 	return identifyFromPMF(tr, cfg, disc, pmf, iterations, converged, loglik), nil
+}
+
+// restartFit is the outcome of one EM restart.
+type restartFit struct {
+	pmf        stats.PMF
+	iterations int
+	converged  bool
+	loglik     float64
+	err        error
+}
+
+// fitScratch carries one worker's reusable EM work buffers.
+type fitScratch struct {
+	mmhd *mmhd.Scratch
+	hmm  *hmm.Scratch
+}
+
+// fitRestart runs restart r of the configured model on the worker's
+// scratch buffers.
+func fitRestart(obs []int, cfg *IdentifyConfig, r int, sc *fitScratch) restartFit {
+	seed := stats.RestartSeed(cfg.Seed, r)
+	switch cfg.Model {
+	case MMHD:
+		if sc.mmhd == nil {
+			sc.mmhd = mmhd.NewScratch()
+		}
+		_, res, err := mmhd.FitWithScratch(obs, mmhd.Config{
+			HiddenStates: cfg.HiddenStates,
+			Symbols:      cfg.Symbols,
+			Threshold:    cfg.Threshold,
+			MaxIter:      cfg.MaxIter,
+			Seed:         seed,
+			PerStateLoss: !cfg.PerSymbolLoss,
+		}, sc.mmhd)
+		if err != nil {
+			return restartFit{err: err}
+		}
+		return restartFit{pmf: res.VirtualPMF, iterations: res.Iterations, converged: res.Converged, loglik: res.LogLik}
+	default: // HMM; unknown kinds are rejected before the restart loop
+		if sc.hmm == nil {
+			sc.hmm = hmm.NewScratch()
+		}
+		_, res, err := hmm.FitWithScratch(obs, hmm.Config{
+			HiddenStates: cfg.HiddenStates,
+			Symbols:      cfg.Symbols,
+			Threshold:    cfg.Threshold,
+			MaxIter:      cfg.MaxIter,
+			Seed:         seed,
+		}, sc.hmm)
+		if err != nil {
+			return restartFit{err: err}
+		}
+		return restartFit{pmf: res.VirtualPMF, iterations: res.Iterations, converged: res.Converged, loglik: res.LogLik}
+	}
+}
+
+// runRestarts fits all cfg.Restarts EM initializations, spreading them
+// over min(cfg.Parallelism, Restarts) workers. Each worker reuses one set
+// of scratch buffers across the restarts it picks up, so the steady-state
+// fit loop does not allocate. The returned slice is indexed by restart.
+func runRestarts(ctx context.Context, obs []int, cfg IdentifyConfig) ([]restartFit, error) {
+	workers := cfg.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.Restarts {
+		workers = cfg.Restarts
+	}
+	fits := make([]restartFit, cfg.Restarts)
+	if workers <= 1 {
+		sc := &fitScratch{}
+		for r := range fits {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			fits[r] = fitRestart(obs, &cfg, r, sc)
+		}
+		return fits, nil
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sc := &fitScratch{}
+			for {
+				r := int(next.Add(1)) - 1
+				if r >= len(fits) || ctx.Err() != nil {
+					return
+				}
+				fits[r] = fitRestart(obs, &cfg, r, sc)
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return fits, nil
 }
 
 // IdentifyFromPMF applies the hypothesis tests and bound to an externally
@@ -207,13 +334,21 @@ func IdentifyFromPMF(tr *trace.Trace, cfg IdentifyConfig, disc Discretization, p
 
 func identifyFromPMF(tr *trace.Trace, cfg IdentifyConfig, disc Discretization, pmf stats.PMF, iters int, conv bool, ll float64) *Identification {
 	cdf := pmf.CDF()
+	// SDCLTest and MaxQueuingDelayBound floor non-positive tolerances to
+	// DefaultTolerance, so an exact zero tolerance (Tolerance=0 with
+	// ExactTolerance) is expressed as the smallest positive float: the
+	// strict "F(i) > 0" reading of Theorem 1.
+	tol := cfg.Tolerance
+	if tol == 0 && cfg.ExactTolerance {
+		tol = math.SmallestNonzeroFloat64
+	}
 	id := &Identification{
 		Config:       cfg,
 		Disc:         disc,
 		LossRate:     tr.LossRate(),
 		VirtualPMF:   pmf,
 		VirtualCDF:   cdf,
-		SDCL:         SDCLTest(cdf, cfg.Tolerance),
+		SDCL:         SDCLTest(cdf, tol),
 		WDCL:         WDCLTest(cdf, cfg.X, cfg.Y),
 		EMIterations: iters,
 		EMConverged:  conv,
@@ -221,7 +356,7 @@ func identifyFromPMF(tr *trace.Trace, cfg IdentifyConfig, disc Discretization, p
 	}
 	switch {
 	case id.SDCL.Accept:
-		id.BoundSeconds = MaxQueuingDelayBound(cdf, cfg.Tolerance, disc)
+		id.BoundSeconds = MaxQueuingDelayBound(cdf, tol, disc)
 	case id.WDCL.Accept:
 		id.BoundSeconds = MaxQueuingDelayBound(cdf, cfg.X, disc)
 	}

@@ -23,14 +23,30 @@ func BenchmarkFit(b *testing.B) {
 	}
 }
 
-// BenchmarkForwardBackward isolates one E-step.
-func BenchmarkForwardBackward(b *testing.B) {
+// BenchmarkFitScratchReuse is BenchmarkFit with a shared Scratch, the way
+// the identification engine's workers run restarts: allocs/op collapse to
+// the per-fit constants (random init + result), not per-iteration buffers.
+func BenchmarkFitScratchReuse(b *testing.B) {
 	obs := benchObs(50000, 1)
-	m := NewRandomModel(2, 4, obs, stats.NewRNG(1))
+	sc := NewScratch()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		m.forwardBackward(obs)
+		if _, _, err := FitWithScratch(obs, Config{HiddenStates: 2, Symbols: 4, Seed: int64(i)}, sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkForwardBackward isolates one E-step (scratch reused, as in EM).
+func BenchmarkForwardBackward(b *testing.B) {
+	obs := benchObs(50000, 1)
+	m := NewRandomModel(2, 4, obs, stats.NewRNG(1))
+	sc := NewScratch()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.forwardBackward(obs, sc)
 	}
 }
 

@@ -67,6 +67,116 @@ type Result struct {
 
 const probFloor = 1e-12
 
+// Scratch holds the forward-backward and M-step work buffers of an EM fit
+// so the hot loop allocates nothing per iteration. A Scratch grows to the
+// largest (T, N, M) it has seen and may be reused across fits of the same
+// or smaller dimensions — one Scratch per worker goroutine; it is not safe
+// for concurrent use. The Model returned by FitWithScratch aliases the
+// scratch's double-buffered parameter sets and is invalidated by the next
+// fit through the same Scratch.
+type Scratch struct {
+	t, n, m int
+
+	alphaBack, emisBack, gammaBack []float64 // flat T*N backings
+	alpha, emis, gamma             [][]float64
+	scale                          []float64
+	beta, prevBeta                 []float64
+	xiNum                          [][]float64 // N x N
+	bNum                           [][]float64 // N x M
+	lossNum, symCount              []float64   // M
+	weightBack                     []float64   // N*M loss-weight backing
+	weights                        [][]float64
+
+	models [2]*Model // double-buffered parameter sets for emStep
+}
+
+// NewScratch returns an empty Scratch; buffers are grown on first use.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// ensure sizes every buffer for a T-step fit with N hidden states and M
+// symbols, reusing existing allocations when they are large enough.
+func (sc *Scratch) ensure(T, n, m int) {
+	if sc.t == T && sc.n == n && sc.m == m {
+		return
+	}
+	sc.t, sc.n, sc.m = T, n, m
+	sc.alphaBack = growFloats(sc.alphaBack, T*n)
+	sc.emisBack = growFloats(sc.emisBack, T*n)
+	sc.gammaBack = growFloats(sc.gammaBack, T*n)
+	sc.alpha = carveRows(sc.alpha, sc.alphaBack, T, n)
+	sc.emis = carveRows(sc.emis, sc.emisBack, T, n)
+	sc.gamma = carveRows(sc.gamma, sc.gammaBack, T, n)
+	sc.scale = growFloats(sc.scale, T)
+	sc.beta = growFloats(sc.beta, n)
+	sc.prevBeta = growFloats(sc.prevBeta, n)
+	sc.xiNum = growMatrix(sc.xiNum, n, n)
+	sc.bNum = growMatrix(sc.bNum, n, m)
+	sc.lossNum = growFloats(sc.lossNum, m)
+	sc.symCount = growFloats(sc.symCount, m)
+	sc.weightBack = growFloats(sc.weightBack, n*m)
+	sc.weights = carveRows(sc.weights, sc.weightBack, n, m)
+	sc.models[0] = newZeroModel(n, m)
+	sc.models[1] = newZeroModel(n, m)
+}
+
+func growFloats(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+func growMatrix(m [][]float64, rows, cols int) [][]float64 {
+	if cap(m) < rows {
+		m = make([][]float64, rows)
+	}
+	m = m[:rows]
+	for i := range m {
+		m[i] = growFloats(m[i], cols)
+	}
+	return m
+}
+
+// carveRows reslices backing into rows slices of length cols.
+func carveRows(rows [][]float64, backing []float64, n, cols int) [][]float64 {
+	if cap(rows) < n {
+		rows = make([][]float64, n)
+	}
+	rows = rows[:n]
+	for i := range rows {
+		rows[i] = backing[i*cols : (i+1)*cols]
+	}
+	return rows
+}
+
+func newZeroModel(n, m int) *Model {
+	mod := &Model{N: n, M: m}
+	mod.Pi = make([]float64, n)
+	mod.A = make([][]float64, n)
+	for i := range mod.A {
+		mod.A[i] = make([]float64, n)
+	}
+	mod.B = make([][]float64, n)
+	for i := range mod.B {
+		mod.B[i] = make([]float64, m)
+	}
+	mod.C = make([]float64, m)
+	return mod
+}
+
+// copyInto copies m's parameters into dst (same dimensions).
+func (m *Model) copyInto(dst *Model) {
+	dst.N, dst.M = m.N, m.M
+	copy(dst.Pi, m.Pi)
+	for i := range m.A {
+		copy(dst.A[i], m.A[i])
+	}
+	for i := range m.B {
+		copy(dst.B[i], m.B[i])
+	}
+	copy(dst.C, m.C)
+}
+
 // NewRandomModel builds a model with uniform Pi, row-random A and B, and
 // C initialized to the empirical loss fraction of obs spread uniformly
 // over symbols, following Rabiner's guidance that B (and here C) matter
@@ -168,21 +278,21 @@ func itoa(v int) string {
 }
 
 // forwardBackward runs one scaled E-step. It returns gamma (T x N), the
-// transition accumulators, and the log-likelihood.
-func (m *Model) forwardBackward(obs []int) (gamma [][]float64, xiNum [][]float64, loglik float64) {
+// transition accumulators, and the log-likelihood. The returned slices
+// alias sc's buffers and are invalidated by the next use of sc.
+func (m *Model) forwardBackward(obs []int, sc *Scratch) (gamma [][]float64, xiNum [][]float64, loglik float64) {
 	T := len(obs)
 	n := m.N
-	alpha := make([][]float64, T)
-	scale := make([]float64, T)
-	e := make([][]float64, T) // cached emissions
+	sc.ensure(T, n, m.M)
+	alpha := sc.alpha
+	scale := sc.scale
+	e := sc.emis // cached emissions
 	for t := 0; t < T; t++ {
-		e[t] = make([]float64, n)
 		for i := 0; i < n; i++ {
 			e[t][i] = m.emission(i, obs[t])
 		}
 	}
 	// Forward.
-	alpha[0] = make([]float64, n)
 	var c0 float64
 	for i := 0; i < n; i++ {
 		alpha[0][i] = m.Pi[i] * e[0][i]
@@ -196,7 +306,6 @@ func (m *Model) forwardBackward(obs []int) (gamma [][]float64, xiNum [][]float64
 	}
 	scale[0] = c0
 	for t := 1; t < T; t++ {
-		alpha[t] = make([]float64, n)
 		var ct float64
 		for j := 0; j < n; j++ {
 			var s float64
@@ -218,18 +327,19 @@ func (m *Model) forwardBackward(obs []int) (gamma [][]float64, xiNum [][]float64
 		loglik += math.Log(scale[t])
 	}
 	// Backward, with gamma and xi accumulation.
-	beta := make([]float64, n)
+	beta := sc.beta
 	for i := range beta {
 		beta[i] = 1
 	}
-	gamma = make([][]float64, T)
-	gamma[T-1] = make([]float64, n)
+	gamma = sc.gamma
 	copy(gamma[T-1], alpha[T-1])
-	xiNum = make([][]float64, n)
+	xiNum = sc.xiNum
 	for i := range xiNum {
-		xiNum[i] = make([]float64, n)
+		for j := range xiNum[i] {
+			xiNum[i][j] = 0
+		}
 	}
-	prevBeta := make([]float64, n)
+	prevBeta := sc.prevBeta
 	for t := T - 2; t >= 0; t-- {
 		copy(prevBeta, beta)
 		for i := 0; i < n; i++ {
@@ -239,7 +349,6 @@ func (m *Model) forwardBackward(obs []int) (gamma [][]float64, xiNum [][]float64
 			}
 			beta[i] = s / scale[t+1]
 		}
-		gamma[t] = make([]float64, n)
 		var gsum float64
 		for i := 0; i < n; i++ {
 			gamma[t][i] = alpha[t][i] * beta[i]
@@ -263,10 +372,9 @@ func (m *Model) forwardBackward(obs []int) (gamma [][]float64, xiNum [][]float64
 	return gamma, xiNum, loglik
 }
 
-// lossWeight returns w(i,m) = P(symbol = m+1 | hidden state i, loss): the
-// posterior over the erased symbol given the hidden state.
-func (m *Model) lossWeight(i int) []float64 {
-	w := make([]float64, m.M)
+// lossWeightInto fills w with w(i,m) = P(symbol = m+1 | hidden state i,
+// loss): the posterior over the erased symbol given the hidden state.
+func (m *Model) lossWeightInto(i int, w []float64) {
 	var sum float64
 	for k := 0; k < m.M; k++ {
 		w[k] = m.B[i][k] * m.C[k]
@@ -277,55 +385,81 @@ func (m *Model) lossWeight(i int) []float64 {
 			w[k] /= sum
 		}
 	}
+}
+
+// lossWeight returns a freshly allocated loss-weight row for state i.
+func (m *Model) lossWeight(i int) []float64 {
+	w := make([]float64, m.M)
+	m.lossWeightInto(i, w)
 	return w
 }
 
 // Fit runs EM from a random start until the parameters move by less than
 // cfg.Threshold (max absolute change) or MaxIter is reached.
 func Fit(obs []int, cfg Config) (*Model, *Result, error) {
+	return FitWithScratch(obs, cfg, NewScratch())
+}
+
+// FitWithScratch is Fit with caller-owned work buffers, for callers that
+// run many fits (EM restarts, batch identification): the hot loop performs
+// no per-iteration allocations. The returned Model aliases sc and is
+// invalidated by the next fit through the same Scratch; the Result (and
+// its VirtualPMF) is independent of sc. FitWithScratch is deterministic in
+// (obs, cfg): reusing a scratch never changes the fit.
+func FitWithScratch(obs []int, cfg Config, sc *Scratch) (*Model, *Result, error) {
 	if err := cfg.defaults(); err != nil {
 		return nil, nil, err
 	}
 	if err := validateObs(obs, cfg.Symbols); err != nil {
 		return nil, nil, err
 	}
+	sc.ensure(len(obs), cfg.HiddenStates, cfg.Symbols)
 	rng := stats.NewRNG(cfg.Seed)
-	model := NewRandomModel(cfg.HiddenStates, cfg.Symbols, obs, rng)
+	model, spare := sc.models[0], sc.models[1]
+	NewRandomModel(cfg.HiddenStates, cfg.Symbols, obs, rng).copyInto(model)
 	res := &Result{}
 	for iter := 0; iter < cfg.MaxIter; iter++ {
-		next, loglik := model.emStep(obs)
+		loglik := model.emStepInto(obs, sc, spare)
 		res.Iterations = iter + 1
 		res.LogLik = loglik
-		delta := paramDelta(model, next)
-		model = next
+		delta := paramDelta(model, spare)
+		model, spare = spare, model
 		if delta < cfg.Threshold {
 			res.Converged = true
 			break
 		}
 	}
-	res.VirtualPMF = model.LossSymbolPosterior(obs)
+	res.VirtualPMF = model.lossSymbolPosterior(obs, sc)
 	return model, res, nil
 }
 
-// emStep performs one EM iteration and returns the updated model and the
-// log-likelihood of obs under the *current* parameters.
+// emStep performs one EM iteration with freshly allocated buffers and
+// returns the updated model and the log-likelihood of obs under the
+// *current* parameters. The EM loop in FitWithScratch uses emStepInto.
 func (m *Model) emStep(obs []int) (*Model, float64) {
+	next := newZeroModel(m.N, m.M)
+	ll := m.emStepInto(obs, NewScratch(), next)
+	return next, ll
+}
+
+// emStepInto performs one EM iteration, writing the re-estimated
+// parameters into next and returning the log-likelihood of obs under the
+// *current* parameters.
+func (m *Model) emStepInto(obs []int, sc *Scratch, next *Model) float64 {
 	T := len(obs)
 	n, M := m.N, m.M
-	gamma, xiNum, loglik := m.forwardBackward(obs)
+	gamma, xiNum, loglik := m.forwardBackward(obs, sc)
 
-	next := &Model{N: n, M: M}
-	next.Pi = make([]float64, n)
+	next.N, next.M = n, M
 	copy(next.Pi, gamma[0])
 
 	// Transition matrix.
-	next.A = make([][]float64, n)
 	for i := 0; i < n; i++ {
 		var denom float64
 		for t := 0; t < T-1; t++ {
 			denom += gamma[t][i]
 		}
-		row := make([]float64, n)
+		row := next.A[i]
 		if denom > 0 {
 			for j := 0; j < n; j++ {
 				row[j] = xiNum[i][j] / denom
@@ -334,21 +468,25 @@ func (m *Model) emStep(obs []int) (*Model, float64) {
 			copy(row, m.A[i])
 		}
 		normalizeRow(row)
-		next.A[i] = row
 	}
 
 	// Emission matrix and loss probabilities. For observed symbols the
 	// symbol is known; for losses the symbol is distributed according to
 	// the per-state posterior lossWeight.
-	bNum := make([][]float64, n)
+	bNum := sc.bNum
+	lossNum := sc.lossNum   // expected # of losses with symbol m
+	symCount := sc.symCount // expected # of times symbol m occurred
 	for i := range bNum {
-		bNum[i] = make([]float64, M)
+		for k := range bNum[i] {
+			bNum[i][k] = 0
+		}
 	}
-	lossNum := make([]float64, M)  // expected # of losses with symbol m
-	symCount := make([]float64, M) // expected # of times symbol m occurred
-	weights := make([][]float64, n)
+	for k := 0; k < M; k++ {
+		lossNum[k], symCount[k] = 0, 0
+	}
+	weights := sc.weights
 	for i := 0; i < n; i++ {
-		weights[i] = m.lossWeight(i)
+		m.lossWeightInto(i, weights[i])
 	}
 	for t := 0; t < T; t++ {
 		o := obs[t]
@@ -373,9 +511,8 @@ func (m *Model) emStep(obs []int) (*Model, float64) {
 			}
 		}
 	}
-	next.B = make([][]float64, n)
 	for i := 0; i < n; i++ {
-		row := make([]float64, M)
+		row := next.B[i]
 		var denom float64
 		for t := 0; t < T; t++ {
 			denom += gamma[t][i]
@@ -388,9 +525,7 @@ func (m *Model) emStep(obs []int) (*Model, float64) {
 			copy(row, m.B[i])
 		}
 		normalizeRow(row)
-		next.B[i] = row
 	}
-	next.C = make([]float64, M)
 	for k := 0; k < M; k++ {
 		if symCount[k] > 0 {
 			next.C[k] = clamp(lossNum[k]/symCount[k], 0, 1-probFloor)
@@ -398,12 +533,16 @@ func (m *Model) emStep(obs []int) (*Model, float64) {
 			next.C[k] = m.C[k]
 		}
 	}
-	return next, loglik
+	return loglik
 }
 
 // LossSymbolPosterior returns P(V = m | loss) under the model — eq. (5) —
 // or nil when obs has no losses.
 func (m *Model) LossSymbolPosterior(obs []int) stats.PMF {
+	return m.lossSymbolPosterior(obs, NewScratch())
+}
+
+func (m *Model) lossSymbolPosterior(obs []int, sc *Scratch) stats.PMF {
 	nLoss := 0
 	for _, o := range obs {
 		if o == Loss {
@@ -413,7 +552,7 @@ func (m *Model) LossSymbolPosterior(obs []int) stats.PMF {
 	if nLoss == 0 {
 		return nil
 	}
-	gamma, _, _ := m.forwardBackward(obs)
+	gamma, _, _ := m.forwardBackward(obs, sc)
 	pmf := stats.NewPMF(m.M)
 	weights := make([][]float64, m.N)
 	for i := 0; i < m.N; i++ {
@@ -436,7 +575,7 @@ func (m *Model) LossSymbolPosterior(obs []int) stats.PMF {
 
 // LogLikelihood returns log P(obs | model).
 func (m *Model) LogLikelihood(obs []int) float64 {
-	_, _, ll := m.forwardBackward(obs)
+	_, _, ll := m.forwardBackward(obs, NewScratch())
 	return ll
 }
 

@@ -46,6 +46,23 @@ func benchFit(b *testing.B, T, n, mSym int, perState bool) {
 // a 1000-second trace.
 func BenchmarkFitM5(b *testing.B) { benchFit(b, 50000, 2, 5, true) }
 
+// BenchmarkFitScratchReuse is BenchmarkFitM5 with one Scratch shared
+// across fits, the way a restart-pool worker runs: after the first fit
+// warms the buffers, the EM loop should allocate (almost) nothing.
+func BenchmarkFitScratchReuse(b *testing.B) {
+	obs := benchObs(50000, 5, 0.03, 1)
+	sc := NewScratch()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := FitWithScratch(obs, Config{
+			HiddenStates: 2, Symbols: 5, Seed: int64(i), PerStateLoss: true,
+		}, sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkFitM30 is the fine-grained bound fit of §VI-A1.
 func BenchmarkFitM30(b *testing.B) { benchFit(b, 50000, 2, 30, true) }
 

@@ -101,6 +101,154 @@ type Result struct {
 
 const probFloor = 1e-12
 
+// Scratch holds every work buffer of an EM fit — the per-step active-state
+// tables, the forward-backward arrays, the M-step accumulators, and a
+// double-buffered pair of parameter sets — so the hot loop allocates
+// nothing per iteration. A Scratch grows to the largest fit it has seen
+// and may be reused across fits; use one Scratch per worker goroutine (it
+// is not safe for concurrent use). The Model returned by FitWithScratch
+// aliases the scratch and is invalidated by the next fit through it.
+type Scratch struct {
+	n, m     int
+	perState bool
+
+	all      []int   // 0..S-1
+	actBySym [][]int // symbol (1..M) -> its N state indices; index 0 = all
+
+	act                            [][]int     // per-step active sets (aliases actBySym)
+	alpha, gamma, emis             [][]float64 // per-step, carved from the flat backings
+	alphaBack, gammaBack, emisBack []float64
+	scale                          []float64
+	beta, betaNext                 []float64 // rolling backward pair, cap S
+	xiNum                          [][]float64
+	es                             eStepOut
+
+	gammaSum          []float64 // S
+	lossNum, occCount []float64 // cLen
+
+	models [2]*Model
+}
+
+// NewScratch returns an empty Scratch; buffers grow on first use.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// prepare sizes the scratch for one E-step over obs. The per-step carving
+// is redone on every call (it depends on where the losses sit in obs) but
+// reuses the backing arrays, so a prepared scratch performs no allocations
+// once it has grown to the workload's dimensions.
+func (sc *Scratch) prepare(obs []int, n, mSym int, perState bool) {
+	S := n * mSym
+	if sc.n != n || sc.m != mSym {
+		sc.n, sc.m = n, mSym
+		sc.all = make([]int, S)
+		for i := range sc.all {
+			sc.all[i] = i
+		}
+		sc.actBySym = make([][]int, mSym+1)
+		sc.actBySym[Loss] = sc.all
+		for v := 1; v <= mSym; v++ {
+			act := make([]int, n)
+			for h := 0; h < n; h++ {
+				act[h] = h*mSym + (v - 1)
+			}
+			sc.actBySym[v] = act
+		}
+		sc.xiNum = nil // force regrow below
+		sc.models[0] = nil
+	}
+	if sc.models[0] == nil || sc.perState != perState {
+		sc.perState = perState
+		sc.models[0] = newZeroModel(n, mSym, perState)
+		sc.models[1] = newZeroModel(n, mSym, perState)
+	}
+	T := len(obs)
+	// Total active-state cells across all steps: N per observed symbol,
+	// S per loss.
+	total := 0
+	for _, o := range obs {
+		if o == Loss {
+			total += S
+		} else {
+			total += n
+		}
+	}
+	sc.alphaBack = growFloats(sc.alphaBack, total)
+	sc.gammaBack = growFloats(sc.gammaBack, total)
+	sc.emisBack = growFloats(sc.emisBack, total)
+	if cap(sc.act) < T {
+		sc.act = make([][]int, T)
+		sc.alpha = make([][]float64, T)
+		sc.gamma = make([][]float64, T)
+		sc.emis = make([][]float64, T)
+	}
+	sc.act = sc.act[:T]
+	sc.alpha, sc.gamma, sc.emis = sc.alpha[:T], sc.gamma[:T], sc.emis[:T]
+	off := 0
+	for t, o := range obs {
+		sc.act[t] = sc.actBySym[o]
+		w := len(sc.act[t])
+		sc.alpha[t] = sc.alphaBack[off : off+w]
+		sc.gamma[t] = sc.gammaBack[off : off+w]
+		sc.emis[t] = sc.emisBack[off : off+w]
+		off += w
+	}
+	sc.scale = growFloats(sc.scale, T)
+	sc.beta = growFloats(sc.beta, S)
+	sc.betaNext = growFloats(sc.betaNext, S)
+	sc.xiNum = growMatrix(sc.xiNum, S, S)
+	sc.gammaSum = growFloats(sc.gammaSum, S)
+	cLen := mSym
+	if perState {
+		cLen = S
+	}
+	sc.lossNum = growFloats(sc.lossNum, cLen)
+	sc.occCount = growFloats(sc.occCount, cLen)
+}
+
+func growFloats(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+func growMatrix(m [][]float64, rows, cols int) [][]float64 {
+	if cap(m) < rows {
+		m = make([][]float64, rows)
+	}
+	m = m[:rows]
+	for i := range m {
+		m[i] = growFloats(m[i], cols)
+	}
+	return m
+}
+
+func newZeroModel(n, mSym int, perState bool) *Model {
+	s := n * mSym
+	mod := &Model{N: n, M: mSym, PerStateLoss: perState}
+	mod.Pi = make([]float64, s)
+	mod.A = make([][]float64, s)
+	for i := range mod.A {
+		mod.A[i] = make([]float64, s)
+	}
+	cLen := mSym
+	if perState {
+		cLen = s
+	}
+	mod.C = make([]float64, cLen)
+	return mod
+}
+
+// copyInto copies m's parameters into dst (same dimensions and variant).
+func (m *Model) copyInto(dst *Model) {
+	dst.N, dst.M, dst.PerStateLoss = m.N, m.M, m.PerStateLoss
+	copy(dst.Pi, m.Pi)
+	for i := range m.A {
+		copy(dst.A[i], m.A[i])
+	}
+	copy(dst.C, m.C)
+}
+
 // NewRandomModel builds the paper's initialization: uniform Pi, random
 // stochastic transition rows, and C set uniformly (here to the empirical
 // loss fraction of obs, floored at 1%).
@@ -201,28 +349,29 @@ type eStepOut struct {
 	loglik float64
 }
 
+// eStep allocates a private scratch; the EM loop uses eStepScratch.
 func (m *Model) eStep(obs []int) *eStepOut {
+	return m.eStepScratch(obs, NewScratch())
+}
+
+// eStepScratch runs the pass on sc's buffers; the returned eStepOut
+// aliases sc and is invalidated by sc's next use.
+func (m *Model) eStepScratch(obs []int, sc *Scratch) *eStepOut {
 	T := len(obs)
-	S := m.States()
-	all := make([]int, S)
-	for i := range all {
-		all[i] = i
-	}
-	act := make([][]int, T)
-	emis := make([][]float64, T) // emission per active state
+	sc.prepare(obs, m.N, m.M, m.PerStateLoss)
+	act := sc.act
+	emis := sc.emis // emission per active state
 	for t := 0; t < T; t++ {
-		act[t] = m.activeStates(obs[t], all)
-		e := make([]float64, len(act[t]))
+		e := emis[t]
 		for k, s := range act[t] {
 			e[k] = m.emission(s, obs[t])
 		}
-		emis[t] = e
 	}
 
-	alpha := make([][]float64, T)
-	scale := make([]float64, T)
+	alpha := sc.alpha
+	scale := sc.scale
 	// Forward.
-	a0 := make([]float64, len(act[0]))
+	a0 := alpha[0]
 	var c0 float64
 	for k, s := range act[0] {
 		a0[k] = m.Pi[s] * emis[0][k]
@@ -234,10 +383,10 @@ func (m *Model) eStep(obs []int) *eStepOut {
 	for k := range a0 {
 		a0[k] /= c0
 	}
-	alpha[0], scale[0] = a0, c0
+	scale[0] = c0
 	for t := 1; t < T; t++ {
 		prevAct, prevAlpha := act[t-1], alpha[t-1]
-		at := make([]float64, len(act[t]))
+		at := alpha[t]
 		var ct float64
 		for k, sp := range act[t] {
 			var sum float64
@@ -257,7 +406,7 @@ func (m *Model) eStep(obs []int) *eStepOut {
 		for k := range at {
 			at[k] /= ct
 		}
-		alpha[t], scale[t] = at, ct
+		scale[t] = ct
 	}
 	var loglik float64
 	for t := 0; t < T; t++ {
@@ -265,21 +414,23 @@ func (m *Model) eStep(obs []int) *eStepOut {
 	}
 
 	// Backward, accumulating gamma and the xi numerator.
-	gamma := make([][]float64, T)
-	xiNum := make([][]float64, S)
+	gamma := sc.gamma
+	xiNum := sc.xiNum
 	for i := range xiNum {
-		xiNum[i] = make([]float64, S)
+		row := xiNum[i]
+		for j := range row {
+			row[j] = 0
+		}
 	}
-	beta := make([]float64, len(act[T-1]))
+	beta := sc.beta[:len(act[T-1])]
 	for k := range beta {
 		beta[k] = 1
 	}
-	g := make([]float64, len(act[T-1]))
-	copy(g, alpha[T-1])
-	gamma[T-1] = g
+	copy(gamma[T-1], alpha[T-1])
+	spareBeta := sc.betaNext
 	for t := T - 2; t >= 0; t-- {
 		nextAct, nextBeta, nextEmis := act[t+1], beta, emis[t+1]
-		bt := make([]float64, len(act[t]))
+		bt := spareBeta[:len(act[t])]
 		for k, s := range act[t] {
 			var sum float64
 			for kk, sp := range nextAct {
@@ -291,7 +442,7 @@ func (m *Model) eStep(obs []int) *eStepOut {
 			}
 			bt[k] = sum / scale[t+1]
 		}
-		gt := make([]float64, len(act[t]))
+		gt := gamma[t]
 		var gsum float64
 		for k := range gt {
 			gt[k] = alpha[t][k] * bt[k]
@@ -302,7 +453,6 @@ func (m *Model) eStep(obs []int) *eStepOut {
 				gt[k] /= gsum
 			}
 		}
-		gamma[t] = gt
 		// xi accumulation over active pairs.
 		for k, s := range act[t] {
 			av := alpha[t][k]
@@ -319,34 +469,50 @@ func (m *Model) eStep(obs []int) *eStepOut {
 				rowXi[sp] += av * rowA[sp] * w / scale[t+1]
 			}
 		}
+		spareBeta = beta[:cap(beta)]
 		beta = bt
 	}
-	return &eStepOut{act: act, gamma: gamma, xiNum: xiNum, loglik: loglik}
+	sc.es = eStepOut{act: act, gamma: gamma, xiNum: xiNum, loglik: loglik}
+	return &sc.es
 }
 
-// emStep performs one EM iteration, returning the re-estimated model and
-// the log-likelihood under the current parameters.
+// emStep performs one EM iteration with freshly allocated buffers,
+// returning the re-estimated model and the log-likelihood under the
+// current parameters. The EM loop in FitWithScratch uses emStepInto.
 func (m *Model) emStep(obs []int) (*Model, float64) {
+	next := newZeroModel(m.N, m.M, m.PerStateLoss)
+	ll := m.emStepInto(obs, NewScratch(), next)
+	return next, ll
+}
+
+// emStepInto performs one EM iteration on sc's buffers, writing the
+// re-estimated parameters into next and returning the log-likelihood
+// under the *current* parameters.
+func (m *Model) emStepInto(obs []int, sc *Scratch, next *Model) float64 {
 	T := len(obs)
 	S := m.States()
-	es := m.eStep(obs)
+	es := m.eStepScratch(obs, sc)
 
-	next := &Model{N: m.N, M: m.M}
-	next.Pi = make([]float64, S)
+	next.N, next.M = m.N, m.M
+	for s := range next.Pi {
+		next.Pi[s] = 0
+	}
 	for k, s := range es.act[0] {
 		next.Pi[s] = es.gamma[0][k]
 	}
 
 	// Transition matrix: xiNum / time spent in each source state over t < T-1.
-	gammaSum := make([]float64, S)
+	gammaSum := sc.gammaSum
+	for s := 0; s < S; s++ {
+		gammaSum[s] = 0
+	}
 	for t := 0; t < T-1; t++ {
 		for k, s := range es.act[t] {
 			gammaSum[s] += es.gamma[t][k]
 		}
 	}
-	next.A = make([][]float64, S)
 	for s := 0; s < S; s++ {
-		row := make([]float64, S)
+		row := next.A[s]
 		if gammaSum[s] > 0 {
 			for sp := 0; sp < S; sp++ {
 				row[sp] = es.xiNum[s][sp] / gammaSum[s]
@@ -355,7 +521,6 @@ func (m *Model) emStep(obs []int) (*Model, float64) {
 		} else {
 			copy(row, m.A[s]) // state never visited: keep prior row
 		}
-		next.A[s] = row
 	}
 
 	// Loss probabilities: expected losses over expected occurrences, pooled
@@ -365,8 +530,11 @@ func (m *Model) emStep(obs []int) (*Model, float64) {
 	if m.PerStateLoss {
 		cLen = S
 	}
-	lossNum := make([]float64, cLen)
-	occCount := make([]float64, cLen)
+	lossNum := sc.lossNum
+	occCount := sc.occCount
+	for i := 0; i < cLen; i++ {
+		lossNum[i], occCount[i] = 0, 0
+	}
 	for t := 0; t < T; t++ {
 		isLoss := obs[t] == Loss
 		for k, s := range es.act[t] {
@@ -381,7 +549,6 @@ func (m *Model) emStep(obs []int) (*Model, float64) {
 			}
 		}
 	}
-	next.C = make([]float64, cLen)
 	for i := 0; i < cLen; i++ {
 		if occCount[i] > 0 {
 			next.C[i] = clamp(lossNum[i]/occCount[i], 0, 1-probFloor)
@@ -389,32 +556,45 @@ func (m *Model) emStep(obs []int) (*Model, float64) {
 			next.C[i] = m.C[i]
 		}
 	}
-	return next, es.loglik
+	return es.loglik
 }
 
 // Fit runs EM from the paper's random initialization until convergence.
 func Fit(obs []int, cfg Config) (*Model, *Result, error) {
+	return FitWithScratch(obs, cfg, NewScratch())
+}
+
+// FitWithScratch is Fit with caller-owned work buffers, for callers that
+// run many fits (EM restarts, batch identification): after the scratch has
+// grown to the workload's dimensions the hot loop performs no allocations.
+// The returned Model aliases sc and is invalidated by the next fit through
+// the same Scratch; the Result (and its VirtualPMF) is independent of sc.
+// FitWithScratch is deterministic in (obs, cfg): reusing a scratch never
+// changes the fit.
+func FitWithScratch(obs []int, cfg Config, sc *Scratch) (*Model, *Result, error) {
 	if err := cfg.defaults(); err != nil {
 		return nil, nil, err
 	}
 	if err := validateObs(obs, cfg.Symbols); err != nil {
 		return nil, nil, err
 	}
+	sc.prepare(obs, cfg.HiddenStates, cfg.Symbols, cfg.PerStateLoss)
 	rng := stats.NewRNG(cfg.Seed)
-	model := newRandomModel(cfg.HiddenStates, cfg.Symbols, obs, rng, cfg.PerStateLoss)
+	model, spare := sc.models[0], sc.models[1]
+	newRandomModel(cfg.HiddenStates, cfg.Symbols, obs, rng, cfg.PerStateLoss).copyInto(model)
 	res := &Result{}
 	for iter := 0; iter < cfg.MaxIter; iter++ {
-		next, loglik := model.emStep(obs)
+		loglik := model.emStepInto(obs, sc, spare)
 		res.Iterations = iter + 1
 		res.LogLik = loglik
-		delta := paramDelta(model, next)
-		model = next
+		delta := paramDelta(model, spare)
+		model, spare = spare, model
 		if delta < cfg.Threshold {
 			res.Converged = true
 			break
 		}
 	}
-	res.VirtualPMF = model.LossSymbolPosterior(obs)
+	res.VirtualPMF = model.lossSymbolPosterior(obs, sc)
 	return model, res, nil
 }
 
@@ -422,6 +602,10 @@ func Fit(obs []int, cfg Config) (*Model, *Result, error) {
 // mass on symbol m at loss times, normalized by the number of losses. It
 // returns nil when obs contains no losses.
 func (m *Model) LossSymbolPosterior(obs []int) stats.PMF {
+	return m.lossSymbolPosterior(obs, NewScratch())
+}
+
+func (m *Model) lossSymbolPosterior(obs []int, sc *Scratch) stats.PMF {
 	nLoss := 0
 	for _, o := range obs {
 		if o == Loss {
@@ -431,7 +615,7 @@ func (m *Model) LossSymbolPosterior(obs []int) stats.PMF {
 	if nLoss == 0 {
 		return nil
 	}
-	es := m.eStep(obs)
+	es := m.eStepScratch(obs, sc)
 	pmf := stats.NewPMF(m.M)
 	for t, o := range obs {
 		if o != Loss {

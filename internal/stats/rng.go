@@ -34,6 +34,16 @@ func (g *RNG) Split(label int64) *RNG {
 	return NewRNG(s)
 }
 
+// RestartSeed derives the EM-initialization seed of restart r from a base
+// seed: a fixed affine stride, wide enough that neighbouring restarts seed
+// math/rand far apart. This is the exact derivation the serial restart
+// loop has always used, so identification engines that fan restarts out
+// over workers reproduce the serial loop's per-restart streams — and with
+// them its selected fit — bit for bit.
+func RestartSeed(base int64, r int) int64 {
+	return base + int64(r)*1000003
+}
+
 // Float64 returns a uniform variate in [0,1).
 func (g *RNG) Float64() float64 { return g.r.Float64() }
 
