@@ -6,20 +6,39 @@
 //
 //	dclidentify -trace trace.csv [-model mmhd|hmm] [-m 5] [-n 2] [-x 0.06] [-y 0] [-skew]
 //	dclidentify trace1.csv trace2.csv ...   # batch: identified concurrently
+//	dclidentify -trace trace.csv -window 3000 -stride 1000   # sliding windows
+//	dclidentify -trace live.csv -window 60s -follow -json    # tail a growing capture
 //
-// Multiple traces are identified concurrently by the batch engine; results
-// are printed in input order. With -skew, receiver clock offset and skew
-// are removed from the one-way delays before identification (use for
-// traces captured between unsynchronized hosts).
+// Without -window the whole trace is identified once (multiple traces are
+// identified concurrently by the batch engine, results in input order).
+// With -window the trace is streamed through the windowed pipeline: the
+// CSV is read incrementally (constant memory however long the capture),
+// each window passes the stationarity admission gate (disable with
+// -gate=false), and one line — human-readable or, with -json, a JSON
+// object — is emitted per window, annotated with DCL onset/clearance
+// transitions. -window and -stride take a probe count ("3000") or a
+// duration ("60s", "5m"); -follow keeps reading as the file grows, so a
+// capture being written by a live prober is monitored continuously.
+//
+// With -skew, receiver clock offset and skew are removed from the one-way
+// delays before identification (use for traces captured between
+// unsynchronized hosts); deskewing fits a line to the whole trace, so it
+// is incompatible with streaming (-window).
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
+	"os/signal"
+	"strconv"
+	"syscall"
+	"time"
 
 	"dominantlink/internal/clocksync"
 	"dominantlink/internal/core"
@@ -40,7 +59,13 @@ func main() {
 		prop    = flag.Float64("prop", 0, "known propagation delay in seconds (0 = estimate from min delay)")
 		deskew  = flag.Bool("skew", false, "remove receiver clock offset/skew before identification")
 		paperEM = flag.Bool("paper-em", false, "use the paper's exact per-symbol loss probabilities")
-		workers = flag.Int("workers", 0, "batch worker-pool size (0 = GOMAXPROCS)")
+		workers = flag.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
+
+		window = flag.String("window", "", "window length: probe count or duration (e.g. 3000, 60s); empty = one-shot")
+		stride = flag.String("stride", "", "stride between window starts (default = window: tumbling)")
+		follow = flag.Bool("follow", false, "keep reading the trace file as it grows (streaming mode only)")
+		asJSON = flag.Bool("json", false, "emit one JSON object per window (streaming mode only)")
+		gate   = flag.Bool("gate", true, "admit only stationary windows to identification (streaming mode)")
 	)
 	flag.Parse()
 	paths := flag.Args()
@@ -71,6 +96,23 @@ func main() {
 		cfg.Model = core.HMM
 	default:
 		log.Fatalf("unknown model %q", *model)
+	}
+
+	if *window != "" {
+		if *deskew {
+			log.Fatal("-skew needs the whole trace and cannot be combined with -window")
+		}
+		wcfg, err := windowConfig(*window, *stride, *gate)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := streamTraces(paths, wcfg, cfg, *workers, *follow, *asJSON); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *follow || *asJSON {
+		log.Fatal("-follow and -json require streaming mode (-window)")
 	}
 
 	traces := make([]*trace.Trace, len(paths))
@@ -106,6 +148,166 @@ func main() {
 	}
 	if failed == len(results) {
 		os.Exit(1)
+	}
+}
+
+// windowConfig parses the -window/-stride spans into a core.WindowConfig.
+func windowConfig(window, stride string, gate bool) (core.WindowConfig, error) {
+	wcfg := core.WindowConfig{DisableGate: !gate}
+	count, dur, err := parseSpan(window)
+	if err != nil {
+		return wcfg, fmt.Errorf("-window: %v", err)
+	}
+	wcfg.Size, wcfg.Duration = count, dur
+	if stride != "" {
+		count, dur, err := parseSpan(stride)
+		if err != nil {
+			return wcfg, fmt.Errorf("-stride: %v", err)
+		}
+		if (wcfg.Size > 0) != (count > 0) {
+			return wcfg, errors.New("-stride must use the same unit as -window (both counts or both durations)")
+		}
+		wcfg.Stride, wcfg.StrideDuration = count, dur
+	}
+	return wcfg, nil
+}
+
+// parseSpan reads a span flag: a bare integer is a probe count, anything
+// else is tried as a duration ("90s", "5m").
+func parseSpan(s string) (count int, seconds float64, err error) {
+	if n, err := strconv.Atoi(s); err == nil {
+		if n <= 0 {
+			return 0, 0, fmt.Errorf("probe count %d must be positive", n)
+		}
+		return n, 0, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, 0, fmt.Errorf("%q is neither a probe count nor a duration", s)
+	}
+	if d <= 0 {
+		return 0, 0, fmt.Errorf("duration %v must be positive", d)
+	}
+	return 0, d.Seconds(), nil
+}
+
+// streamTraces runs the windowed pipeline over each trace file in turn,
+// reading the CSV incrementally (and, with follow, tailing it as it
+// grows until interrupted).
+func streamTraces(paths []string, wcfg core.WindowConfig, cfg core.IdentifyConfig, workers int, follow, asJSON bool) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	windower := core.NewWindower(core.NewEngine(workers), wcfg)
+	for _, p := range paths {
+		if len(paths) > 1 && !asJSON {
+			fmt.Printf("==== %s ====\n", p)
+		}
+		f, err := os.Open(p)
+		if err != nil {
+			return err
+		}
+		var r io.Reader = f
+		if follow {
+			r = &followReader{f: f, ctx: ctx, poll: 200 * time.Millisecond}
+		}
+		results, err := windower.Stream(ctx, trace.StreamCSV(r), cfg)
+		if err != nil {
+			f.Close()
+			return err
+		}
+		bad := false
+		for res := range results {
+			printWindow(p, res, asJSON)
+			bad = bad || (res.Err != nil && !errors.Is(res.Err, core.ErrNoLosses))
+		}
+		f.Close()
+		if bad && len(paths) == 1 {
+			os.Exit(1)
+		}
+	}
+	return nil
+}
+
+// windowJSON is the one-object-per-window streaming output shape.
+type windowJSON struct {
+	Trace      string  `json:"trace,omitempty"`
+	Window     int     `json:"window"`
+	Start      int     `json:"start"`
+	End        int     `json:"end"`
+	StartTime  float64 `json:"start_time"`
+	EndTime    float64 `json:"end_time"`
+	Stationary bool    `json:"stationary"`
+	Admitted   bool    `json:"admitted"`
+	LossRate   float64 `json:"loss_rate,omitempty"`
+	HasDCL     bool    `json:"has_dcl"`
+	SDCL       bool    `json:"sdcl,omitempty"`
+	WDCL       bool    `json:"wdcl,omitempty"`
+	Bound      float64 `json:"bound_seconds,omitempty"`
+	Transition string  `json:"transition,omitempty"`
+	Error      string  `json:"error,omitempty"`
+}
+
+func printWindow(path string, res core.WindowResult, asJSON bool) {
+	if asJSON {
+		j := windowJSON{
+			Trace: path, Window: res.Index, Start: res.Start, End: res.End,
+			StartTime: res.StartTime, EndTime: res.EndTime,
+			Stationary: res.Stationarity.Stationary, Admitted: res.Admitted,
+			HasDCL: res.HasDCL(),
+		}
+		if res.ID != nil {
+			j.LossRate = res.ID.LossRate
+			j.SDCL, j.WDCL = res.ID.SDCL.Accept, res.ID.WDCL.Accept
+			j.Bound = res.ID.BoundSeconds
+		}
+		if res.Transition != core.TransitionNone {
+			j.Transition = res.Transition.String()
+		}
+		if res.Err != nil {
+			j.Error = res.Err.Error()
+		}
+		out, err := json.Marshal(j)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(string(out))
+		return
+	}
+	head := fmt.Sprintf("window %d [%d,%d) t=%.1fs..%.1fs:", res.Index, res.Start, res.End, res.StartTime, res.EndTime)
+	switch {
+	case res.Err != nil && errors.Is(res.Err, core.ErrNoLosses):
+		fmt.Printf("%s no losses — no dominant congested link\n", head)
+	case res.Err != nil:
+		fmt.Printf("%s error: %v\n", head, res.Err)
+	case !res.Admitted:
+		fmt.Printf("%s non-stationary (%d violating blocks) — skipped\n", head, res.Stationarity.Violations)
+	default:
+		fmt.Printf("%s %s\n", head, res.ID.Summary())
+	}
+	if res.Transition != core.TransitionNone {
+		fmt.Printf("  >> transition: %s\n", res.Transition)
+	}
+}
+
+// followReader turns EOF into a poll-and-retry, so a CSV being appended
+// to by a live capture streams continuously until the context ends.
+type followReader struct {
+	f    *os.File
+	ctx  context.Context
+	poll time.Duration
+}
+
+func (r *followReader) Read(p []byte) (int, error) {
+	for {
+		n, err := r.f.Read(p)
+		if n > 0 || (err != nil && err != io.EOF) {
+			return n, err
+		}
+		select {
+		case <-r.ctx.Done():
+			return 0, io.EOF
+		case <-time.After(r.poll):
+		}
 	}
 }
 

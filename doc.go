@@ -62,6 +62,29 @@
 // NewEngine gives control over the pool size, and Engine.IdentifyJobs
 // accepts a per-job configuration for parameter sweeps.
 //
+// # Streaming identification
+//
+// Where Identify judges one finished trace, IdentifyStream watches an
+// observation stream continuously: it cuts the stream into sliding
+// windows (WindowConfig: by probe count or duration), admits each window
+// through the stationarity check, identifies admitted windows
+// concurrently while emitting results strictly in window order, and
+// attaches dominant-congested-link transitions (onset, cleared, bound
+// changed) by comparing consecutive decided windows:
+//
+//	results, err := dominantlink.IdentifyStream(ctx,
+//	    dominantlink.StreamCSV(f),
+//	    dominantlink.WindowConfig{Size: 3000, Stride: 1000}, cfg)
+//	if err != nil { ... }
+//	for res := range results {
+//	    if res.Transition == dominantlink.TransitionOnset { ... }
+//	}
+//
+// Sources are pull iterators (ObservationSource); StreamCSV reads a
+// capture incrementally in constant memory, SourceFromTrace adapts an
+// in-memory trace, and the one-shot contract is preserved exactly: a
+// single window spanning a whole trace reproduces Identify bit for bit.
+//
 // The cmd/ directory holds the executables (dclsim, dclidentify,
 // experiments) and examples/ holds runnable walkthroughs; DESIGN.md and
 // EXPERIMENTS.md document the architecture and the reproduction of every

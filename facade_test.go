@@ -1,9 +1,11 @@
 package dominantlink_test
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"math"
+	"reflect"
 	"testing"
 
 	"dominantlink"
@@ -142,6 +144,89 @@ func TestFacadeBatch(t *testing.T) {
 		if !errors.Is(res.Err, context.Canceled) {
 			t.Fatalf("after cancel: %v, want context.Canceled", res.Err)
 		}
+	}
+}
+
+// TestFacadeIdentifyStream drives the streaming pipeline through the
+// public API: a trace serialized to CSV is re-analyzed window by window
+// straight off the (streamed) CSV, and a single full-trace window must
+// reproduce the one-shot Identify result exactly.
+func TestFacadeIdentifyStream(t *testing.T) {
+	lcg := uint64(4242)
+	rnd := func() float64 {
+		lcg = lcg*6364136223846793005 + 1442695040888963407
+		return float64(lcg>>11) / float64(1<<53)
+	}
+	tr := &dominantlink.Trace{}
+	for i := 0; i < 6000; i++ {
+		o := dominantlink.Observation{Seq: int64(i), SendTime: 0.02 * float64(i)}
+		if (i/100)%5 == 4 {
+			o.Delay = 0.100 + 0.004*rnd()
+			o.Lost = rnd() < 0.25
+		} else {
+			o.Delay = 0.020 + 0.040*rnd()
+		}
+		tr.Observations = append(tr.Observations, o)
+	}
+	cfg := dominantlink.IdentifyConfig{X: 0.06, Y: 1e-9, Seed: 1}
+	want, err := dominantlink.Identify(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One window covering the whole trace, streamed from CSV.
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	n := len(tr.Observations)
+	ch, err := dominantlink.IdentifyStream(context.Background(),
+		dominantlink.StreamCSV(&buf),
+		dominantlink.WindowConfig{Size: n, Stride: n, DisableGate: true}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var results []dominantlink.WindowResult
+	for res := range ch {
+		results = append(results, res)
+	}
+	if len(results) != 1 {
+		t.Fatalf("got %d windows, want 1", len(results))
+	}
+	got := results[0]
+	if got.Err != nil {
+		t.Fatal(got.Err)
+	}
+	if !reflect.DeepEqual(got.ID.VirtualPMF, want.VirtualPMF) ||
+		got.ID.BoundSeconds != want.BoundSeconds ||
+		got.ID.SDCL != want.SDCL || got.ID.WDCL != want.WDCL ||
+		got.ID.LogLik != want.LogLik {
+		t.Fatalf("full-trace window differs from one-shot Identify:\n got %+v\nwant %+v", got.ID, want)
+	}
+	if !got.HasDCL() || got.Transition != dominantlink.TransitionOnset {
+		t.Fatalf("first DCL window should report onset, got %v", got.Transition)
+	}
+
+	// Sliding windows over the same CSV: one result per window, in order.
+	buf.Reset()
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	ch, err = dominantlink.IdentifyStream(context.Background(),
+		dominantlink.StreamCSV(&buf),
+		dominantlink.WindowConfig{Size: 2000, Stride: 1000, DisableGate: true}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for res := range ch {
+		if res.Index != count || res.Start != count*1000 {
+			t.Fatalf("window %d out of order: %+v", count, res)
+		}
+		count++
+	}
+	if count != 5 {
+		t.Fatalf("got %d windows, want 5", count)
 	}
 }
 

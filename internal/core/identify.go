@@ -156,17 +156,21 @@ type Identification struct {
 // HasDCL reports whether either hypothesis test accepted.
 func (id *Identification) HasDCL() bool { return id.SDCL.Accept || id.WDCL.Accept }
 
-// Summary renders a one-line human-readable verdict.
+// Summary renders a one-line human-readable verdict. The queuing-delay
+// bound is only meaningful when a test accepted, so it is omitted — and
+// the test statistics are labeled as rejected — when neither did.
 func (id *Identification) Summary() string {
-	verdict := "no dominant congested link"
 	switch {
 	case id.SDCL.Accept:
-		verdict = "strongly dominant congested link"
+		return fmt.Sprintf("strongly dominant congested link; loss=%.2f%% i*=%d F(2i*)=%.3f bound=%.1fms",
+			100*id.LossRate, id.WDCL.IStar, id.WDCL.FAt2I, 1e3*id.BoundSeconds)
 	case id.WDCL.Accept:
-		verdict = fmt.Sprintf("weakly dominant congested link (x=%.2f y=%.2f)", id.WDCL.X, id.WDCL.Y)
+		return fmt.Sprintf("weakly dominant congested link (x=%.2f y=%.2f); loss=%.2f%% i*=%d F(2i*)=%.3f bound=%.1fms",
+			id.WDCL.X, id.WDCL.Y, 100*id.LossRate, id.WDCL.IStar, id.WDCL.FAt2I, 1e3*id.BoundSeconds)
+	default:
+		return fmt.Sprintf("no dominant congested link; loss=%.2f%% (tests rejected at i*=%d, F(2i*)=%.3f)",
+			100*id.LossRate, id.WDCL.IStar, id.WDCL.FAt2I)
 	}
-	return fmt.Sprintf("%s; loss=%.2f%% i*=%d F(2i*)=%.3f bound=%.1fms",
-		verdict, 100*id.LossRate, id.WDCL.IStar, id.WDCL.FAt2I, 1e3*id.BoundSeconds)
 }
 
 // Identify runs the full model-based pipeline of §V on a probe trace.

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"testing"
+
+	"dominantlink/internal/trace"
+)
+
+// Edge cases of StationarityCheck: tiny traces, blocks without delivered
+// probes, and all-lost traces must produce a well-defined report without
+// panicking or dividing by zero. These shapes show up constantly in the
+// streaming pipeline, where short windows are cut from arbitrary points
+// of a live stream.
+
+func TestStationarityShorterThanBlocks(t *testing.T) {
+	tr := &trace.Trace{Observations: []trace.Observation{
+		{Seq: 0, SendTime: 0.00, Delay: 0.010},
+		{Seq: 1, SendTime: 0.02, Delay: 0.010},
+		{Seq: 2, SendTime: 0.04, Delay: 0.010},
+	}}
+	rep := StationarityCheck(tr, StationarityConfig{Blocks: 10})
+	// Three observations over ten requested blocks: one block each.
+	if len(rep.Blocks) != 3 {
+		t.Fatalf("got %d blocks, want 3", len(rep.Blocks))
+	}
+	if !rep.Stationary {
+		t.Fatalf("uniform tiny trace flagged non-stationary: %+v", rep)
+	}
+	for i, b := range rep.Blocks {
+		if b.End-b.Start != 1 {
+			t.Fatalf("block %d spans [%d,%d), want single observation", i, b.Start, b.End)
+		}
+	}
+}
+
+func TestStationaritySingleObservation(t *testing.T) {
+	tr := &trace.Trace{Observations: []trace.Observation{{Delay: 0.01}}}
+	rep := StationarityCheck(tr, StationarityConfig{})
+	if !rep.Stationary || len(rep.Blocks) != 1 {
+		t.Fatalf("single-probe report: %+v", rep)
+	}
+}
+
+func TestStationarityBlockWithoutDeliveredProbes(t *testing.T) {
+	// Block 2 of 3 is entirely lost; its median delay is undefined and
+	// must neither panic nor count as a delay-band violation on its own.
+	var obs []trace.Observation
+	for i := 0; i < 60; i++ {
+		o := trace.Observation{Seq: int64(i), SendTime: 0.02 * float64(i), Delay: 0.010}
+		if i >= 20 && i < 40 {
+			o.Lost, o.Delay = true, 0
+		}
+		obs = append(obs, o)
+	}
+	rep := StationarityCheck(&trace.Trace{Observations: obs}, StationarityConfig{Blocks: 3})
+	if len(rep.Blocks) != 3 {
+		t.Fatalf("got %d blocks, want 3", len(rep.Blocks))
+	}
+	if rep.Blocks[1].MedianDelay != 0 {
+		t.Fatalf("lossy block median = %v, want 0 (undefined)", rep.Blocks[1].MedianDelay)
+	}
+	// A 100%-loss block amid lossless ones is a loss-rate regime change.
+	if rep.Stationary {
+		t.Fatal("loss burst should flag the trace non-stationary")
+	}
+}
+
+func TestStationarityAllLost(t *testing.T) {
+	var obs []trace.Observation
+	for i := 0; i < 50; i++ {
+		obs = append(obs, trace.Observation{Seq: int64(i), SendTime: 0.02 * float64(i), Lost: true})
+	}
+	rep := StationarityCheck(&trace.Trace{Observations: obs}, StationarityConfig{})
+	if rep.Stationary {
+		t.Fatal("an all-lost trace has no delay process to call stationary")
+	}
+	if rep.LossRate != 1 {
+		t.Fatalf("loss rate = %v, want 1", rep.LossRate)
+	}
+}
+
+func TestLongestStationarySegmentDegenerate(t *testing.T) {
+	// Must not panic on traces the block cutter degenerates on.
+	for _, tr := range []*trace.Trace{
+		{},
+		{Observations: []trace.Observation{{Delay: 0.01}}},
+		{Observations: []trace.Observation{{Lost: true}, {Lost: true}}},
+	} {
+		from, to := LongestStationarySegment(tr, StationarityConfig{})
+		if from < 0 || to > len(tr.Observations) || from > to {
+			t.Fatalf("segment [%d,%d) out of range for %d observations", from, to, len(tr.Observations))
+		}
+	}
+}

@@ -1,0 +1,338 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"dominantlink/internal/trace"
+)
+
+// The streaming pipeline: an ObservationSource is cut into sliding
+// windows, each window passes the stationarity check as an admission gate
+// (the per-window analogue of the paper carving a stationary 20-minute
+// sequence out of each 1-hour capture, §VII), and admitted windows are
+// identified concurrently on the Engine's worker pool. Results come out
+// strictly in window order, annotated with the DCL transition relative to
+// the previous decided window, so a long-running monitor can alert on
+// congestion onset and clearance instead of re-running one-shot analyses.
+
+// Transition classifies the change in DCL status between consecutive
+// decided windows of a stream.
+type Transition int
+
+const (
+	// TransitionNone: same verdict as the previous decided window.
+	TransitionNone Transition = iota
+	// TransitionOnset: a dominant congested link appeared (including in
+	// the first decided window of the stream).
+	TransitionOnset
+	// TransitionCleared: the previously reported DCL is gone.
+	TransitionCleared
+	// TransitionBound: still a DCL, but its queuing-delay bound moved by
+	// more than WindowConfig.BoundDelta (relative).
+	TransitionBound
+)
+
+func (t Transition) String() string {
+	switch t {
+	case TransitionOnset:
+		return "dcl-onset"
+	case TransitionCleared:
+		return "dcl-cleared"
+	case TransitionBound:
+		return "bound-changed"
+	default:
+		return "none"
+	}
+}
+
+// WindowConfig shapes how a Windower cuts an observation stream. Exactly
+// one of Size (observation count) and Duration (seconds of send time)
+// must be positive; Size wins when both are set. The zero stride makes
+// windows tumble (stride = window length); a smaller stride slides them.
+type WindowConfig struct {
+	Size     int     // observations per window (count-based)
+	Duration float64 // seconds per window (duration-based, when Size == 0)
+
+	Stride         int     // observations between window starts (default Size)
+	StrideDuration float64 // seconds between starts (default Duration)
+
+	// Gate configures the per-window stationarity admission check; its
+	// zero value is the default StationarityCheck configuration.
+	// DisableGate identifies every window regardless of the check (the
+	// report is still attached to the result).
+	Gate        StationarityConfig
+	DisableGate bool
+
+	// BoundDelta is the relative change of the queuing-delay bound between
+	// consecutive DCL windows that is reported as TransitionBound
+	// (default 0.25).
+	BoundDelta float64
+}
+
+func (c *WindowConfig) defaults() error {
+	if c.Size <= 0 && c.Duration <= 0 {
+		return errors.New("core: window config needs a positive Size or Duration")
+	}
+	if c.Size > 0 {
+		c.Duration = 0
+		if c.Stride <= 0 {
+			c.Stride = c.Size
+		}
+	} else if c.StrideDuration <= 0 {
+		c.StrideDuration = c.Duration
+	}
+	if c.BoundDelta <= 0 {
+		c.BoundDelta = 0.25
+	}
+	return nil
+}
+
+// WindowResult is the outcome of one window of a stream. Start/End are
+// absolute observation indexes ([Start, End)) and StartTime/EndTime the
+// send times of the window's first and last observation. Exactly one of
+// ID and Err is set when the window was admitted; neither when the gate
+// rejected it.
+type WindowResult struct {
+	Index      int
+	Start, End int
+	StartTime  float64
+	EndTime    float64
+
+	Stationarity StationarityReport
+	Admitted     bool
+
+	ID  *Identification
+	Err error
+
+	Transition Transition
+}
+
+// Probes returns the number of observations in the window.
+func (r *WindowResult) Probes() int { return r.End - r.Start }
+
+// HasDCL reports whether this window's identification accepted either
+// hypothesis test. A window with no losses never has a DCL.
+func (r *WindowResult) HasDCL() bool { return r.ID != nil && r.ID.HasDCL() }
+
+// Decided reports whether the window produced a verdict: it was admitted
+// and either identified or found loss-free (a loss-free window is a
+// definite "no DCL", not a failure). Undecided windows do not advance the
+// transition state.
+func (r *WindowResult) Decided() bool {
+	return r.Admitted && (r.Err == nil || errors.Is(r.Err, ErrNoLosses))
+}
+
+// Windower cuts an observation stream into sliding windows and identifies
+// them on an Engine. A Windower is stateless between Stream calls and safe
+// for concurrent use.
+type Windower struct {
+	engine *Engine
+	cfg    WindowConfig
+}
+
+// NewWindower returns a windower feeding admitted windows to engine.
+func NewWindower(engine *Engine, cfg WindowConfig) *Windower {
+	return &Windower{engine: engine, cfg: cfg}
+}
+
+// Stream consumes src and emits one WindowResult per complete window, in
+// window order, on the returned channel. Windows are identified
+// concurrently (up to the engine's worker count in flight) but never
+// reordered; each window is identified exactly as a one-shot
+// IdentifyContext call on its observations would be, so a single window
+// spanning the whole trace reproduces Identify byte for byte. A trailing
+// partial window is not emitted: a window is only decided once complete.
+// A source failure surfaces as a final result carrying the error. The
+// channel closes when the source is exhausted or ctx is canceled; the
+// caller must consume it (or cancel ctx) to avoid stalling the pipeline.
+func (w *Windower) Stream(ctx context.Context, src trace.ObservationSource, cfg IdentifyConfig) (<-chan WindowResult, error) {
+	wcfg := w.cfg
+	if err := wcfg.defaults(); err != nil {
+		return nil, err
+	}
+	workers := w.engine.Workers()
+	out := make(chan WindowResult, workers)
+	// order carries one future per window so the emitter can restore
+	// window order whatever the identification finishing order; its bound
+	// (with the sem bound) also caps how far the producer runs ahead of a
+	// slow consumer.
+	order := make(chan chan WindowResult, 2*workers)
+	sem := make(chan struct{}, workers)
+
+	go func() { // producer: cut windows, dispatch identifications
+		defer close(order)
+		w.cutWindows(ctx, src, wcfg, cfg, order, sem)
+	}()
+
+	go func() { // emitter: restore order, attach transitions
+		defer close(out)
+		st := transitionState{delta: wcfg.BoundDelta}
+		for slot := range order {
+			res := <-slot
+			st.apply(&res)
+			select {
+			case out <- res:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return out, nil
+}
+
+// cutWindows reads src to exhaustion, cutting complete windows and
+// dispatching each to a bounded worker that identifies it into its order
+// slot.
+func (w *Windower) cutWindows(ctx context.Context, src trace.ObservationSource, wcfg WindowConfig, cfg IdentifyConfig, order chan chan WindowResult, sem chan struct{}) {
+	var (
+		buf      []trace.Observation
+		base     int // absolute index of buf[0]
+		winStart int // count mode: absolute index of the next window start
+		t0       float64
+		t0set    bool
+		index    int
+	)
+	emit := func(start, end int, obs []trace.Observation) bool {
+		slot := make(chan WindowResult, 1)
+		select {
+		case order <- slot:
+		case <-ctx.Done():
+			return false
+		}
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
+			return false
+		}
+		res := WindowResult{Index: index, Start: start, End: end,
+			StartTime: obs[0].SendTime, EndTime: obs[len(obs)-1].SendTime}
+		index++
+		go func() {
+			defer func() { <-sem }()
+			slot <- w.identifyWindow(ctx, res, obs, cfg)
+		}()
+		return true
+	}
+	// drop compacts the buffer so buf[0] is absolute index base+n.
+	drop := func(n int) {
+		if n <= 0 {
+			return
+		}
+		if n > len(buf) {
+			n = len(buf)
+		}
+		buf = append(buf[:0], buf[n:]...)
+		base += n
+	}
+	for {
+		o, err := src.Next()
+		if err == io.EOF {
+			return
+		}
+		if err != nil {
+			slot := make(chan WindowResult, 1)
+			slot <- WindowResult{Index: index, Start: base + len(buf), End: base + len(buf),
+				Err: fmt.Errorf("core: observation source: %w", err)}
+			select {
+			case order <- slot:
+			case <-ctx.Done():
+			}
+			return
+		}
+		buf = append(buf, o)
+		if wcfg.Size > 0 {
+			for base+len(buf) >= winStart+wcfg.Size {
+				win := buf[winStart-base : winStart+wcfg.Size-base]
+				if !emit(winStart, winStart+wcfg.Size, append([]trace.Observation(nil), win...)) {
+					return
+				}
+				winStart += wcfg.Stride
+				drop(winStart - base)
+			}
+			continue
+		}
+		if !t0set {
+			t0, t0set = o.SendTime, true
+		}
+		for o.SendTime >= t0+wcfg.Duration {
+			cut := 0
+			for cut < len(buf) && buf[cut].SendTime < t0+wcfg.Duration {
+				cut++
+			}
+			// An empty window (a probe gap longer than the window) yields
+			// no result; the stream just moves on.
+			if cut > 0 {
+				if !emit(base, base+cut, append([]trace.Observation(nil), buf[:cut]...)) {
+					return
+				}
+			}
+			t0 += wcfg.StrideDuration
+			n := 0
+			for n < len(buf) && buf[n].SendTime < t0 {
+				n++
+			}
+			drop(n)
+		}
+	}
+}
+
+// identifyWindow gates one window on stationarity and, when admitted,
+// identifies it through the engine (sharing its panic isolation).
+func (w *Windower) identifyWindow(ctx context.Context, res WindowResult, obs []trace.Observation, cfg IdentifyConfig) WindowResult {
+	tr := &trace.Trace{Observations: obs}
+	res.Stationarity = StationarityCheck(tr, w.cfg.Gate)
+	res.Admitted = w.cfg.DisableGate || res.Stationarity.Stationary
+	if !res.Admitted {
+		return res
+	}
+	// Window-level parallelism replaces restart-level parallelism when the
+	// pool has several workers, exactly like a saturated batch.
+	if cfg.Parallelism == 0 && w.engine.Workers() > 1 {
+		cfg.Parallelism = 1
+	}
+	res.ID, res.Err = w.engine.identifyOne(ctx, Job{Trace: tr, Config: cfg})
+	return res
+}
+
+// transitionState tracks the last decided window's verdict to classify
+// transitions; it is only touched by the emitter goroutine, in order.
+type transitionState struct {
+	delta   float64
+	decided bool
+	dcl     bool
+	bound   float64
+}
+
+func (s *transitionState) apply(res *WindowResult) {
+	if !res.Decided() {
+		return
+	}
+	dcl := res.HasDCL()
+	switch {
+	case dcl && !s.dcl:
+		res.Transition = TransitionOnset
+	case !dcl && s.decided && s.dcl:
+		res.Transition = TransitionCleared
+	case dcl && s.dcl:
+		if relChange(res.ID.BoundSeconds, s.bound) > s.delta {
+			res.Transition = TransitionBound
+		}
+	}
+	s.decided, s.dcl = true, dcl
+	if dcl {
+		s.bound = res.ID.BoundSeconds
+	}
+}
+
+// relChange is |a-b| relative to the larger magnitude (0 when both are 0).
+func relChange(a, b float64) float64 {
+	m := math.Max(math.Abs(a), math.Abs(b))
+	if m == 0 {
+		return 0
+	}
+	return math.Abs(a-b) / m
+}

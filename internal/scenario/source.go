@@ -1,0 +1,75 @@
+package scenario
+
+import (
+	"io"
+
+	"dominantlink/internal/trace"
+)
+
+// LiveSource adapts a running simulation's periodic prober into a
+// trace.ObservationSource: each Next call advances the discrete-event
+// simulator just far enough for the next probe's fate to settle, then
+// yields it. It is the live-measurement end of the streaming pipeline —
+// observations reach the windowed identification while the simulated
+// experiment is still in progress, exactly as a production monitor would
+// consume probes off the wire.
+//
+// A LiveSource owns the simulation clock: do not call Sim.Run on the
+// underlying Run while streaming. Like trace sources generally, it is
+// single-consumer.
+type LiveSource struct {
+	run      *Run
+	duration float64
+	step     float64
+	next     int
+}
+
+// DefaultStreamStep is the simulated-seconds granularity a LiveSource
+// advances the clock by while waiting for a probe to settle.
+const DefaultStreamStep = 0.5
+
+// Stream builds the scenario and returns a LiveSource over its probe
+// stream. step is the simulated-time granularity of clock advances
+// (<= 0 means DefaultStreamStep); it bounds how far the simulation runs
+// past the settling of each probe, not the probing rate. The loss-pair
+// companion experiment is not part of a live stream: a Spec with
+// LossPairs set streams only the periodic probes.
+func (sp Spec) Stream(step float64) *LiveSource {
+	if step <= 0 {
+		step = DefaultStreamStep
+	}
+	sp.pairsMode = false
+	return &LiveSource{run: sp.Build(), duration: sp.Duration, step: step}
+}
+
+// Run exposes the underlying simulation run — e.g. for ground truth or
+// link state — valid at any point during and after the stream.
+func (s *LiveSource) Run() *Run { return s.run }
+
+// Next implements trace.ObservationSource: it returns probe observations
+// in sequence order, advancing the simulation whenever the next probe is
+// still in flight, and io.EOF once the simulation has run to its
+// configured duration and every settled probe has been yielded. Probes
+// whose fate is still unsettled at the end of the run are skipped, as
+// Prober.BuildTrace does.
+func (s *LiveSource) Next() (trace.Observation, error) {
+	for {
+		if o, ok := s.run.prober.ObservationAt(s.next); ok {
+			s.next++
+			return o, nil
+		}
+		now := s.run.Sim.Now()
+		if now >= s.duration {
+			if s.next < s.run.prober.Count() {
+				s.next++ // unsettled at end of run
+				continue
+			}
+			return trace.Observation{}, io.EOF
+		}
+		until := now + s.step
+		if until > s.duration {
+			until = s.duration
+		}
+		s.run.Sim.Run(until)
+	}
+}

@@ -1,0 +1,110 @@
+package scenario
+
+import (
+	"io"
+	"testing"
+
+	"dominantlink/internal/trace"
+)
+
+// TestLiveSourceMatchesExecute is the live-adapter invariant: streaming a
+// scenario probe by probe must yield exactly the observation sequence a
+// batch Execute of the same spec produces.
+func TestLiveSourceMatchesExecute(t *testing.T) {
+	spec := shortSpec(21)
+	spec.LossPairs = false
+
+	want := spec.Execute().Trace
+
+	src := spec.Stream(0.25)
+	got, err := trace.Collect(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Observations) != len(want.Observations) {
+		t.Fatalf("streamed %d observations, Execute produced %d",
+			len(got.Observations), len(want.Observations))
+	}
+	for i, o := range got.Observations {
+		w := want.Observations[i]
+		if o != w {
+			t.Fatalf("probe %d diverged: streamed %+v, batch %+v", i, o, w)
+		}
+	}
+	// Exhausted source stays exhausted.
+	if _, err := src.Next(); err != io.EOF {
+		t.Fatalf("post-EOF Next = %v, want io.EOF", err)
+	}
+}
+
+func TestLiveSourceYieldsDuringRun(t *testing.T) {
+	spec := shortSpec(22)
+	src := spec.Stream(0.25)
+	// The first probe (sent at t=2) must settle long before the 30 s run
+	// is over: the stream yields observations while the simulation is live.
+	o, err := src.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Seq != 0 {
+		t.Fatalf("first observation has seq %d", o.Seq)
+	}
+	if now := src.Run().Sim.Now(); now >= spec.Duration {
+		t.Fatalf("first probe only settled at sim end (t=%v)", now)
+	}
+}
+
+func TestLiveSourceStepDefault(t *testing.T) {
+	src := shortSpec(23).Stream(0)
+	if src.step != DefaultStreamStep {
+		t.Fatalf("step = %v, want default %v", src.step, DefaultStreamStep)
+	}
+}
+
+// TestExecuteConcurrentPairsDeterministic pins the concurrency refactor of
+// Execute: running the loss-pair companion simulation concurrently with
+// the main run must reproduce the serial reference — same trace, same
+// imputed and observed pair delays.
+func TestExecuteConcurrentPairsDeterministic(t *testing.T) {
+	spec := shortSpec(24) // LossPairs: true
+
+	// Serial reference: the two simulations run back to back, exactly as
+	// Execute did before the companion run became concurrent.
+	mainSpec, pairSpec := spec, spec
+	mainSpec.pairsMode = false
+	ref := mainSpec.Build()
+	ref.Sim.Run(mainSpec.Duration)
+	refTrace := ref.prober.BuildTrace(ref.TrueProp)
+	pairSpec.pairsMode = true
+	pr := pairSpec.Build()
+	pr.Sim.Run(pairSpec.Duration)
+	refImputed := pr.pairs.ImputedDelays()
+	refObserved := pr.pairs.ObservedDelays()
+
+	run := spec.Execute()
+
+	if len(run.Trace.Observations) != len(refTrace.Observations) {
+		t.Fatalf("probe counts differ: %d vs %d",
+			len(run.Trace.Observations), len(refTrace.Observations))
+	}
+	for i := range refTrace.Observations {
+		if run.Trace.Observations[i] != refTrace.Observations[i] {
+			t.Fatalf("probe %d diverged under concurrency: %+v vs %+v",
+				i, run.Trace.Observations[i], refTrace.Observations[i])
+		}
+	}
+	if len(run.PairImputed) != len(refImputed) || len(run.PairObserved) != len(refObserved) {
+		t.Fatalf("pair result sizes differ: %d/%d vs %d/%d",
+			len(run.PairImputed), len(run.PairObserved), len(refImputed), len(refObserved))
+	}
+	for i := range refImputed {
+		if run.PairImputed[i] != refImputed[i] {
+			t.Fatalf("imputed delay %d diverged: %v vs %v", i, run.PairImputed[i], refImputed[i])
+		}
+	}
+	for i := range refObserved {
+		if run.PairObserved[i] != refObserved[i] {
+			t.Fatalf("observed delay %d diverged: %v vs %v", i, run.PairObserved[i], refObserved[i])
+		}
+	}
+}

@@ -6,9 +6,9 @@ package trace
 
 import (
 	"encoding/csv"
-	"fmt"
 	"io"
 	"strconv"
+	"strings"
 )
 
 // Observation is one periodic probe: either a one-way delay in seconds or
@@ -92,22 +92,58 @@ func (t *Trace) Duration() float64 {
 	return t.Observations[len(t.Observations)-1].SendTime - t.Observations[0].SendTime
 }
 
+// CSV layout: the base columns carry the observable sequence; when a
+// trace has aligned ground truth (simulation output), WriteCSV appends the
+// extended columns so validation data survives a save/re-analyze cycle.
+// PerHopQueuing is a single field of perHopSep-joined floats.
+var (
+	csvHeader     = []string{"seq", "send_time", "delay", "lost"}
+	csvWideHeader = append(csvHeader[:len(csvHeader):len(csvHeader)],
+		"lost_hop", "virtual_queuing", "per_hop_queuing")
+)
+
+const (
+	headerLen     = 4
+	wideHeaderLen = 7
+	perHopSep     = ";"
+)
+
 // WriteCSV writes the observations as "seq,send_time,delay,lost" rows.
+// When the trace carries aligned ground truth, the extended columns
+// "lost_hop,virtual_queuing,per_hop_queuing" are written as well.
 func (t *Trace) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"seq", "send_time", "delay", "lost"}); err != nil {
+	wide := len(t.Truth) == len(t.Observations) && len(t.Truth) > 0
+	header := csvHeader
+	if wide {
+		header = csvWideHeader
+	}
+	if err := cw.Write(header); err != nil {
 		return err
 	}
-	for _, o := range t.Observations {
+	rec := make([]string, len(header))
+	for i, o := range t.Observations {
 		lost := "0"
 		if o.Lost {
 			lost = "1"
 		}
-		rec := []string{
-			strconv.FormatInt(o.Seq, 10),
-			strconv.FormatFloat(o.SendTime, 'g', -1, 64),
-			strconv.FormatFloat(o.Delay, 'g', -1, 64),
-			lost,
+		rec[0] = strconv.FormatInt(o.Seq, 10)
+		rec[1] = strconv.FormatFloat(o.SendTime, 'g', -1, 64)
+		rec[2] = strconv.FormatFloat(o.Delay, 'g', -1, 64)
+		rec[3] = lost
+		if wide {
+			g := t.Truth[i]
+			hop := g.LostHop
+			if !g.Lost {
+				hop = -1
+			}
+			rec[4] = strconv.Itoa(hop)
+			rec[5] = strconv.FormatFloat(g.VirtualQueuing, 'g', -1, 64)
+			per := make([]string, len(g.PerHopQueuing))
+			for k, q := range g.PerHopQueuing {
+				per[k] = strconv.FormatFloat(q, 'g', -1, 64)
+			}
+			rec[6] = strings.Join(per, perHopSep)
 		}
 		if err := cw.Write(rec); err != nil {
 			return err
@@ -117,41 +153,30 @@ func (t *Trace) WriteCSV(w io.Writer) error {
 	return cw.Error()
 }
 
-// ReadCSV parses a trace written by WriteCSV.
+// ReadCSV parses a trace written by WriteCSV, recovering the ground-truth
+// columns when present. It streams the input through StreamCSV, so errors
+// carry the offending line number; blank lines and CRLF endings are
+// tolerated, and negative delays on delivered probes are rejected.
 func ReadCSV(r io.Reader) (*Trace, error) {
-	cr := csv.NewReader(r)
-	rows, err := cr.ReadAll()
-	if err != nil {
-		return nil, err
-	}
-	if len(rows) == 0 {
-		return &Trace{}, nil
-	}
-	start := 0
-	if rows[0][0] == "seq" {
-		start = 1
-	}
+	src := StreamCSV(r)
 	t := &Trace{}
-	for i := start; i < len(rows); i++ {
-		row := rows[i]
-		if len(row) < 4 {
-			return nil, fmt.Errorf("trace: row %d has %d fields, want 4", i, len(row))
+	for {
+		o, err := src.Next()
+		if err == io.EOF {
+			break
 		}
-		seq, err := strconv.ParseInt(row[0], 10, 64)
 		if err != nil {
-			return nil, fmt.Errorf("trace: row %d seq: %v", i, err)
+			return nil, err
 		}
-		st, err := strconv.ParseFloat(row[1], 64)
-		if err != nil {
-			return nil, fmt.Errorf("trace: row %d send_time: %v", i, err)
+		t.Observations = append(t.Observations, o)
+		if gt, ok := src.Truth(); ok {
+			t.Truth = append(t.Truth, gt)
 		}
-		d, err := strconv.ParseFloat(row[2], 64)
-		if err != nil {
-			return nil, fmt.Errorf("trace: row %d delay: %v", i, err)
-		}
-		t.Observations = append(t.Observations, Observation{
-			Seq: seq, SendTime: st, Delay: d, Lost: row[3] == "1",
-		})
+	}
+	if len(t.Truth) > 0 && len(t.Truth) != len(t.Observations) {
+		// Unreachable with the current source (field counts may not change
+		// mid-file), but keep the alignment invariant defensive.
+		t.Truth = nil
 	}
 	return t, nil
 }

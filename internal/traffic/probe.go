@@ -64,6 +64,31 @@ func (p *Prober) tick() {
 // Count returns the number of probes sent so far.
 func (p *Prober) Count() int { return len(p.sent) }
 
+// ObservationAt returns the observation for probe i once its fate is
+// settled: delivered, or lost with the virtual continuation completed. ok
+// is false while the probe is still in flight (or i is out of range), so
+// a live consumer can poll the probes in order as the simulation runs.
+func (p *Prober) ObservationAt(i int) (trace.Observation, bool) {
+	if i < 0 || i >= len(p.sent) {
+		return trace.Observation{}, false
+	}
+	tr := p.sent[i]
+	if !tr.Done {
+		return trace.Observation{}, false
+	}
+	o := trace.Observation{Seq: int64(i), SendTime: tr.SendTime, Lost: tr.Lost}
+	if !tr.Lost {
+		d := p.delays[i]
+		if d < 0 {
+			// Delivered flag missing: should not happen; treat as unsettled
+			// (BuildTrace skips these defensively too).
+			return trace.Observation{}, false
+		}
+		o.Delay = d
+	}
+	return o, true
+}
+
 // BuildTrace assembles the observation sequence and ground truth for all
 // probes whose fate is settled (delivered, virtually completed, or — for
 // safety — sent long enough ago that they cannot still be in flight).

@@ -1,0 +1,73 @@
+package dominantlink
+
+import (
+	"context"
+	"io"
+
+	"dominantlink/internal/core"
+	"dominantlink/internal/trace"
+)
+
+// Streaming identification: where Identify answers "was there a dominant
+// congested link over this trace", IdentifyStream watches an observation
+// stream and answers it continuously — cutting the stream into sliding
+// windows, admitting each window through the stationarity check, and
+// reporting per-window verdicts with onset/clearance transitions. The
+// one-shot API remains exact: a single window spanning a whole trace
+// reproduces Identify byte for byte.
+
+// Streaming types.
+type (
+	// ObservationSource is a pull iterator over probe observations; Next
+	// returns io.EOF once the source is exhausted.
+	ObservationSource = trace.ObservationSource
+	// WindowConfig shapes the sliding windows: Size (probe count) or
+	// Duration (seconds), stride, and the stationarity admission gate.
+	WindowConfig = core.WindowConfig
+	// WindowResult is the per-window outcome: stationarity report,
+	// identification (or error), and the DCL transition.
+	WindowResult = core.WindowResult
+	// Transition classifies DCL status changes between decided windows.
+	Transition = core.Transition
+	// Windower cuts a source into windows and identifies them on an
+	// Engine; see NewWindower for custom pool sizes.
+	Windower = core.Windower
+)
+
+// Transition kinds.
+const (
+	TransitionNone    = core.TransitionNone
+	TransitionOnset   = core.TransitionOnset
+	TransitionCleared = core.TransitionCleared
+	TransitionBound   = core.TransitionBound
+)
+
+// StreamCSV returns a source reading probe observations incrementally
+// from a CSV in the trace format (as written by Trace.WriteCSV): memory
+// use is constant in the trace length, so arbitrarily long captures can
+// be analyzed without materializing them.
+func StreamCSV(r io.Reader) ObservationSource { return trace.StreamCSV(r) }
+
+// SourceFromTrace adapts an in-memory trace into an ObservationSource.
+func SourceFromTrace(tr *Trace) ObservationSource { return tr.Source() }
+
+// CollectSource drains a source into a materialized Trace.
+func CollectSource(src ObservationSource) (*Trace, error) { return trace.Collect(src) }
+
+// NewWindower returns a windower identifying admitted windows on a pool
+// of the given size (workers <= 0 means GOMAXPROCS).
+func NewWindower(workers int, cfg WindowConfig) *Windower {
+	return core.NewWindower(core.NewEngine(workers), cfg)
+}
+
+// IdentifyStream runs the streaming pipeline over src: windows are cut
+// per wcfg, gated on stationarity, identified concurrently on a
+// GOMAXPROCS-sized pool, and emitted strictly in window order with DCL
+// onset/clearance/bound transitions attached. The channel closes when the
+// source is exhausted or ctx is canceled; consume it (or cancel) to keep
+// the pipeline moving. A window with no losses is a decided "no DCL"
+// (its result carries ErrNoLosses); a source failure surfaces as a final
+// result carrying the error.
+func IdentifyStream(ctx context.Context, src ObservationSource, wcfg WindowConfig, cfg IdentifyConfig) (<-chan WindowResult, error) {
+	return core.NewWindower(core.NewEngine(0), wcfg).Stream(ctx, src, cfg)
+}
