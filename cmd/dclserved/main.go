@@ -1,0 +1,160 @@
+// Command dclserved is the multi-path monitoring daemon: an HTTP service
+// that runs model-based dominant-congested-link identification
+// continuously over many probe streams at once. Measurement agents POST
+// observation batches (JSON or CSV) to per-path sessions; each session
+// cuts its stream into sliding windows, gates them on stationarity, and
+// identifies admitted windows on one shared worker pool. Verdicts are
+// served as JSON and as a live SSE feed of DCL onset/cleared/bound
+// transitions.
+//
+// Usage:
+//
+//	dclserved -addr :8844 [-window 3000] [-stride 1000] [-workers 8] [-queue 4096]
+//
+// API (see DESIGN.md "Monitoring service" for details):
+//
+//	PUT    /v1/paths/{id}                 create a session (optional JSON window spec)
+//	POST   /v1/paths/{id}/observations    ingest a batch; 429 asks the client to back off
+//	GET    /v1/paths/{id}/results         decided windows as JSON (?since=N to poll)
+//	GET    /v1/paths/{id}/events          SSE: window / transition / closed events
+//	DELETE /v1/paths/{id}                 drain the session, flushing its final partial window
+//	GET    /v1/paths                      session registry
+//	GET    /healthz, /metrics             liveness and counters
+//
+// On SIGINT/SIGTERM the daemon drains: sessions finish their queued
+// backlog and flush final partial windows under the -drain deadline, then
+// the listener closes.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"syscall"
+	"time"
+
+	"dominantlink/internal/core"
+	"dominantlink/internal/monitor"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dclserved: ")
+	var (
+		addr     = flag.String("addr", ":8844", "listen address")
+		workers  = flag.Int("workers", 0, "shared identification pool size (0 = GOMAXPROCS)")
+		queue    = flag.Int("queue", 4096, "per-session ingestion queue capacity (observations)")
+		results  = flag.Int("results", 512, "retained window results per session")
+		sessions = flag.Int("max-sessions", 1024, "live session cap")
+		window   = flag.String("window", "3000", "default window: probe count or duration (e.g. 3000, 60s)")
+		stride   = flag.String("stride", "", "default stride between window starts (default = window: tumbling)")
+		gate     = flag.Bool("gate", true, "admit only stationary windows to identification")
+		model    = flag.String("model", "mmhd", "inference model: mmhd or hmm")
+		m        = flag.Int("m", 5, "number of delay symbols M")
+		n        = flag.Int("n", 2, "number of hidden states N")
+		x        = flag.Float64("x", 0.06, "WDCL loss parameter x")
+		y        = flag.Float64("y", 0, "WDCL delay parameter y (0 = the paper's strict delay condition)")
+		seed     = flag.Int64("seed", 1, "EM initialization seed")
+		drain    = flag.Duration("drain", 30*time.Second, "graceful shutdown deadline")
+	)
+	flag.Parse()
+
+	cfg := core.IdentifyConfig{
+		Symbols: *m, HiddenStates: *n,
+		X: *x, Y: *y, ExactY: *y == 0,
+		Seed: *seed,
+	}
+	switch *model {
+	case "mmhd":
+		cfg.Model = core.MMHD
+	case "hmm":
+		cfg.Model = core.HMM
+	default:
+		log.Fatalf("unknown model %q", *model)
+	}
+	wcfg, err := windowConfig(*window, *stride, *gate)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	mon := monitor.New(monitor.Config{
+		Workers:     *workers,
+		QueueSize:   *queue,
+		MaxResults:  *results,
+		MaxSessions: *sessions,
+		Window:      wcfg,
+		Identify:    cfg,
+	})
+	srv := &http.Server{Addr: *addr, Handler: mon.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("listening on %s (workers=%d queue=%d window=%s)", *addr, *workers, *queue, *window)
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("draining sessions (deadline %s)", *drain)
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := mon.Close(dctx); err != nil {
+		log.Printf("drain deadline hit, aborted remaining sessions: %v", err)
+	}
+	if err := srv.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("shutdown: %v", err)
+	}
+	log.Print("bye")
+}
+
+// windowConfig parses the -window/-stride spans into the monitor's
+// default window shape. The final partial window of a drained session is
+// always flushed.
+func windowConfig(window, stride string, gate bool) (core.WindowConfig, error) {
+	wcfg := core.WindowConfig{DisableGate: !gate, FlushPartial: true}
+	count, dur, err := parseSpan(window)
+	if err != nil {
+		return wcfg, fmt.Errorf("-window: %v", err)
+	}
+	wcfg.Size, wcfg.Duration = count, dur
+	if stride != "" {
+		count, dur, err := parseSpan(stride)
+		if err != nil {
+			return wcfg, fmt.Errorf("-stride: %v", err)
+		}
+		if (wcfg.Size > 0) != (count > 0) {
+			return wcfg, errors.New("-stride must use the same unit as -window (both counts or both durations)")
+		}
+		wcfg.Stride, wcfg.StrideDuration = count, dur
+	}
+	return wcfg, nil
+}
+
+// parseSpan reads a span flag: a bare integer is a probe count, anything
+// else is tried as a duration ("90s", "5m").
+func parseSpan(s string) (count int, seconds float64, err error) {
+	if n, err := strconv.Atoi(s); err == nil {
+		if n <= 0 {
+			return 0, 0, fmt.Errorf("probe count %d must be positive", n)
+		}
+		return n, 0, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, 0, fmt.Errorf("%q is neither a probe count nor a duration", s)
+	}
+	if d <= 0 {
+		return 0, 0, fmt.Errorf("duration %v must be positive", d)
+	}
+	return 0, d.Seconds(), nil
+}

@@ -85,10 +85,29 @@
 // in-memory trace, and the one-shot contract is preserved exactly: a
 // single window spanning a whole trace reproduces Identify bit for bit.
 //
+// # Monitoring service
+//
+// NewMonitor turns the streaming pipeline into a multi-path service: a
+// Monitor manages many concurrent per-path sessions, each a bounded
+// ingestion queue feeding the windowed pipeline, with every session's
+// window identifications multiplexed onto one shared worker pool. Sessions
+// are driven programmatically (Open / Offer / Subscribe / Drain) or over
+// the stdlib-only HTTP API the Monitor's Handler serves: JSON/CSV
+// observation ingestion with 429 backpressure, per-window results, a
+// server-sent-events feed of DCL transitions, expvar-style metrics, and
+// graceful drain that flushes each session's final partial window:
+//
+//	mon := dominantlink.NewMonitor(dominantlink.MonitorConfig{})
+//	go http.ListenAndServe(":8844", mon.Handler())
+//	...
+//	mon.Close(ctx) // drain every session under ctx's deadline
+//
+// cmd/dclserved wraps the same service core into a standalone daemon.
+//
 // The cmd/ directory holds the executables (dclsim, dclidentify,
-// experiments) and examples/ holds runnable walkthroughs; DESIGN.md and
-// EXPERIMENTS.md document the architecture and the reproduction of every
-// table and figure in the paper's evaluation.
+// dclserved, experiments) and examples/ holds runnable walkthroughs;
+// DESIGN.md and EXPERIMENTS.md document the architecture and the
+// reproduction of every table and figure in the paper's evaluation.
 package dominantlink
 
 import (

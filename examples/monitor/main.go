@@ -1,0 +1,236 @@
+// Monitor: the streaming example as a client-server system. A monitoring
+// daemon (the same service core cmd/dclserved wraps) listens on loopback;
+// a measurement agent drives a live simulation — the bottleneck's heavy
+// cross traffic switches on only mid-run — and POSTs each batch of probe
+// observations to the daemon as it settles, backing off whenever the
+// ingestion queue pushes back with 429. A second goroutine watches the
+// session's SSE feed and prints every window verdict and the dcl-onset
+// transition the moment the congested link appears.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"dominantlink"
+	"dominantlink/internal/scenario"
+	"dominantlink/internal/traffic"
+)
+
+// obsWire mirrors the daemon's observation JSON.
+type obsWire struct {
+	Seq      int64   `json:"seq"`
+	SendTime float64 `json:"send_time"`
+	Delay    float64 `json:"delay"`
+	Lost     bool    `json:"lost"`
+}
+
+// windowWire is the slice of the daemon's window JSON this example prints.
+type windowWire struct {
+	StartTime  float64 `json:"start_time"`
+	EndTime    float64 `json:"end_time"`
+	End        int     `json:"end"`
+	Start      int     `json:"start"`
+	Admitted   bool    `json:"admitted"`
+	NoLosses   bool    `json:"no_losses"`
+	Summary    string  `json:"summary"`
+	Transition string  `json:"transition"`
+	Error      string  `json:"error"`
+}
+
+func main() {
+	// The daemon: an embedded Monitor serving its HTTP API on loopback.
+	mon := dominantlink.NewMonitor(dominantlink.MonitorConfig{
+		Identify: dominantlink.IdentifyConfig{
+			Symbols: 5, HiddenStates: 2, X: 0.06, Y: 0, ExactY: true, Seed: 1,
+		},
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: mon.Handler()}
+	go srv.Serve(ln)
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("daemon listening on %s\n", base)
+
+	// The monitored path: the paper's Table II bottleneck, with L1's
+	// congesting UDP load starting only around t = 200 s.
+	onset := 200.0
+	spec := scenario.Spec{
+		Seed:     7,
+		Duration: 420,
+		Backbone: []scenario.LinkSpec{
+			{Name: "L1", Bandwidth: 1e6, Delay: 0.005, BufferBytes: 20000},
+			{Name: "L2", Bandwidth: 10e6, Delay: 0.005, BufferBytes: 80000},
+			{Name: "L3", Bandwidth: 10e6, Delay: 0.005, BufferBytes: 80000},
+		},
+		PathTraffic: scenario.TrafficMix{
+			HTTP: 2, HTTPCfg: traffic.HTTPConfig{MeanThinkTime: 4},
+			StartMin: 0, StartMax: 20,
+		},
+		CrossTraffic: []scenario.TrafficMix{
+			{
+				UDP: []traffic.OnOffUDPConfig{
+					{Rate: 0.9e6, PktSize: 1000, MeanOn: 0.6, MeanOff: 1.2},
+					{Rate: 0.7e6, PktSize: 1000, MeanOn: 0.5, MeanOff: 1.5},
+				},
+				StartMin: onset, StartMax: onset + 5,
+			},
+		},
+		Probe: traffic.ProbeConfig{Interval: 0.02, Size: 10, Start: 5, Stop: 415},
+	}
+
+	// Create the session: 60 s windows sliding by 30 s, with the admission
+	// gate's loss band widened for the swinging on-off cross traffic (as in
+	// the streaming example).
+	put, err := http.NewRequest("PUT", base+"/v1/paths/backbone",
+		strings.NewReader(`{"duration_seconds": 60, "stride_seconds": 30, "gate_loss_factor": 8}`))
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(put)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		log.Fatalf("creating session: %s", resp.Status)
+	}
+
+	// The watcher: tail the session's SSE feed, one verdict line per window.
+	fmt.Printf("monitoring a 3-link path; L1 cross traffic starts at t≈%.0fs\n\n", onset)
+	watchDone := make(chan float64, 1)
+	go watch(base, watchDone)
+
+	// The agent: consume the live simulation and ship it in batches.
+	src := spec.Stream(0)
+	batch := make([]obsWire, 0, 256)
+	total := 0
+	for {
+		o, err := src.Next()
+		eof := err == io.EOF
+		if err != nil && !eof {
+			log.Fatal(err)
+		}
+		if !eof {
+			batch = append(batch, obsWire{Seq: o.Seq, SendTime: o.SendTime, Delay: o.Delay, Lost: o.Lost})
+		}
+		if len(batch) == cap(batch) || (eof && len(batch) > 0) {
+			total += post(base, batch)
+			batch = batch[:0]
+		}
+		if eof {
+			break
+		}
+	}
+
+	// Drain: the daemon flushes the final partial window and closes the
+	// session, which ends the SSE stream.
+	del, _ := http.NewRequest("DELETE", base+"/v1/paths/backbone", nil)
+	resp, err = http.DefaultClient.Do(del)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	detected := <-watchDone
+
+	if detected < 0 {
+		log.Fatal("no dcl-onset detected — expected congestion from mid-run")
+	}
+	fmt.Printf("\ncongestion onset at t≈%.0fs detected in the window starting t=%.0fs\n", onset, detected)
+	fmt.Printf("%d observations shipped over HTTP\n", total)
+	if resp, err = http.Get(base + "/metrics"); err == nil {
+		var met map[string]any
+		json.NewDecoder(resp.Body).Decode(&met)
+		resp.Body.Close()
+		fmt.Printf("daemon counters: ingested=%v admitted=%v rejected=%v\n",
+			met["observations_ingested"], met["windows_admitted"], met["windows_rejected"])
+	}
+}
+
+// post ships one batch, resending from the accepted offset when the daemon
+// answers 429; it returns the number of observations ingested.
+func post(base string, batch []obsWire) int {
+	sent := 0
+	for sent < len(batch) {
+		body, err := json.Marshal(batch[sent:])
+		if err != nil {
+			log.Fatal(err)
+		}
+		resp, err := http.Post(base+"/v1/paths/backbone/observations", "application/json", bytes.NewReader(body))
+		if err != nil {
+			log.Fatal(err)
+		}
+		var ack struct {
+			Accepted int `json:"accepted"`
+		}
+		json.NewDecoder(resp.Body).Decode(&ack)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK:
+			return sent + ack.Accepted
+		case http.StatusTooManyRequests:
+			sent += ack.Accepted // back off and resend the rest
+			time.Sleep(100 * time.Millisecond)
+		default:
+			log.Fatalf("ingest: %s", resp.Status)
+		}
+	}
+	return sent
+}
+
+// watch tails the SSE feed until the session closes, printing each window
+// verdict; it reports the start time of the first dcl-onset window (or -1).
+func watch(base string, done chan<- float64) {
+	detected := -1.0
+	defer func() { done <- detected }()
+	resp, err := http.Get(base + "/v1/paths/backbone/events")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	event := ""
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			if event != "window" {
+				continue // transitions ride along on their window event
+			}
+			var w windowWire
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &w); err != nil {
+				log.Fatal(err)
+			}
+			head := fmt.Sprintf("t=%5.0fs..%5.0fs (%4d probes):", w.StartTime, w.EndTime, w.End-w.Start)
+			switch {
+			case w.NoLosses:
+				fmt.Printf("%s no losses — path healthy\n", head)
+			case w.Error != "":
+				fmt.Printf("%s identification failed: %s\n", head, w.Error)
+			case !w.Admitted:
+				fmt.Printf("%s non-stationary — window skipped\n", head)
+			default:
+				fmt.Printf("%s %s\n", head, w.Summary)
+			}
+			if w.Transition != "" {
+				fmt.Printf("  >> %s\n", w.Transition)
+				if w.Transition == "dcl-onset" && detected < 0 {
+					detected = w.StartTime
+				}
+			}
+		}
+	}
+}

@@ -3,8 +3,10 @@ package dominantlink_test
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"math"
+	"net/http/httptest"
 	"reflect"
 	"testing"
 
@@ -255,5 +257,68 @@ func TestFacadeStationarity(t *testing.T) {
 	from, to := dominantlink.LongestStationarySegment(tr, dominantlink.StationarityConfig{})
 	if from < 400 || to != 4000 {
 		t.Fatalf("segment [%d,%d) should skip the storm", from, to)
+	}
+}
+
+// TestFacadeMonitor embeds the monitoring service through the facade: a
+// Monitor opened programmatically and over its HTTP handler, driven the way
+// an external daemon would embed it.
+func TestFacadeMonitor(t *testing.T) {
+	mon := dominantlink.NewMonitor(dominantlink.MonitorConfig{
+		Window: dominantlink.WindowConfig{Size: 200, DisableGate: true, FlushPartial: true},
+	})
+
+	// Programmatic use: open a session, offer observations, drain, read the
+	// decided windows back.
+	s, created, err := mon.Open("p", nil)
+	if err != nil || !created {
+		t.Fatalf("Open = created %v, err %v", created, err)
+	}
+	obs := make([]dominantlink.Observation, 500)
+	for i := range obs {
+		obs[i] = dominantlink.Observation{
+			Seq:      int64(i),
+			SendTime: 0.02 * float64(i),
+			Delay:    0.02 + 0.001*float64(i%9),
+		}
+	}
+	if n, err := s.Offer(obs); err != nil || n != len(obs) {
+		t.Fatalf("Offer = %d, %v", n, err)
+	}
+	s.Drain()
+	if err := s.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	results, next := s.Results(0)
+	if len(results) != 3 || next != 3 {
+		t.Fatalf("got %d windows (next %d), want 2 complete + 1 flushed partial", len(results), next)
+	}
+	if !results[2].Partial {
+		t.Fatal("trailing window not marked partial")
+	}
+
+	// HTTP use: the handler serves the same monitor.
+	srv := httptest.NewServer(mon.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/v1/paths")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v struct {
+		Paths []struct {
+			Path  string `json:"path"`
+			State string `json:"state"`
+		} `json:"paths"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	if len(v.Paths) != 1 || v.Paths[0].Path != "p" || v.Paths[0].State != "closed" {
+		t.Fatalf("registry = %+v, want the drained session", v.Paths)
+	}
+
+	if err := mon.Close(context.Background()); err != nil {
+		t.Fatal(err)
 	}
 }

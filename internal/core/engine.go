@@ -19,6 +19,11 @@ import (
 // inside each Identify call.
 type Engine struct {
 	workers int
+	// shared, when non-nil, is an engine-wide semaphore bounding in-flight
+	// window identifications across every Windower stream attached to this
+	// engine (see NewSharedEngine). A nil shared keeps the original
+	// behaviour: each stream gets its own private pool of `workers` slots.
+	shared chan struct{}
 }
 
 // NewEngine returns an engine with the given worker-pool size; workers <= 0
@@ -30,8 +35,31 @@ func NewEngine(workers int) *Engine {
 	return &Engine{workers: workers}
 }
 
+// NewSharedEngine returns an engine whose identification slots are shared
+// by every Windower stream running on it: however many streams are
+// attached, at most `workers` window identifications are in flight at
+// once. This is the multiplexing primitive of the monitoring service,
+// where hundreds of per-path sessions feed one pool — without sharing,
+// each stream would spin up its own `workers` goroutines. Batch calls
+// (IdentifyJobs) are unaffected; they already bound their own pool.
+func NewSharedEngine(workers int) *Engine {
+	e := NewEngine(workers)
+	e.shared = make(chan struct{}, e.workers)
+	return e
+}
+
 // Workers reports the engine's worker-pool size.
 func (e *Engine) Workers() int { return e.workers }
+
+// streamSlots returns the semaphore a Windower stream bounds its in-flight
+// identifications with: the engine-wide pool on a shared engine, else a
+// fresh per-stream one.
+func (e *Engine) streamSlots() chan struct{} {
+	if e.shared != nil {
+		return e.shared
+	}
+	return make(chan struct{}, e.workers)
+}
 
 // Job is one unit of batch work: a trace plus the configuration to
 // identify it with.

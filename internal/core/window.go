@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"time"
 
 	"dominantlink/internal/trace"
 )
@@ -71,6 +72,15 @@ type WindowConfig struct {
 	// consecutive DCL windows that is reported as TransitionBound
 	// (default 0.25).
 	BoundDelta float64
+
+	// FlushPartial emits the trailing incomplete window when the source
+	// ends with observations buffered past the last complete window. The
+	// flushed result has Partial set and is otherwise a normal window:
+	// gated, identified, and counted in the transition state. It is meant
+	// for session-oriented consumers (the monitoring daemon) that close a
+	// stream deliberately and want a final verdict over the tail instead
+	// of silently dropping it.
+	FlushPartial bool
 }
 
 func (c *WindowConfig) defaults() error {
@@ -91,6 +101,12 @@ func (c *WindowConfig) defaults() error {
 	return nil
 }
 
+// Validate reports whether the config can drive a stream — exactly the
+// check Stream performs up front — without mutating c. Session-oriented
+// callers (the monitoring service) use it to reject a bad config at
+// session creation instead of surfacing a dead stream later.
+func (c WindowConfig) Validate() error { return (&c).defaults() }
+
 // WindowResult is the outcome of one window of a stream. Start/End are
 // absolute observation indexes ([Start, End)) and StartTime/EndTime the
 // send times of the window's first and last observation. Exactly one of
@@ -102,11 +118,20 @@ type WindowResult struct {
 	StartTime  float64
 	EndTime    float64
 
+	// Partial marks a trailing incomplete window flushed at end of stream
+	// (WindowConfig.FlushPartial).
+	Partial bool
+
 	Stationarity StationarityReport
 	Admitted     bool
 
 	ID  *Identification
 	Err error
+
+	// Elapsed is the wall-clock time the admitted window spent in
+	// identification (all EM restarts); zero for gated windows. Monitoring
+	// consumers feed it into their latency histograms.
+	Elapsed time.Duration
 
 	Transition Transition
 }
@@ -155,13 +180,13 @@ func (w *Windower) Stream(ctx context.Context, src trace.ObservationSource, cfg 
 		return nil, err
 	}
 	workers := w.engine.Workers()
+	sem := w.engine.streamSlots()
 	out := make(chan WindowResult, workers)
 	// order carries one future per window so the emitter can restore
 	// window order whatever the identification finishing order; its bound
 	// (with the sem bound) also caps how far the producer runs ahead of a
 	// slow consumer.
 	order := make(chan chan WindowResult, 2*workers)
-	sem := make(chan struct{}, workers)
 
 	go func() { // producer: cut windows, dispatch identifications
 		defer close(order)
@@ -184,6 +209,38 @@ func (w *Windower) Stream(ctx context.Context, src trace.ObservationSource, cfg 
 	return out, nil
 }
 
+// sourceRead is one Next call's outcome, shuttled from the reader
+// goroutine to the producer so a stalled source cannot pin the pipeline.
+type sourceRead struct {
+	o   trace.Observation
+	err error
+}
+
+// readAsync pumps src.Next results into the returned channel so the
+// producer can select against ctx. If the source stalls forever (a tail
+// that never grows, a dead probe socket), cancellation still tears the
+// stream down promptly; the reader goroutine itself stays parked in Next
+// until the source yields or fails once more, which is the best a
+// blocking pull interface allows — sources that can unblock on close
+// (e.g. the monitor's session queues) release it immediately.
+func readAsync(ctx context.Context, src trace.ObservationSource) <-chan sourceRead {
+	reads := make(chan sourceRead)
+	go func() {
+		for {
+			o, err := src.Next()
+			select {
+			case reads <- sourceRead{o, err}:
+			case <-ctx.Done():
+				return
+			}
+			if err != nil {
+				return
+			}
+		}
+	}()
+	return reads
+}
+
 // cutWindows reads src to exhaustion, cutting complete windows and
 // dispatching each to a bounded worker that identifies it into its order
 // slot.
@@ -196,19 +253,23 @@ func (w *Windower) cutWindows(ctx context.Context, src trace.ObservationSource, 
 		t0set    bool
 		index    int
 	)
-	emit := func(start, end int, obs []trace.Observation) bool {
-		slot := make(chan WindowResult, 1)
-		select {
-		case order <- slot:
-		case <-ctx.Done():
-			return false
-		}
+	emit := func(start, end int, obs []trace.Observation, partial bool) bool {
+		// Acquire the worker slot before enqueueing the order slot: every
+		// slot the emitter sees is then guaranteed a worker to fill it, so
+		// an abort here can never strand the emitter on an empty future.
 		select {
 		case sem <- struct{}{}:
 		case <-ctx.Done():
 			return false
 		}
-		res := WindowResult{Index: index, Start: start, End: end,
+		slot := make(chan WindowResult, 1)
+		select {
+		case order <- slot:
+		case <-ctx.Done():
+			<-sem // release the unused worker slot (shared across streams)
+			return false
+		}
+		res := WindowResult{Index: index, Start: start, End: end, Partial: partial,
 			StartTime: obs[0].SendTime, EndTime: obs[len(obs)-1].SendTime}
 		index++
 		go func() {
@@ -228,26 +289,50 @@ func (w *Windower) cutWindows(ctx context.Context, src trace.ObservationSource, 
 		buf = append(buf[:0], buf[n:]...)
 		base += n
 	}
+	reads := readAsync(ctx, src)
 	for {
-		o, err := src.Next()
-		if err == io.EOF {
-			return
-		}
-		if err != nil {
-			slot := make(chan WindowResult, 1)
-			slot <- WindowResult{Index: index, Start: base + len(buf), End: base + len(buf),
-				Err: fmt.Errorf("core: observation source: %w", err)}
-			select {
-			case order <- slot:
-			case <-ctx.Done():
+		var o trace.Observation
+		select {
+		case r := <-reads:
+			o = r.o
+			if r.err == io.EOF {
+				// Flush the trailing partial window, if asked to: in count
+				// mode the buffer was compacted to the next window start
+				// after each emit, in duration mode to the current window
+				// origin, so the tail is buf from the pending start on.
+				if wcfg.FlushPartial {
+					tail := buf
+					if wcfg.Size > 0 {
+						if winStart-base >= len(buf) {
+							return
+						}
+						tail = buf[winStart-base:]
+						base = winStart
+					}
+					if len(tail) > 0 {
+						emit(base, base+len(tail), append([]trace.Observation(nil), tail...), true)
+					}
+				}
+				return
 			}
+			if r.err != nil {
+				slot := make(chan WindowResult, 1)
+				slot <- WindowResult{Index: index, Start: base + len(buf), End: base + len(buf),
+					Err: fmt.Errorf("core: observation source: %w", r.err)}
+				select {
+				case order <- slot:
+				case <-ctx.Done():
+				}
+				return
+			}
+		case <-ctx.Done():
 			return
 		}
 		buf = append(buf, o)
 		if wcfg.Size > 0 {
 			for base+len(buf) >= winStart+wcfg.Size {
 				win := buf[winStart-base : winStart+wcfg.Size-base]
-				if !emit(winStart, winStart+wcfg.Size, append([]trace.Observation(nil), win...)) {
+				if !emit(winStart, winStart+wcfg.Size, append([]trace.Observation(nil), win...), false) {
 					return
 				}
 				winStart += wcfg.Stride
@@ -266,7 +351,7 @@ func (w *Windower) cutWindows(ctx context.Context, src trace.ObservationSource, 
 			// An empty window (a probe gap longer than the window) yields
 			// no result; the stream just moves on.
 			if cut > 0 {
-				if !emit(base, base+cut, append([]trace.Observation(nil), buf[:cut]...)) {
+				if !emit(base, base+cut, append([]trace.Observation(nil), buf[:cut]...), false) {
 					return
 				}
 			}
@@ -294,7 +379,9 @@ func (w *Windower) identifyWindow(ctx context.Context, res WindowResult, obs []t
 	if cfg.Parallelism == 0 && w.engine.Workers() > 1 {
 		cfg.Parallelism = 1
 	}
+	start := time.Now()
 	res.ID, res.Err = w.engine.identifyOne(ctx, Job{Trace: tr, Config: cfg})
+	res.Elapsed = time.Since(start)
 	return res
 }
 

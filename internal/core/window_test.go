@@ -4,9 +4,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"reflect"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"dominantlink/internal/stats"
 	"dominantlink/internal/trace"
@@ -283,6 +286,179 @@ func TestStreamCancellation(t *testing.T) {
 	cancel()
 	for range ch {
 		// Drain whatever was in flight; the channel must close promptly.
+	}
+}
+
+// stalledSource blocks every Next call until unblocked — the "-follow"
+// tail of a capture that stops growing, or a probe socket that went quiet.
+type stalledSource struct{ unblock chan struct{} }
+
+func (s *stalledSource) Next() (trace.Observation, error) {
+	<-s.unblock
+	return trace.Observation{}, io.EOF
+}
+
+// TestStreamCancelWithStalledSource is the regression test for the stuck
+// producer: cancellation must close the stream promptly even while the
+// Windower is blocked inside a source read that never returns.
+func TestStreamCancelWithStalledSource(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	src := &stalledSource{unblock: make(chan struct{})}
+	defer close(src.unblock) // release the parked reader goroutine
+	ch, err := NewWindower(NewEngine(1), WindowConfig{Size: 10, DisableGate: true}).
+		Stream(ctx, src, IdentifyConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	select {
+	case _, ok := <-ch:
+		if ok {
+			t.Fatal("got a window result from a source that never produced one")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("stream did not shut down after cancellation with a stalled source")
+	}
+}
+
+func TestFlushPartialCountWindows(t *testing.T) {
+	tr := synthTrace(2500, 0.020, 0.120, 0.25, 4)
+	results := startStream(t, 2,
+		WindowConfig{Size: 1000, FlushPartial: true, DisableGate: true},
+		tr.Source(), IdentifyConfig{Seed: 1})
+	if len(results) != 3 {
+		t.Fatalf("got %d windows, want 2 complete + 1 partial", len(results))
+	}
+	last := results[2]
+	if !last.Partial || last.Start != 2000 || last.End != 2500 {
+		t.Fatalf("trailing window = %+v, want partial [2000,2500)", last)
+	}
+	for _, res := range results[:2] {
+		if res.Partial {
+			t.Fatalf("complete window %d marked partial", res.Index)
+		}
+	}
+	// The flushed tail is a normal window otherwise: identified, and
+	// counted by the transition state.
+	if last.ID == nil && last.Err == nil {
+		t.Fatal("partial window was not identified")
+	}
+
+	// Without the option the tail is dropped, as before.
+	results = startStream(t, 2,
+		WindowConfig{Size: 1000, DisableGate: true}, tr.Source(), IdentifyConfig{Seed: 1})
+	if len(results) != 2 {
+		t.Fatalf("got %d windows without FlushPartial, want 2", len(results))
+	}
+}
+
+func TestFlushPartialDurationWindows(t *testing.T) {
+	// 50 s of probes at 20 ms; 20 s tumbling windows leave a 10 s tail.
+	tr := synthTrace(2500, 0.020, 0.120, 0.25, 4)
+	results := startStream(t, 2,
+		WindowConfig{Duration: 20, FlushPartial: true, DisableGate: true},
+		tr.Source(), IdentifyConfig{Seed: 1})
+	if len(results) != 3 {
+		t.Fatalf("got %d windows, want 2 complete + 1 partial", len(results))
+	}
+	last := results[2]
+	if !last.Partial || last.Probes() != 500 || last.StartTime < 40 {
+		t.Fatalf("trailing window = %+v, want 500-probe partial from t=40s", last)
+	}
+}
+
+// TestDurationWindowsWithProbeGap: irregular senders must not produce
+// empty windows. A gap longer than several strides simply advances the
+// window origin; every emitted window holds at least one probe and the
+// post-gap windows pick up where the probes resume.
+func TestDurationWindowsWithProbeGap(t *testing.T) {
+	var obs []trace.Observation
+	add := func(from, to int) { // tenths of a second, 10 probes/s
+		for i := 10 * from; i < 10*to; i++ {
+			obs = append(obs, trace.Observation{Seq: int64(len(obs)), SendTime: float64(i) / 10, Delay: 0.02})
+		}
+	}
+	add(0, 5)   // 50 probes
+	add(47, 60) // 42-second silence, then 130 probes
+	results := startStream(t, 2,
+		WindowConfig{Duration: 2, DisableGate: true},
+		trace.NewSliceSource(obs), IdentifyConfig{Seed: 1})
+	for i, res := range results {
+		if res.Probes() == 0 {
+			t.Fatalf("window %d is empty: %+v", i, res)
+		}
+		if res.Index != i {
+			t.Fatalf("window %d has index %d", i, res.Index)
+		}
+	}
+	// [0,2) [2,4) [4,6) then nothing until [46,48) [48,50) ... [56,58):
+	// 3 pre-gap windows, 6 post-gap ones (the gap's 20 empty strides emit
+	// nothing, and the final [58,60) window never sees a probe at t>=60
+	// so it stays open).
+	if len(results) != 9 {
+		t.Fatalf("got %d windows, want 9", len(results))
+	}
+	if results[2].Probes() != 10 {
+		t.Fatalf("window straddling the gap start has %d probes, want 10", results[2].Probes())
+	}
+	if got := results[3].StartTime; got != 47.0 {
+		t.Fatalf("first post-gap window starts at t=%v, want 47", got)
+	}
+	if results[3].Probes() != 10 {
+		t.Fatalf("first post-gap window has %d probes, want 10", results[3].Probes())
+	}
+}
+
+// TestSharedEngineMatchesPrivateEngines: multiplexing several concurrent
+// streams onto one shared identification pool must not change any
+// stream's results — same windows, same fits — compared to each stream
+// running on its own engine.
+func TestSharedEngineMatchesPrivateEngines(t *testing.T) {
+	wcfg := WindowConfig{Size: 1000, Stride: 500, DisableGate: true}
+	cfg := IdentifyConfig{X: 0.06, Y: 1e-9, Seed: 1}
+	const paths = 4
+
+	want := make([][]WindowResult, paths)
+	for i := 0; i < paths; i++ {
+		tr := synthTrace(3000, 0.020, 0.120, 0.25, int64(i+1))
+		want[i] = startStream(t, 2, wcfg, tr.Source(), cfg)
+	}
+
+	eng := NewSharedEngine(2)
+	got := make([][]WindowResult, paths)
+	var wg sync.WaitGroup
+	for i := 0; i < paths; i++ {
+		tr := synthTrace(3000, 0.020, 0.120, 0.25, int64(i+1))
+		ch, err := NewWindower(eng, wcfg).Stream(context.Background(), tr.Source(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(i int, ch <-chan WindowResult) {
+			defer wg.Done()
+			for res := range ch {
+				got[i] = append(got[i], res)
+			}
+		}(i, ch)
+	}
+	wg.Wait()
+
+	for i := 0; i < paths; i++ {
+		if len(got[i]) != len(want[i]) {
+			t.Fatalf("stream %d: %d windows on the shared engine, %d alone", i, len(got[i]), len(want[i]))
+		}
+		for k := range got[i] {
+			g, w := got[i][k], want[i][k]
+			if g.Start != w.Start || g.End != w.End || g.Transition != w.Transition {
+				t.Fatalf("stream %d window %d metadata diverged: %+v vs %+v", i, k, g, w)
+			}
+			if (g.ID == nil) != (w.ID == nil) {
+				t.Fatalf("stream %d window %d: identification presence diverged", i, k)
+			}
+			if g.ID != nil && (!reflect.DeepEqual(g.ID.VirtualPMF, w.ID.VirtualPMF) || g.ID.LogLik != w.ID.LogLik) {
+				t.Fatalf("stream %d window %d: fits diverged on the shared engine", i, k)
+			}
+		}
 	}
 }
 

@@ -1,0 +1,327 @@
+package monitor
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dominantlink/internal/core"
+	"dominantlink/internal/scenario"
+	"dominantlink/internal/trace"
+	"dominantlink/internal/traffic"
+)
+
+// e2eIdentify is the identification config shared by the daemon under test
+// and the one-shot reference run.
+var e2eIdentify = core.IdentifyConfig{
+	Symbols: 5, HiddenStates: 2, X: 0.06, Y: 0, ExactY: true, Seed: 1,
+}
+
+// congestedTrace simulates the paper's Table II bottleneck with the
+// congesting UDP load switching on only at t = 100 s, so the first half of
+// the probe stream sees a healthy path.
+func congestedTrace(t *testing.T) []trace.Observation {
+	t.Helper()
+	spec := scenario.Spec{
+		Seed:     7,
+		Duration: 220,
+		Backbone: []scenario.LinkSpec{
+			{Name: "L1", Bandwidth: 1e6, Delay: 0.005, BufferBytes: 20000},
+			{Name: "L2", Bandwidth: 10e6, Delay: 0.005, BufferBytes: 80000},
+			{Name: "L3", Bandwidth: 10e6, Delay: 0.005, BufferBytes: 80000},
+		},
+		PathTraffic: scenario.TrafficMix{
+			HTTP: 2, HTTPCfg: traffic.HTTPConfig{MeanThinkTime: 4},
+			StartMin: 0, StartMax: 20,
+		},
+		CrossTraffic: []scenario.TrafficMix{
+			{
+				UDP: []traffic.OnOffUDPConfig{
+					{Rate: 0.9e6, PktSize: 1000, MeanOn: 0.6, MeanOff: 1.2},
+					{Rate: 0.7e6, PktSize: 1000, MeanOn: 0.5, MeanOff: 1.5},
+				},
+				StartMin: 100, StartMax: 105,
+			},
+		},
+		Probe: traffic.ProbeConfig{Interval: 0.02, Size: 10, Start: 5, Stop: 215},
+	}
+	obs := spec.Execute().Trace.Observations
+	if len(obs) < 5000 {
+		t.Fatalf("simulation yielded only %d probes", len(obs))
+	}
+	return obs
+}
+
+// idleTrace synthesizes a quiet path on the same probing schedule: no
+// losses, a small deterministically jittered delay.
+func idleTrace(n int) []trace.Observation {
+	obs := make([]trace.Observation, n)
+	for i := range obs {
+		obs[i] = trace.Observation{
+			Seq:      int64(i),
+			SendTime: 5 + float64(i)*0.02,
+			Delay:    0.012 + 0.0015*float64((i*i)%11)/11,
+		}
+	}
+	return obs
+}
+
+// sseWatch is what one SSE subscription saw by the time the stream ended.
+type sseWatch struct {
+	windows     int
+	transitions []eventJSON
+	closed      bool
+	err         error
+}
+
+// watchSSE subscribes to a session's event feed and collects it until the
+// server ends the stream (the session's terminal "closed" event). When
+// viaResults is set it exercises the results-endpoint content negotiation
+// instead of the dedicated /events URL.
+func watchSSE(client *http.Client, base, path string, viaResults bool) <-chan sseWatch {
+	out := make(chan sseWatch, 1)
+	go func() {
+		var w sseWatch
+		defer func() { out <- w }()
+		url := base + "/v1/paths/" + path + "/events"
+		req, err := http.NewRequest("GET", url, nil)
+		if viaResults {
+			req, err = http.NewRequest("GET", base+"/v1/paths/"+path+"/results", nil)
+			if req != nil {
+				req.Header.Set("Accept", "text/event-stream")
+			}
+		}
+		if err != nil {
+			w.err = err
+			return
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			w.err = err
+			return
+		}
+		defer resp.Body.Close()
+		if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+			w.err = fmt.Errorf("subscription answered %d %s", resp.StatusCode, ct)
+			return
+		}
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		event := ""
+		for sc.Scan() {
+			line := sc.Text()
+			switch {
+			case strings.HasPrefix(line, "event: "):
+				event = strings.TrimPrefix(line, "event: ")
+			case strings.HasPrefix(line, "data: "):
+				data := strings.TrimPrefix(line, "data: ")
+				switch event {
+				case "window":
+					w.windows++
+				case "transition":
+					var ev eventJSON
+					if err := json.Unmarshal([]byte(data), &ev); err != nil {
+						w.err = fmt.Errorf("transition payload: %v", err)
+						return
+					}
+					w.transitions = append(w.transitions, ev)
+				case "closed":
+					w.closed = true
+				}
+			}
+		}
+		w.err = sc.Err()
+	}()
+	return out
+}
+
+// ingestAll streams obs to a path in JSON batches, resending from the
+// accepted offset whenever the daemon answers 429. Returns the total
+// number of observations the daemon acknowledged ingesting.
+func ingestAll(t *testing.T, client *http.Client, base, path string, obs []trace.Observation) int {
+	t.Helper()
+	const batchSize = 1000
+	sent := 0
+	for sent < len(obs) {
+		end := sent + batchSize
+		if end > len(obs) {
+			end = len(obs)
+		}
+		rows := make([]obsJSON, 0, end-sent)
+		for _, o := range obs[sent:end] {
+			rows = append(rows, obsJSON{Seq: o.Seq, SendTime: o.SendTime, Delay: o.Delay, Lost: o.Lost})
+		}
+		resp, err := client.Post(base+"/v1/paths/"+path+"/observations",
+			"application/json", bytes.NewReader(mustJSON(rows)))
+		if err != nil {
+			t.Fatalf("ingest %s: %v", path, err)
+		}
+		var v struct {
+			Accepted int `json:"accepted"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&v)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("ingest %s: decoding response: %v", path, err)
+		}
+		switch resp.StatusCode {
+		case http.StatusOK:
+			sent += end - sent
+		case http.StatusTooManyRequests:
+			sent += v.Accepted // back off, resend the remainder
+			time.Sleep(50 * time.Millisecond)
+		default:
+			t.Fatalf("ingest %s: status %d", path, resp.StatusCode)
+		}
+	}
+	return sent
+}
+
+// TestE2EMonitorDaemon is the acceptance test: a daemon on a loopback
+// listener monitors two concurrent sessions fed over HTTP — one path
+// congesting mid-run, one idle — plus a single-window session that must
+// reproduce the one-shot pipeline byte for byte.
+func TestE2EMonitorDaemon(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed e2e test")
+	}
+	congested := congestedTrace(t)
+	idle := idleTrace(len(congested))
+
+	mon := New(Config{QueueSize: 4096, Identify: e2eIdentify})
+	srv := httptest.NewServer(mon.Handler())
+	defer srv.Close()
+	defer mon.Close(context.Background())
+	client := srv.Client()
+
+	// 40 s tumbling windows; on-off cross traffic swings per-block loss
+	// rates severalfold even in steady congestion, so the admission gate
+	// gets a wider loss band (as in the streaming example).
+	spec := `{"duration_seconds": 40, "gate_loss_factor": 8}`
+	for _, path := range []string{"congested", "idle"} {
+		if code, v := doJSON(t, client, "PUT", srv.URL+"/v1/paths/"+path, "application/json", spec); code != http.StatusCreated {
+			t.Fatalf("PUT %s = %d %v", path, code, v)
+		}
+	}
+	congWatch := watchSSE(client, srv.URL, "congested", false)
+	idleWatch := watchSSE(client, srv.URL, "idle", true)
+
+	// Feed both paths concurrently, then drain them.
+	var wg sync.WaitGroup
+	sent := make(map[string]int, 2)
+	var sentMu sync.Mutex
+	for path, obs := range map[string][]trace.Observation{"congested": congested, "idle": idle} {
+		wg.Add(1)
+		go func(path string, obs []trace.Observation) {
+			defer wg.Done()
+			n := ingestAll(t, client, srv.URL, path, obs)
+			sentMu.Lock()
+			sent[path] = n
+			sentMu.Unlock()
+		}(path, obs)
+	}
+	wg.Wait()
+	for _, path := range []string{"congested", "idle"} {
+		if code, v := doJSON(t, client, "DELETE", srv.URL+"/v1/paths/"+path, "", ""); code != http.StatusOK || v["state"] != "closed" {
+			t.Fatalf("DELETE %s = %d %v, want 200 closed", path, code, v)
+		}
+	}
+
+	// (a) SSE: the congested path reports dcl-onset after the t=100s load
+	// switch-on; the idle path reports no transition at all.
+	cw := <-congWatch
+	iw := <-idleWatch
+	if cw.err != nil || iw.err != nil {
+		t.Fatalf("SSE watchers: congested %v, idle %v", cw.err, iw.err)
+	}
+	if !cw.closed || !iw.closed {
+		t.Fatalf("missing terminal closed event: congested %v, idle %v", cw.closed, iw.closed)
+	}
+	onset := -1.0
+	for _, tr := range cw.transitions {
+		if tr.Transition == core.TransitionOnset.String() && onset < 0 {
+			onset = tr.StartTime
+		}
+	}
+	if onset < 0 {
+		t.Errorf("congested path: no dcl-onset among %d transitions", len(cw.transitions))
+	} else if onset < 45 {
+		t.Errorf("dcl-onset in the window starting t=%.0fs — before the congesting load exists", onset)
+	}
+	if len(iw.transitions) != 0 {
+		t.Errorf("idle path reported transitions: %+v", iw.transitions)
+	}
+	if iw.windows < 3 {
+		t.Errorf("idle path saw only %d window events", iw.windows)
+	}
+	var idleStatus StatusJSON
+	if resp, err := client.Get(srv.URL + "/v1/paths/idle"); err == nil {
+		json.NewDecoder(resp.Body).Decode(&idleStatus)
+		resp.Body.Close()
+	}
+	if idleStatus.HasDCL || idleStatus.Admitted == 0 {
+		t.Errorf("idle status = %+v, want admitted windows and no DCL", idleStatus)
+	}
+
+	// (b) Metrics: every observation the clients sent was counted.
+	wantIngested := sent["congested"] + sent["idle"]
+	if wantIngested != len(congested)+len(idle) {
+		t.Fatalf("clients acknowledged %d observations, sent %d", wantIngested, len(congested)+len(idle))
+	}
+	_, met := doJSON(t, client, "GET", srv.URL+"/metrics", "", "")
+	if got := met["observations_ingested"]; got != float64(wantIngested) {
+		t.Errorf("metrics observations_ingested = %v, want %d", got, wantIngested)
+	}
+	if got := met["windows_admitted"]; got == float64(0) {
+		t.Error("metrics windows_admitted = 0")
+	}
+
+	// (c) A session whose single window spans the whole congested trace
+	// serves exactly the bytes the one-shot pipeline would produce.
+	oneShotSpec := fmt.Sprintf(`{"size": %d, "gate": false, "flush_partial": false}`, len(congested))
+	if code, v := doJSON(t, client, "PUT", srv.URL+"/v1/paths/oneshot", "application/json", oneShotSpec); code != http.StatusCreated {
+		t.Fatalf("PUT oneshot = %d %v", code, v)
+	}
+	ingestAll(t, client, srv.URL, "oneshot", congested)
+	if code, v := doJSON(t, client, "DELETE", srv.URL+"/v1/paths/oneshot", "", ""); code != http.StatusOK {
+		t.Fatalf("DELETE oneshot = %d %v", code, v)
+	}
+	resp, err := client.Get(srv.URL + "/v1/paths/oneshot/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var served struct {
+		Results []json.RawMessage `json:"results"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&served)
+	resp.Body.Close()
+	if err != nil || len(served.Results) != 1 {
+		t.Fatalf("oneshot results: %d windows, err %v; want exactly 1", len(served.Results), err)
+	}
+
+	tr := &trace.Trace{Observations: congested}
+	ref := core.WindowResult{
+		End:          len(congested),
+		StartTime:    congested[0].SendTime,
+		EndTime:      congested[len(congested)-1].SendTime,
+		Stationarity: core.StationarityCheck(tr, core.StationarityConfig{}),
+		Admitted:     true,
+	}
+	ref.ID, ref.Err = core.Identify(tr, e2eIdentify)
+	if ref.Decided() && ref.HasDCL() {
+		ref.Transition = core.TransitionOnset
+	}
+	want := mustJSON(windowJSON(ref))
+	if !bytes.Equal(served.Results[0], want) {
+		t.Errorf("one-shot window differs from the reference pipeline:\n got %s\nwant %s",
+			served.Results[0], want)
+	}
+}

@@ -1,0 +1,406 @@
+package monitor
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"dominantlink/internal/core"
+	"dominantlink/internal/trace"
+)
+
+// maxIngestBody bounds one observation POST (JSON or CSV).
+const maxIngestBody = 32 << 20
+
+// WindowJSON is the wire form of one window result, shared by the
+// results endpoint and the SSE feed. Identification fields carry full
+// fidelity (PMF, log-likelihood, iteration count), so a single-window
+// session reproduces the one-shot pipeline byte for byte.
+type WindowJSON struct {
+	Window       int       `json:"window"`
+	Start        int       `json:"start"`
+	End          int       `json:"end"`
+	StartTime    float64   `json:"start_time"`
+	EndTime      float64   `json:"end_time"`
+	Partial      bool      `json:"partial,omitempty"`
+	Stationary   bool      `json:"stationary"`
+	Admitted     bool      `json:"admitted"`
+	Decided      bool      `json:"decided"`
+	NoLosses     bool      `json:"no_losses,omitempty"`
+	LossRate     float64   `json:"loss_rate,omitempty"`
+	HasDCL       bool      `json:"has_dcl"`
+	SDCL         bool      `json:"sdcl,omitempty"`
+	WDCL         bool      `json:"wdcl,omitempty"`
+	BoundSeconds float64   `json:"bound_seconds,omitempty"`
+	PMF          []float64 `json:"pmf,omitempty"`
+	LogLik       float64   `json:"loglik,omitempty"`
+	EMIterations int       `json:"em_iterations,omitempty"`
+	Summary      string    `json:"summary,omitempty"`
+	Transition   string    `json:"transition,omitempty"`
+	Error        string    `json:"error,omitempty"`
+}
+
+// windowJSON renders one pipeline result for the wire.
+func windowJSON(res core.WindowResult) WindowJSON {
+	j := WindowJSON{
+		Window:     res.Index,
+		Start:      res.Start,
+		End:        res.End,
+		StartTime:  res.StartTime,
+		EndTime:    res.EndTime,
+		Partial:    res.Partial,
+		Stationary: res.Stationarity.Stationary,
+		Admitted:   res.Admitted,
+		Decided:    res.Decided(),
+		HasDCL:     res.HasDCL(),
+	}
+	if res.ID != nil {
+		j.LossRate = res.ID.LossRate
+		j.SDCL = res.ID.SDCL.Accept
+		j.WDCL = res.ID.WDCL.Accept
+		j.BoundSeconds = res.ID.BoundSeconds
+		j.PMF = res.ID.VirtualPMF
+		j.LogLik = res.ID.LogLik
+		j.EMIterations = res.ID.EMIterations
+		j.Summary = res.ID.Summary()
+	}
+	if res.Transition != core.TransitionNone {
+		j.Transition = res.Transition.String()
+	}
+	if res.Err != nil {
+		j.NoLosses = errors.Is(res.Err, core.ErrNoLosses)
+		j.Error = res.Err.Error()
+	}
+	return j
+}
+
+// eventJSON is an SSE payload: a window result stamped with its path.
+type eventJSON struct {
+	Path string `json:"path"`
+	WindowJSON
+}
+
+// StatusJSON is the wire form of one session's registry entry.
+type StatusJSON struct {
+	Path             string  `json:"path"`
+	State            string  `json:"state"`
+	Ingested         uint64  `json:"observations_ingested"`
+	Dropped          uint64  `json:"observations_dropped"`
+	QueueLen         int     `json:"queue_len"`
+	QueueCap         int     `json:"queue_cap"`
+	Windows          uint64  `json:"windows"`
+	Admitted         uint64  `json:"windows_admitted"`
+	Rejected         uint64  `json:"windows_rejected"`
+	HasDCL           bool    `json:"has_dcl"`
+	BoundSeconds     float64 `json:"bound_seconds,omitempty"`
+	LastTransition   string  `json:"last_transition,omitempty"`
+	LastTransitionAt float64 `json:"last_transition_at,omitempty"`
+	Error            string  `json:"error,omitempty"`
+}
+
+// windowSpec is the optional JSON body of a session-creating PUT.
+type windowSpec struct {
+	Size           int     `json:"size"`
+	Duration       float64 `json:"duration_seconds"`
+	Stride         int     `json:"stride"`
+	StrideDuration float64 `json:"stride_seconds"`
+	Gate           *bool   `json:"gate"` // default true
+	GateLossFactor float64 `json:"gate_loss_factor"`
+	FlushPartial   *bool   `json:"flush_partial"` // default true
+	BoundDelta     float64 `json:"bound_delta"`
+}
+
+func (sp windowSpec) config() core.WindowConfig {
+	cfg := core.WindowConfig{
+		Size:           sp.Size,
+		Duration:       sp.Duration,
+		Stride:         sp.Stride,
+		StrideDuration: sp.StrideDuration,
+		BoundDelta:     sp.BoundDelta,
+		FlushPartial:   sp.FlushPartial == nil || *sp.FlushPartial,
+		DisableGate:    sp.Gate != nil && !*sp.Gate,
+	}
+	cfg.Gate.LossRateFactor = sp.GateLossFactor
+	return cfg
+}
+
+// obsJSON mirrors the CSV observation columns.
+type obsJSON struct {
+	Seq      int64   `json:"seq"`
+	SendTime float64 `json:"send_time"`
+	Delay    float64 `json:"delay"`
+	Lost     bool    `json:"lost"`
+}
+
+// Handler returns the monitor's HTTP API:
+//
+//	GET    /healthz                       liveness (503 while draining)
+//	GET    /metrics                       expvar counter set as JSON
+//	GET    /v1/paths                      session registry
+//	PUT    /v1/paths/{id}                 create a session (optional window spec)
+//	GET    /v1/paths/{id}                 one session's status
+//	DELETE /v1/paths/{id}                 drain + flush; on a closed session, remove
+//	POST   /v1/paths/{id}/observations    ingest a JSON or CSV batch (429 = back off)
+//	GET    /v1/paths/{id}/results         decided windows as JSON (?since=N)
+//	GET    /v1/paths/{id}/events          SSE feed (window/transition/closed events)
+//
+// GET /v1/paths/{id}/results with "Accept: text/event-stream" serves the
+// SSE feed too, so one URL works for both polling and streaming clients.
+func (m *Monitor) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", m.handleHealth)
+	mux.HandleFunc("GET /metrics", m.metrics.serveHTTP)
+	mux.HandleFunc("GET /v1/paths", m.handleList)
+	mux.HandleFunc("PUT /v1/paths/{id}", m.handlePut)
+	mux.HandleFunc("GET /v1/paths/{id}", m.handleStatus)
+	mux.HandleFunc("DELETE /v1/paths/{id}", m.handleDelete)
+	mux.HandleFunc("POST /v1/paths/{id}/observations", m.handleIngest)
+	mux.HandleFunc("GET /v1/paths/{id}/results", m.handleResults)
+	mux.HandleFunc("GET /v1/paths/{id}/events", m.handleEvents)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(mustJSON(v))
+	w.Write([]byte("\n"))
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (m *Monitor) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	if m.Closing() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (m *Monitor) handleList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"paths": m.Statuses()})
+}
+
+func (m *Monitor) handlePut(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var wcfg *core.WindowConfig
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	if len(body) > 0 {
+		var spec windowSpec
+		if err := json.Unmarshal(body, &spec); err != nil {
+			writeError(w, http.StatusBadRequest, "window spec: %v", err)
+			return
+		}
+		cfg := spec.config()
+		wcfg = &cfg
+	}
+	s, created, err := m.Open(id, wcfg)
+	if err != nil {
+		writeError(w, openStatus(err), "%v", err)
+		return
+	}
+	code := http.StatusOK // existing session; the spec, if any, is ignored
+	if created {
+		code = http.StatusCreated
+	}
+	writeJSON(w, code, s.Status())
+}
+
+func (m *Monitor) handleStatus(w http.ResponseWriter, r *http.Request) {
+	s, ok := m.Session(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown path %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Status())
+}
+
+func (m *Monitor) handleDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s, ok := m.Session(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown path %q", id)
+		return
+	}
+	if s.State() == StateClosed {
+		m.Remove(id)
+		writeJSON(w, http.StatusOK, s.Status())
+		return
+	}
+	// Drain: the pipeline finishes its backlog and flushes the final
+	// partial window; the closed session stays queryable until a second
+	// DELETE removes it.
+	s.Drain()
+	if err := s.Wait(r.Context()); err != nil {
+		writeJSON(w, http.StatusAccepted, s.Status()) // still draining
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Status())
+}
+
+// openStatus maps session-opening errors to HTTP codes.
+func openStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrShuttingDown), errors.Is(err, ErrTooManySessions):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func (m *Monitor) handleIngest(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s, _, err := m.Open(id, nil) // auto-create with the default window shape
+	if err != nil {
+		writeError(w, openStatus(err), "%v", err)
+		return
+	}
+	batch, err := decodeBatch(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	accepted, err := s.Offer(batch)
+	resp := map[string]any{"path": id, "accepted": accepted, "dropped": len(batch) - accepted}
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		// Backpressure: the client should resend from the accepted offset
+		// after a beat. Everything up to `accepted` IS ingested.
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, resp)
+	case errors.Is(err, ErrSessionClosed):
+		writeError(w, http.StatusConflict, "path %q is %s", id, s.State())
+	default:
+		writeJSON(w, http.StatusOK, resp)
+	}
+}
+
+// decodeBatch reads one ingestion body: CSV in the trace format when the
+// Content-Type says so, else a JSON array of observations (bare or under
+// an "observations" key).
+func decodeBatch(r *http.Request) ([]trace.Observation, error) {
+	body := http.MaxBytesReader(nil, r.Body, maxIngestBody)
+	if ct := r.Header.Get("Content-Type"); strings.Contains(ct, "csv") {
+		src := trace.StreamCSV(body)
+		var batch []trace.Observation
+		for {
+			o, err := src.Next()
+			if err == io.EOF {
+				return batch, nil
+			}
+			if err != nil {
+				return nil, err
+			}
+			batch = append(batch, o)
+		}
+	}
+	raw, err := io.ReadAll(body)
+	if err != nil {
+		return nil, fmt.Errorf("reading body: %v", err)
+	}
+	raw = bytes.TrimSpace(raw)
+	var rows []obsJSON
+	if len(raw) > 0 && raw[0] == '{' {
+		var wrapped struct {
+			Observations []obsJSON `json:"observations"`
+		}
+		if err := json.Unmarshal(raw, &wrapped); err != nil {
+			return nil, fmt.Errorf("observations: %v", err)
+		}
+		rows = wrapped.Observations
+	} else if err := json.Unmarshal(raw, &rows); err != nil {
+		return nil, fmt.Errorf("observations: %v", err)
+	}
+	batch := make([]trace.Observation, len(rows))
+	for i, row := range rows {
+		if !row.Lost && row.Delay < 0 {
+			return nil, fmt.Errorf("observation %d: negative delay %v on a delivered probe", i, row.Delay)
+		}
+		batch[i] = trace.Observation{Seq: row.Seq, SendTime: row.SendTime, Lost: row.Lost}
+		if !row.Lost {
+			batch[i].Delay = row.Delay
+		}
+	}
+	return batch, nil
+}
+
+func (m *Monitor) handleResults(w http.ResponseWriter, r *http.Request) {
+	if strings.Contains(r.Header.Get("Accept"), "text/event-stream") {
+		m.handleEvents(w, r)
+		return
+	}
+	s, ok := m.Session(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown path %q", r.PathValue("id"))
+		return
+	}
+	since := 0
+	if q := r.URL.Query().Get("since"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, "since: %q is not a window index", q)
+			return
+		}
+		since = n
+	}
+	results, next := s.Results(since)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"path":    s.ID(),
+		"state":   s.State().String(),
+		"next":    next,
+		"results": results,
+	})
+}
+
+// handleEvents serves the SSE feed: every window result as a "window"
+// event, DCL transitions additionally as "transition" events, and a
+// terminal "closed" event carrying the final session status.
+func (m *Monitor) handleEvents(w http.ResponseWriter, r *http.Request) {
+	s, ok := m.Session(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown path %q", r.PathValue("id"))
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "response writer cannot stream")
+		return
+	}
+	events, cancel := s.Subscribe(256)
+	defer cancel()
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintf(w, ": watching %s\n\n", s.ID())
+	fl.Flush()
+
+	keepalive := time.NewTicker(15 * time.Second)
+	defer keepalive.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-keepalive.C:
+			fmt.Fprint(w, ": keepalive\n\n")
+			fl.Flush()
+		case ev, ok := <-events:
+			if !ok {
+				return
+			}
+			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, ev.Data)
+			fl.Flush()
+		}
+	}
+}

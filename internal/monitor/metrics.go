@@ -1,0 +1,86 @@
+package monitor
+
+import (
+	"expvar"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// latencyBoundsMS are the upper edges (milliseconds) of the window
+// identification latency histogram — the wall-clock cost of one admitted
+// window's EM restarts on the shared pool. Cumulative ("le_*") buckets,
+// Prometheus-style, plus the +Inf overflow.
+var latencyBoundsMS = [...]float64{10, 30, 100, 300, 1000, 3000, 10000}
+
+// metrics is one Monitor's counter set. Each Monitor owns its metrics
+// instead of publishing into the process-global expvar namespace, so
+// several monitors (tests, embedded libraries) coexist; cmd/dclserved
+// additionally mounts the standard /debug/vars if wanted. The expvar.Map
+// rendering is the /metrics wire format: a JSON object of counters.
+type metrics struct {
+	ingested, dropped expvar.Int // observations
+	windowsAdmitted   expvar.Int // windows past the stationarity gate
+	windowsRejected   expvar.Int // windows the gate kept out
+	eventsDropped     expvar.Int // SSE events lost to slow subscribers
+	sessionsActive    expvar.Int // gauges, one per session state
+	sessionsDraining  expvar.Int
+	sessionsClosed    expvar.Int
+	latency           [len(latencyBoundsMS) + 1]expvar.Int
+	identifySeconds   expvar.Float // total identification wall-clock
+	vars              *expvar.Map
+}
+
+func newMetrics() *metrics {
+	m := &metrics{}
+	mp := new(expvar.Map).Init()
+	mp.Set("observations_ingested", &m.ingested)
+	mp.Set("observations_dropped", &m.dropped)
+	mp.Set("windows_admitted", &m.windowsAdmitted)
+	mp.Set("windows_rejected", &m.windowsRejected)
+	mp.Set("events_dropped", &m.eventsDropped)
+	mp.Set("sessions_active", &m.sessionsActive)
+	mp.Set("sessions_draining", &m.sessionsDraining)
+	mp.Set("sessions_closed", &m.sessionsClosed)
+	mp.Set("identify_seconds_total", &m.identifySeconds)
+	hist := new(expvar.Map).Init()
+	for i, b := range latencyBoundsMS {
+		hist.Set(fmt.Sprintf("le_%gms", b), &m.latency[i])
+	}
+	hist.Set("le_inf", &m.latency[len(latencyBoundsMS)])
+	mp.Set("identify_latency_ms", hist)
+	m.vars = mp
+	return m
+}
+
+// observeLatency records one admitted window's identification wall-clock
+// into the cumulative histogram.
+func (m *metrics) observeLatency(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	for i, b := range latencyBoundsMS {
+		if ms <= b {
+			m.latency[i].Add(1)
+		}
+	}
+	m.latency[len(latencyBoundsMS)].Add(1)
+	m.identifySeconds.Add(d.Seconds())
+}
+
+// gauge returns the session-state gauge for st.
+func (m *metrics) gauge(st State) *expvar.Int {
+	switch st {
+	case StateActive:
+		return &m.sessionsActive
+	case StateDraining:
+		return &m.sessionsDraining
+	default:
+		return &m.sessionsClosed
+	}
+}
+
+// serveHTTP writes the counter set as a JSON object (the expvar map
+// rendering, keys sorted).
+func (m *metrics) serveHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintln(w, m.vars.String())
+}

@@ -1,0 +1,239 @@
+// Package monitor is the multi-path monitoring service over the streaming
+// identification pipeline: the paper's end goal — continuous, lightweight
+// monitoring of live paths from end-end probes alone — as a long-running
+// daemon instead of a one-shot CLI. A Monitor manages many concurrent
+// per-path sessions; each session owns a bounded ingestion queue feeding
+// an ObservationSource into a core.Windower, and every session's window
+// identifications multiplex onto one shared engine pool, so hundreds of
+// paths cost hundreds of cheap goroutines but only `workers` EM fits in
+// flight. The HTTP surface (Handler) is stdlib-only: JSON/CSV ingestion
+// with 429 backpressure, per-window results, an SSE transition feed,
+// session registry, expvar-style metrics, and graceful drain.
+//
+// cmd/dclserved wraps a Monitor into the daemon; the facade's NewMonitor
+// re-exports it as an embeddable library.
+package monitor
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"dominantlink/internal/core"
+)
+
+// Config shapes a Monitor. The zero value is serviceable: GOMAXPROCS
+// identification workers, 4096-observation session queues, 512 retained
+// windows per session, 1024 live sessions, 3000-probe tumbling windows
+// with the stationarity gate on and the final partial window flushed.
+type Config struct {
+	// Workers is the shared identification pool size (0 = GOMAXPROCS).
+	// This bounds concurrent EM fits across ALL sessions.
+	Workers int
+	// QueueSize is each session's ingestion queue capacity in
+	// observations (default 4096); a full queue is the 429 signal.
+	QueueSize int
+	// MaxResults bounds each session's retained window-result history
+	// (default 512); older windows fall off the front.
+	MaxResults int
+	// MaxSessions caps concurrently live (non-closed) sessions
+	// (default 1024).
+	MaxSessions int
+	// Window is the default per-session window shape; sessions created
+	// with an explicit spec override it. Zero value: 3000-probe tumbling
+	// windows, FlushPartial on.
+	Window core.WindowConfig
+	// Identify configures every session's identification; the zero value
+	// is the paper's defaults.
+	Identify core.IdentifyConfig
+}
+
+func (c *Config) defaults() {
+	if c.QueueSize <= 0 {
+		c.QueueSize = 4096
+	}
+	if c.MaxResults <= 0 {
+		c.MaxResults = 512
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 1024
+	}
+	if c.Window.Size <= 0 && c.Window.Duration <= 0 {
+		c.Window = core.WindowConfig{Size: 3000, FlushPartial: true}
+	}
+}
+
+// Monitor is the session registry plus the shared identification engine.
+// Safe for concurrent use; construct with New.
+type Monitor struct {
+	cfg     Config
+	engine  *core.Engine
+	metrics *metrics
+
+	mu       sync.Mutex
+	sessions map[string]*Session
+	closing  bool
+	wg       sync.WaitGroup
+}
+
+// New returns a ready Monitor. It allocates no goroutines until the
+// first session opens.
+func New(cfg Config) *Monitor {
+	cfg.defaults()
+	return &Monitor{
+		cfg:      cfg,
+		engine:   core.NewSharedEngine(cfg.Workers),
+		metrics:  newMetrics(),
+		sessions: make(map[string]*Session),
+	}
+}
+
+// validateID keeps path identifiers printable, short, and slash-free so
+// they embed cleanly in URLs and logs.
+func validateID(id string) error {
+	if id == "" || len(id) > 128 {
+		return fmt.Errorf("monitor: path id must be 1..128 bytes")
+	}
+	if strings.ContainsAny(id, "/\\ \t\n\r") {
+		return fmt.Errorf("monitor: path id %q contains a separator", id)
+	}
+	return nil
+}
+
+// Open returns the session for id, creating it when absent (created
+// reports which). A nil wcfg uses the monitor's default window config; a
+// non-nil one applies only on creation. Opening fails while the monitor
+// is shutting down, when the live-session cap is reached, or when the
+// window config is invalid.
+func (m *Monitor) Open(id string, wcfg *core.WindowConfig) (s *Session, created bool, err error) {
+	if err := validateID(id); err != nil {
+		return nil, false, err
+	}
+	cfg := m.cfg.Window
+	if wcfg != nil {
+		cfg = *wcfg
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, false, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if s := m.sessions[id]; s != nil {
+		return s, false, nil
+	}
+	if m.closing {
+		return nil, false, ErrShuttingDown
+	}
+	live := 0
+	for _, s := range m.sessions {
+		if s.State() != StateClosed {
+			live++
+		}
+	}
+	if live >= m.cfg.MaxSessions {
+		return nil, false, ErrTooManySessions
+	}
+	s = newSession(m, id, cfg)
+	ctx, cancel := context.WithCancel(context.Background())
+	s.cancel = cancel
+	m.sessions[id] = s
+	m.metrics.gauge(StateActive).Add(1)
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		s.run(ctx)
+	}()
+	return s, true, nil
+}
+
+// Session returns the session for id, if present.
+func (m *Monitor) Session(id string) (*Session, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.sessions[id]
+	return s, ok
+}
+
+// Remove deletes a closed session from the registry, freeing its retained
+// results. It refuses to remove a live session (drain it first).
+func (m *Monitor) Remove(id string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.sessions[id]
+	if s == nil || s.State() != StateClosed {
+		return false
+	}
+	delete(m.sessions, id)
+	m.metrics.gauge(StateClosed).Add(-1)
+	return true
+}
+
+// Statuses returns a snapshot of every registered session, sorted by id.
+func (m *Monitor) Statuses() []StatusJSON {
+	m.mu.Lock()
+	ss := make([]*Session, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		ss = append(ss, s)
+	}
+	m.mu.Unlock()
+	out := make([]StatusJSON, 0, len(ss))
+	for _, s := range ss {
+		out = append(out, s.Status())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
+// Closing reports whether shutdown has begun.
+func (m *Monitor) Closing() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.closing
+}
+
+// Close drains the monitor: no new sessions or observations are accepted,
+// every session's queue is closed, and Close waits for all pipelines to
+// finish their backlog (flushing final partial windows). If ctx expires
+// first, the remaining sessions are aborted — their queued backlog is
+// abandoned — and ctx's error is returned once they have stopped.
+func (m *Monitor) Close(ctx context.Context) error {
+	m.mu.Lock()
+	m.closing = true
+	ss := make([]*Session, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		ss = append(ss, s)
+	}
+	m.mu.Unlock()
+
+	for _, s := range ss {
+		s.Drain()
+	}
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		for _, s := range ss {
+			s.Abort()
+		}
+		<-done
+		return ctx.Err()
+	}
+}
+
+// mustJSON marshals values whose shape the package controls; a failure is
+// a programming error.
+func mustJSON(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}

@@ -1,0 +1,372 @@
+package monitor
+
+import (
+	"context"
+	"errors"
+	"io"
+	"sync"
+
+	"dominantlink/internal/core"
+	"dominantlink/internal/trace"
+)
+
+// Sentinel errors of the ingestion path; the HTTP layer maps them to
+// status codes (429, 409, 503).
+var (
+	// ErrQueueFull: the session's bounded ingestion queue cannot take the
+	// whole batch right now — the backpressure signal. The accepted count
+	// returned alongside tells the client where to resume.
+	ErrQueueFull = errors.New("monitor: session queue full")
+	// ErrSessionClosed: the session is draining or closed and takes no
+	// more observations.
+	ErrSessionClosed = errors.New("monitor: session closed")
+	// ErrShuttingDown: the monitor is draining and opens no new sessions.
+	ErrShuttingDown = errors.New("monitor: shutting down")
+	// ErrTooManySessions: the live-session cap is reached.
+	ErrTooManySessions = errors.New("monitor: too many sessions")
+)
+
+// State is a session's lifecycle position.
+type State int
+
+// Session lifecycle: observations are accepted only while active;
+// draining means the queue is closed and the pipeline is finishing the
+// backlog (including the final partial window); closed means every
+// result is in.
+const (
+	StateActive State = iota
+	StateDraining
+	StateClosed
+)
+
+func (s State) String() string {
+	switch s {
+	case StateActive:
+		return "active"
+	case StateDraining:
+		return "draining"
+	default:
+		return "closed"
+	}
+}
+
+// Event is one server-sent event of a session's feed: Type names the SSE
+// event ("window", "transition", "closed"), Data is the JSON payload.
+type Event struct {
+	Type string
+	Data []byte
+}
+
+// Session is one monitored path: a bounded ingestion queue feeding the
+// streaming window pipeline on the monitor's shared engine. All methods
+// are safe for concurrent use.
+type Session struct {
+	id     string
+	mon    *Monitor
+	wcfg   core.WindowConfig
+	queue  chan trace.Observation
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	mu               sync.Mutex
+	state            State
+	err              error // pipeline setup or source failure
+	ingested         uint64
+	dropped          uint64
+	windows          uint64
+	admitted         uint64
+	rejected         uint64
+	hasDCL           bool
+	bound            float64
+	lastTransition   string
+	lastTransitionAt float64
+	results          []core.WindowResult
+	firstResult      int // absolute window index of results[0]
+	subs             map[chan Event]bool
+}
+
+func newSession(m *Monitor, id string, wcfg core.WindowConfig) *Session {
+	return &Session{
+		id:    id,
+		mon:   m,
+		wcfg:  wcfg,
+		queue: make(chan trace.Observation, m.cfg.QueueSize),
+		done:  make(chan struct{}),
+		subs:  make(map[chan Event]bool),
+	}
+}
+
+// ID returns the session's path identifier.
+func (s *Session) ID() string { return s.id }
+
+// State returns the session's lifecycle state.
+func (s *Session) State() State {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state
+}
+
+// Done is closed once the session's pipeline has fully finished.
+func (s *Session) Done() <-chan struct{} { return s.done }
+
+// queueSource adapts the ingestion queue into a trace.ObservationSource.
+// Next blocks until an observation arrives or the queue is closed — which
+// is exactly the shape the Windower's context-aware reader expects: the
+// read unblocks the moment the session drains.
+type queueSource struct{ q chan trace.Observation }
+
+func (q *queueSource) Next() (trace.Observation, error) {
+	o, ok := <-q.q
+	if !ok {
+		return trace.Observation{}, io.EOF
+	}
+	return o, nil
+}
+
+// run is the session's pipeline loop (one goroutine per session; the
+// identification work itself runs on the monitor's shared pool).
+func (s *Session) run(ctx context.Context) {
+	defer s.finish()
+	ch, err := core.NewWindower(s.mon.engine, s.wcfg).Stream(ctx, &queueSource{q: s.queue}, s.mon.cfg.Identify)
+	if err != nil {
+		s.mu.Lock()
+		s.err = err
+		s.mu.Unlock()
+		return
+	}
+	for res := range ch {
+		s.record(res)
+	}
+}
+
+// Offer appends a batch to the ingestion queue without blocking. It
+// returns how many observations were accepted; when the queue fills
+// mid-batch the remainder is dropped and ErrQueueFull tells the caller to
+// back off and resend from the accepted offset.
+func (s *Session) Offer(obs []trace.Observation) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state != StateActive {
+		return 0, ErrSessionClosed
+	}
+	accepted := 0
+	for i := range obs {
+		select {
+		case s.queue <- obs[i]:
+			accepted++
+		default:
+			s.ingested += uint64(accepted)
+			s.dropped += uint64(len(obs) - accepted)
+			s.mon.metrics.ingested.Add(int64(accepted))
+			s.mon.metrics.dropped.Add(int64(len(obs) - accepted))
+			return accepted, ErrQueueFull
+		}
+	}
+	s.ingested += uint64(accepted)
+	s.mon.metrics.ingested.Add(int64(accepted))
+	return accepted, nil
+}
+
+// Drain closes the ingestion queue: the pipeline finishes the backlog,
+// flushes the final partial window (when the session's window config asks
+// for it), and the session transitions to closed. Idempotent.
+func (s *Session) Drain() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state != StateActive {
+		return
+	}
+	s.setStateLocked(StateDraining)
+	close(s.queue)
+}
+
+// Abort drains and additionally cancels the pipeline, abandoning the
+// queued backlog. Used by the monitor's shutdown deadline.
+func (s *Session) Abort() {
+	s.Drain()
+	if s.cancel != nil {
+		s.cancel()
+	}
+}
+
+// Wait blocks until the session's pipeline has finished or ctx expires.
+func (s *Session) Wait(ctx context.Context) error {
+	select {
+	case <-s.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Subscribe registers an event feed with the given buffer. Events a slow
+// subscriber cannot absorb are dropped (counted in the monitor metrics);
+// the channel is closed when the subscription is canceled or the session
+// closes. The returned cancel is idempotent and must be called.
+func (s *Session) Subscribe(buf int) (<-chan Event, func()) {
+	if buf < 1 {
+		buf = 1
+	}
+	ch := make(chan Event, buf)
+	s.mu.Lock()
+	if s.state == StateClosed {
+		// Late subscriber: deliver the terminal event and close.
+		ch <- Event{Type: "closed", Data: s.statusJSONLocked()}
+		close(ch)
+		s.mu.Unlock()
+		return ch, func() {}
+	}
+	s.subs[ch] = true
+	s.mu.Unlock()
+	cancel := func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.subs[ch] {
+			delete(s.subs, ch)
+			close(ch)
+		}
+	}
+	return ch, cancel
+}
+
+// record folds one window result into the session state and fans it out
+// to subscribers, in pipeline order.
+func (s *Session) record(res core.WindowResult) {
+	met := s.mon.metrics
+	switch {
+	case res.Admitted:
+		met.windowsAdmitted.Add(1)
+		met.observeLatency(res.Elapsed)
+	case res.Err == nil:
+		met.windowsRejected.Add(1)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.windows++
+	switch {
+	case res.Admitted:
+		s.admitted++
+	case res.Err == nil:
+		s.rejected++
+	default:
+		s.err = res.Err // terminal source failure
+	}
+	if res.Decided() {
+		s.hasDCL = res.HasDCL()
+		if s.hasDCL {
+			s.bound = res.ID.BoundSeconds
+		}
+	}
+	if res.Transition != core.TransitionNone {
+		s.lastTransition = res.Transition.String()
+		s.lastTransitionAt = res.StartTime
+	}
+	if s.firstResult == 0 && len(s.results) == 0 {
+		s.firstResult = res.Index
+	}
+	s.results = append(s.results, res)
+	if over := len(s.results) - s.mon.cfg.MaxResults; over > 0 {
+		s.results = append(s.results[:0], s.results[over:]...)
+		s.firstResult += over
+	}
+
+	data := mustJSON(eventJSON{Path: s.id, WindowJSON: windowJSON(res)})
+	s.broadcastLocked(Event{Type: "window", Data: data})
+	if res.Transition != core.TransitionNone {
+		s.broadcastLocked(Event{Type: "transition", Data: data})
+	}
+}
+
+// broadcastLocked fans an event out to every subscriber, dropping it for
+// subscribers whose buffer is full. Caller holds s.mu.
+func (s *Session) broadcastLocked(ev Event) {
+	for ch := range s.subs {
+		select {
+		case ch <- ev:
+		default:
+			s.mon.metrics.eventsDropped.Add(1)
+		}
+	}
+}
+
+// finish marks the session closed and releases every subscriber.
+func (s *Session) finish() {
+	s.mu.Lock()
+	s.setStateLocked(StateClosed)
+	ev := Event{Type: "closed", Data: s.statusJSONLocked()}
+	for ch := range s.subs {
+		select {
+		case ch <- ev:
+		default:
+			s.mon.metrics.eventsDropped.Add(1)
+		}
+		delete(s.subs, ch)
+		close(ch)
+	}
+	s.mu.Unlock()
+	close(s.done)
+}
+
+// setStateLocked moves the session between states, keeping the per-state
+// gauges in step. Caller holds s.mu.
+func (s *Session) setStateLocked(st State) {
+	if st == s.state {
+		return
+	}
+	s.mon.metrics.gauge(s.state).Add(-1)
+	s.mon.metrics.gauge(st).Add(1)
+	s.state = st
+}
+
+// Results returns JSON-ready snapshots of the retained window results
+// with absolute index >= since, plus the index to resume polling from.
+func (s *Session) Results(since int) ([]WindowJSON, int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	start := since - s.firstResult
+	if start < 0 {
+		start = 0
+	}
+	if start > len(s.results) {
+		start = len(s.results)
+	}
+	out := make([]WindowJSON, 0, len(s.results)-start)
+	for _, res := range s.results[start:] {
+		out = append(out, windowJSON(res))
+	}
+	return out, s.firstResult + len(s.results)
+}
+
+// Status returns a JSON-ready snapshot of the session.
+func (s *Session) Status() StatusJSON {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.statusLocked()
+}
+
+func (s *Session) statusLocked() StatusJSON {
+	st := StatusJSON{
+		Path:             s.id,
+		State:            s.state.String(),
+		Ingested:         s.ingested,
+		Dropped:          s.dropped,
+		QueueLen:         len(s.queue),
+		QueueCap:         cap(s.queue),
+		Windows:          s.windows,
+		Admitted:         s.admitted,
+		Rejected:         s.rejected,
+		HasDCL:           s.hasDCL,
+		LastTransition:   s.lastTransition,
+		LastTransitionAt: s.lastTransitionAt,
+	}
+	if s.hasDCL {
+		st.BoundSeconds = s.bound
+	}
+	if s.err != nil {
+		st.Error = s.err.Error()
+	}
+	return st
+}
+
+func (s *Session) statusJSONLocked() []byte { return mustJSON(s.statusLocked()) }

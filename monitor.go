@@ -1,0 +1,34 @@
+package dominantlink
+
+import (
+	"dominantlink/internal/monitor"
+)
+
+// Multi-path monitoring: where IdentifyStream watches one observation
+// stream, a Monitor watches many — one session per path, each a bounded
+// ingestion queue feeding the windowed pipeline, with every session's
+// window identifications multiplexed onto one shared worker pool. The
+// monitor's Handler exposes the whole thing over HTTP (ingestion with
+// backpressure, per-window results, an SSE transition feed, metrics,
+// graceful drain); cmd/dclserved is the standalone daemon, and NewMonitor
+// embeds the same service core into any Go program.
+
+// Monitoring types.
+type (
+	// Monitor manages concurrent per-path identification sessions and
+	// serves them over HTTP (Handler) or programmatically (Open).
+	Monitor = monitor.Monitor
+	// MonitorConfig shapes a Monitor: shared pool size, per-session queue
+	// and history bounds, default window shape, identification config.
+	MonitorConfig = monitor.Config
+	// MonitorSession is one monitored path: Offer ingests observations,
+	// Subscribe streams events, Drain closes it flushing the final
+	// partial window.
+	MonitorSession = monitor.Session
+)
+
+// NewMonitor returns an embeddable monitoring service core. The zero
+// config is serviceable: GOMAXPROCS identification workers, 4096-probe
+// session queues, 3000-probe tumbling windows, the paper's
+// identification defaults.
+func NewMonitor(cfg MonitorConfig) *Monitor { return monitor.New(cfg) }
