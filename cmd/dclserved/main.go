@@ -20,6 +20,7 @@
 //	DELETE /v1/paths/{id}                 drain the session, flushing its final partial window
 //	GET    /v1/paths                      session registry
 //	GET    /healthz, /metrics             liveness and counters
+//	GET    /debug/pprof/...               profiling (only with -pprof)
 //
 // On SIGINT/SIGTERM the daemon drains: sessions finish their queued
 // backlog and flush final partial windows under the -drain deadline, then
@@ -33,6 +34,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -62,6 +64,7 @@ func main() {
 		y        = flag.Float64("y", 0, "WDCL delay parameter y (0 = the paper's strict delay condition)")
 		seed     = flag.Int64("seed", 1, "EM initialization seed")
 		drain    = flag.Duration("drain", 30*time.Second, "graceful shutdown deadline")
+		pprofOn  = flag.Bool("pprof", false, "expose /debug/pprof profiling endpoints")
 	)
 	flag.Parse()
 
@@ -91,7 +94,22 @@ func main() {
 		Window:      wcfg,
 		Identify:    cfg,
 	})
-	srv := &http.Server{Addr: *addr, Handler: mon.Handler()}
+	var handler http.Handler = mon.Handler()
+	if *pprofOn {
+		// Mount the profiler next to the API so CPU/heap profiles can be
+		// correlated with the identify-latency histogram on /metrics. Off by
+		// default: pprof leaks operational detail and costs CPU when
+		// profiled, so it is opt-in.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", handler)
+		handler = mux
+	}
+	srv := &http.Server{Addr: *addr, Handler: handler}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

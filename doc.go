@@ -105,9 +105,10 @@
 // cmd/dclserved wraps the same service core into a standalone daemon.
 //
 // The cmd/ directory holds the executables (dclsim, dclidentify,
-// dclserved, experiments) and examples/ holds runnable walkthroughs;
-// DESIGN.md and EXPERIMENTS.md document the architecture and the
-// reproduction of every table and figure in the paper's evaluation.
+// dcltrace, dclserved, dclbench, experiments) and examples/ holds
+// runnable walkthroughs; DESIGN.md and EXPERIMENTS.md document the
+// architecture, the reproduction of every table and figure in the
+// paper's evaluation, and the performance benchmark matrix.
 package dominantlink
 
 import (

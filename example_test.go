@@ -1,0 +1,124 @@
+package dominantlink_test
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"dominantlink"
+)
+
+// exampleTrace builds a deterministic probe trace with a strongly dominant
+// congested link: probes alternate between a quiet regime (low, slightly
+// varying delay, no losses) and a congested regime (high delay, all the
+// losses). No RNG: the examples' output must be byte-stable under go test.
+func exampleTrace(n int) *dominantlink.Trace {
+	tr := &dominantlink.Trace{Observations: make([]dominantlink.Observation, n)}
+	for t := 0; t < n; t++ {
+		congested := (t/500)%2 == 1
+		delay := 0.010 + float64(t%5)*0.0008 // 10–13 ms baseline jitter
+		lost := false
+		if congested {
+			delay += 0.040 + float64(t%7)*0.0012 // +40–48 ms queuing
+			lost = t%25 == 0                     // all losses in congestion
+		}
+		tr.Observations[t] = dominantlink.Observation{
+			Seq:      int64(t),
+			SendTime: float64(t) * 0.010, // 10 ms probe spacing
+			Delay:    delay,
+			Lost:     lost,
+		}
+	}
+	return tr
+}
+
+// ExampleIdentify runs the paper's one-shot pipeline on a finished trace:
+// discretize the delays, fit the MMHD by EM with losses as missing delay
+// observations, and apply the SDCL/WDCL hypothesis tests.
+func ExampleIdentify() {
+	tr := exampleTrace(2000)
+
+	cfg := dominantlink.IdentifyConfig{Restarts: 2, Seed: 1}
+	id, err := dominantlink.Identify(tr, cfg)
+	if err != nil {
+		fmt.Println("identify:", err)
+		return
+	}
+	fmt.Printf("loss rate: %.1f%%\n", 100*id.LossRate)
+	fmt.Println("dominant congested link:", id.HasDCL())
+	fmt.Println("bound positive:", id.BoundSeconds > 0)
+	// Output:
+	// loss rate: 2.0%
+	// dominant congested link: true
+	// bound positive: true
+}
+
+// ExampleIdentifyStream watches an observation stream instead of judging a
+// finished trace: the stream is cut into windows, each admitted window is
+// identified concurrently, and results arrive strictly in window order.
+func ExampleIdentifyStream() {
+	src := dominantlink.SourceFromTrace(exampleTrace(3000))
+
+	wcfg := dominantlink.WindowConfig{Size: 1000, DisableGate: true}
+	cfg := dominantlink.IdentifyConfig{Restarts: 2, Seed: 1}
+	results, err := dominantlink.IdentifyStream(context.Background(), src, wcfg, cfg)
+	if err != nil {
+		fmt.Println("stream:", err)
+		return
+	}
+	windows, withDCL := 0, 0
+	for res := range results {
+		if res.Err != nil {
+			continue
+		}
+		windows++
+		if res.HasDCL() {
+			withDCL++
+		}
+	}
+	fmt.Printf("windows: %d, with DCL: %d\n", windows, withDCL)
+	// Output:
+	// windows: 3, with DCL: 3
+}
+
+// ExampleNewMonitor embeds the multi-path monitoring service core into a
+// program: open a per-path session, feed it a batch of observations, drain
+// it, and read the decided windows back.
+func ExampleNewMonitor() {
+	mon := dominantlink.NewMonitor(dominantlink.MonitorConfig{
+		QueueSize: 4096,
+		Window:    dominantlink.WindowConfig{Size: 1000, DisableGate: true, FlushPartial: true},
+		Identify:  dominantlink.IdentifyConfig{Restarts: 2, Seed: 1},
+	})
+
+	sess, created, err := mon.Open("lab-to-dc", nil)
+	if err != nil {
+		fmt.Println("open:", err)
+		return
+	}
+	fmt.Println("session created:", created)
+
+	accepted, err := sess.Offer(exampleTrace(2000).Observations)
+	if err != nil {
+		fmt.Println("offer:", err)
+		return
+	}
+	fmt.Println("accepted:", accepted)
+
+	sess.Drain() // finish the backlog, flush the final window, close
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := sess.Wait(ctx); err != nil {
+		fmt.Println("wait:", err)
+		return
+	}
+	windows, _ := sess.Results(0)
+	fmt.Println("decided windows:", len(windows))
+	if err := mon.Close(ctx); err != nil {
+		fmt.Println("close:", err)
+	}
+	// Output:
+	// session created: true
+	// accepted: 2000
+	// decided windows: 2
+}

@@ -1,0 +1,107 @@
+package bench
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// tinySpecs is a minimal matrix — one spec per workload — sized so the
+// whole test runs in a couple of seconds.
+func tinySpecs() []Spec {
+	return []Spec{
+		{Name: "hmm/tiny", Workload: WorkloadHMM, TraceLen: 400, LossRate: 0.05, Symbols: 4, Hidden: 2, Seed: 1, Reps: 2},
+		{Name: "mmhd/tiny", Workload: WorkloadMMHD, TraceLen: 300, LossRate: 0.05, Symbols: 4, Hidden: 2, Seed: 2, Reps: 2},
+		{Name: "streaming/tiny", Workload: WorkloadStreaming, TraceLen: 1200, LossRate: 0.05, Symbols: 4, Hidden: 2, Seed: 3, WindowSize: 400, Restarts: 1},
+		{Name: "monitor/tiny", Workload: WorkloadMonitor, TraceLen: 800, LossRate: 0.05, Symbols: 4, Hidden: 2, Seed: 4, WindowSize: 400, Restarts: 1, Sessions: 2},
+	}
+}
+
+func TestRunAllWorkloads(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	results := RunAll(ctx, tinySpecs(), nil)
+	if len(results) != 4 {
+		t.Fatalf("got %d results, want 4", len(results))
+	}
+	for _, r := range results {
+		if r.Err != "" {
+			t.Errorf("%s: %s", r.Name, r.Err)
+			continue
+		}
+		if r.Ops <= 0 || r.NsPerOp <= 0 || r.FitsPerSec <= 0 {
+			t.Errorf("%s: empty measurement %+v", r.Name, r)
+		}
+		if r.P99Ms < r.P50Ms {
+			t.Errorf("%s: p99 %.2f < p50 %.2f", r.Name, r.P99Ms, r.P50Ms)
+		}
+	}
+}
+
+func TestSymbolTraceDeterministic(t *testing.T) {
+	a := SymbolTrace(500, 5, 0.05, 42)
+	b := SymbolTrace(500, 5, 0.05, 42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	seen := map[int]bool{}
+	for _, v := range a {
+		seen[v] = true
+	}
+	for v := 1; v <= 5; v++ {
+		if !seen[v] {
+			t.Errorf("symbol %d never generated", v)
+		}
+	}
+}
+
+func TestDelayTraceDeterministic(t *testing.T) {
+	a := DelayTrace(500, 0.05, 7)
+	b := DelayTrace(500, 0.05, 7)
+	if a.LossRate() != b.LossRate() {
+		t.Fatalf("loss rates diverge: %v vs %v", a.LossRate(), b.LossRate())
+	}
+	for i := range a.Observations {
+		if a.Observations[i] != b.Observations[i] {
+			t.Fatalf("observations diverge at %d", i)
+		}
+	}
+	if a.LossRate() == 0 {
+		t.Error("trace has no losses; fits cannot infer a posterior")
+	}
+}
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	base := NewReport(time.Unix(0, 0), []Result{
+		{Name: "a", FitsPerSec: 100},
+		{Name: "b", FitsPerSec: 100},
+		{Name: "only-base", FitsPerSec: 100},
+	})
+	cur := NewReport(time.Unix(0, 0), []Result{
+		{Name: "a", FitsPerSec: 85},       // within 20%
+		{Name: "b", FitsPerSec: 75},       // regression
+		{Name: "only-cur", FitsPerSec: 1}, // no baseline: ignored
+	})
+	regs := Compare(base, cur, 0.2)
+	if len(regs) != 1 || regs[0].Name != "b" {
+		t.Fatalf("got regressions %+v, want exactly [b]", regs)
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	rep := NewReport(time.Unix(1700000000, 0), []Result{{Name: "x", Workload: WorkloadHMM, Ops: 3, NsPerOp: 5, FitsPerSec: 2.5}})
+	if err := WriteReport(path, rep); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != "dclbench/1" || len(got.Results) != 1 || got.Results[0] != rep.Results[0] {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}

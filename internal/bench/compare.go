@@ -1,0 +1,71 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Regression is one workload whose throughput fell below the gate.
+type Regression struct {
+	Name      string
+	Baseline  float64 // fits/sec
+	Current   float64
+	Ratio     float64 // current / baseline
+	Threshold float64 // minimum acceptable ratio
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s: %.2f fits/sec vs baseline %.2f (%.0f%%, gate %.0f%%)",
+		r.Name, r.Current, r.Baseline, 100*r.Ratio, 100*r.Threshold)
+}
+
+// Compare gates current against a baseline report: any result present in
+// both whose fits/sec fell below (1 - tolerance) of the baseline is a
+// regression. Results only one side has are ignored (the matrix may grow).
+func Compare(baseline, current *Report, tolerance float64) []Regression {
+	base := make(map[string]Result, len(baseline.Results))
+	for _, r := range baseline.Results {
+		if r.Err == "" {
+			base[r.Name] = r
+		}
+	}
+	var regs []Regression
+	floor := 1 - tolerance
+	for _, cur := range current.Results {
+		b, ok := base[cur.Name]
+		if !ok || cur.Err != "" || b.FitsPerSec <= 0 {
+			continue
+		}
+		ratio := cur.FitsPerSec / b.FitsPerSec
+		if ratio < floor {
+			regs = append(regs, Regression{
+				Name: cur.Name, Baseline: b.FitsPerSec, Current: cur.FitsPerSec,
+				Ratio: ratio, Threshold: floor,
+			})
+		}
+	}
+	return regs
+}
+
+// LoadReport reads a dclbench JSON report.
+func LoadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// WriteReport writes a dclbench JSON report (indented, trailing newline).
+func WriteReport(path string, rep *Report) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dominantlink/internal/hmm"
 	"dominantlink/internal/mmhd"
@@ -151,6 +152,10 @@ type Identification struct {
 	EMIterations int
 	EMConverged  bool
 	LogLik       float64
+
+	// EMTime is the wall-clock time spent fitting the EM restarts (all
+	// restarts, across however many workers ran them).
+	EMTime time.Duration
 }
 
 // HasDCL reports whether either hypothesis test accepted.
@@ -200,10 +205,12 @@ func IdentifyContext(ctx context.Context, tr *trace.Trace, cfg IdentifyConfig) (
 	}
 	obs := disc.Encode(tr.Observations)
 
+	emStart := time.Now()
 	fits, err := runRestarts(ctx, obs, cfg)
 	if err != nil {
 		return nil, err
 	}
+	emTime := time.Since(emStart)
 	var (
 		pmf        stats.PMF
 		iterations int
@@ -225,7 +232,9 @@ func IdentifyContext(ctx context.Context, tr *trace.Trace, cfg IdentifyConfig) (
 	if pmf == nil {
 		return nil, ErrNoLosses
 	}
-	return identifyFromPMF(tr, cfg, disc, pmf, iterations, converged, loglik), nil
+	id := identifyFromPMF(tr, cfg, disc, pmf, iterations, converged, loglik)
+	id.EMTime = emTime
+	return id, nil
 }
 
 // restartFit is the outcome of one EM restart.

@@ -77,15 +77,29 @@ const probFloor = 1e-12
 type Scratch struct {
 	t, n, m int
 
-	alphaBack, emisBack, gammaBack []float64 // flat T*N backings
-	alpha, emis, gamma             [][]float64
-	scale                          []float64
-	beta, prevBeta                 []float64
-	xiNum                          [][]float64 // N x N
-	bNum                           [][]float64 // N x M
-	lossNum, symCount              []float64   // M
-	weightBack                     []float64   // N*M loss-weight backing
-	weights                        [][]float64
+	alphaBack, gammaBack []float64 // flat T*N backings
+	alpha, gamma         [][]float64
+	scale                []float64
+	beta, prevBeta       []float64
+	xiNum                [][]float64 // N x N
+	bNum                 [][]float64 // N x M
+	lossNum, symCount    []float64   // M
+	weightBack           []float64   // N*M loss-weight backing
+	weights              [][]float64
+	denomA, denomB       []float64 // fused M-step denominators, len N
+
+	// Emission rows: the forward-backward needs P(obs[t] | state i) for
+	// every step, but there are only M+1 distinct observations (loss +
+	// each symbol), so the M+1 distinct rows are computed once per E-step
+	// from the current parameters and every step t just points at its
+	// row. The per-step pointer table depends only on obs, so it is
+	// rebuilt only when obs changes (lastObs tracks the sequence the
+	// table was built for) — the EM loop re-enters with the same obs
+	// every iteration, and every restart of the same trace reuses it.
+	emisRowBack []float64   // (M+1)*N backing
+	emisRow     [][]float64 // row o = emission row of observation o
+	stepRows    [][]float64 // len T, stepRows[t] = emisRow[obs[t]]
+	lastObs     []int
 
 	models [2]*Model // double-buffered parameter sets for emStep
 }
@@ -101,10 +115,8 @@ func (sc *Scratch) ensure(T, n, m int) {
 	}
 	sc.t, sc.n, sc.m = T, n, m
 	sc.alphaBack = growFloats(sc.alphaBack, T*n)
-	sc.emisBack = growFloats(sc.emisBack, T*n)
 	sc.gammaBack = growFloats(sc.gammaBack, T*n)
 	sc.alpha = carveRows(sc.alpha, sc.alphaBack, T, n)
-	sc.emis = carveRows(sc.emis, sc.emisBack, T, n)
 	sc.gamma = carveRows(sc.gamma, sc.gammaBack, T, n)
 	sc.scale = growFloats(sc.scale, T)
 	sc.beta = growFloats(sc.beta, n)
@@ -115,8 +127,62 @@ func (sc *Scratch) ensure(T, n, m int) {
 	sc.symCount = growFloats(sc.symCount, m)
 	sc.weightBack = growFloats(sc.weightBack, n*m)
 	sc.weights = carveRows(sc.weights, sc.weightBack, n, m)
+	sc.denomA = growFloats(sc.denomA, n)
+	sc.denomB = growFloats(sc.denomB, n)
+	sc.emisRowBack = growFloats(sc.emisRowBack, (m+1)*n)
+	sc.emisRow = carveRows(sc.emisRow, sc.emisRowBack, m+1, n)
+	if cap(sc.stepRows) < T {
+		sc.stepRows = make([][]float64, T)
+	}
+	sc.stepRows = sc.stepRows[:T]
+	sc.lastObs = sc.lastObs[:0] // dimensions changed: invalidate the table
 	sc.models[0] = newZeroModel(n, m)
 	sc.models[1] = newZeroModel(n, m)
+}
+
+// emissionRows returns the per-step emission table e with e[t][i] =
+// P(obs[t] | state i) under m's current parameters. The M+1 distinct rows
+// are recomputed on every call (the parameters move each EM iteration);
+// the per-step pointers are rebuilt only when obs differs from the
+// sequence they were last built for.
+func (sc *Scratch) emissionRows(m *Model, obs []int) [][]float64 {
+	n, M := m.N, m.M
+	lossRow := sc.emisRow[Loss]
+	for i := 0; i < n; i++ {
+		bi := m.B[i]
+		var s float64
+		for k := 0; k < M; k++ {
+			s += bi[k] * m.C[k]
+		}
+		lossRow[i] = s
+	}
+	for v := 1; v <= M; v++ {
+		row := sc.emisRow[v]
+		keep := 1 - m.C[v-1]
+		for i := 0; i < n; i++ {
+			row[i] = m.B[i][v-1] * keep
+		}
+	}
+	steps := sc.stepRows[:len(obs)]
+	if !intsEqual(sc.lastObs, obs) {
+		for t, o := range obs {
+			steps[t] = sc.emisRow[o]
+		}
+		sc.lastObs = append(sc.lastObs[:0], obs...)
+	}
+	return steps
+}
+
+func intsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, v := range a {
+		if b[i] != v {
+			return false
+		}
+	}
+	return true
 }
 
 func growFloats(buf []float64, n int) []float64 {
@@ -280,51 +346,56 @@ func itoa(v int) string {
 // forwardBackward runs one scaled E-step. It returns gamma (T x N), the
 // transition accumulators, and the log-likelihood. The returned slices
 // alias sc's buffers and are invalidated by the next use of sc.
+//
+// The recursions use the shared emission rows of Scratch.emissionRows and
+// fuse the scaling/log-likelihood pass into the forward sweep; all
+// floating-point operations run in the same order as the textbook
+// formulation they replaced, so fitted parameters are bit-identical (the
+// golden regression test pins this).
 func (m *Model) forwardBackward(obs []int, sc *Scratch) (gamma [][]float64, xiNum [][]float64, loglik float64) {
 	T := len(obs)
 	n := m.N
 	sc.ensure(T, n, m.M)
+	e := sc.emissionRows(m, obs)
 	alpha := sc.alpha
 	scale := sc.scale
-	e := sc.emis // cached emissions
-	for t := 0; t < T; t++ {
-		for i := 0; i < n; i++ {
-			e[t][i] = m.emission(i, obs[t])
-		}
-	}
-	// Forward.
+	// Forward, accumulating the log-likelihood as each scale factor is
+	// produced.
+	a0, e0 := alpha[0], e[0]
 	var c0 float64
 	for i := 0; i < n; i++ {
-		alpha[0][i] = m.Pi[i] * e[0][i]
-		c0 += alpha[0][i]
+		a0[i] = m.Pi[i] * e0[i]
+		c0 += a0[i]
 	}
 	if c0 <= 0 {
 		c0 = probFloor
 	}
 	for i := 0; i < n; i++ {
-		alpha[0][i] /= c0
+		a0[i] /= c0
 	}
 	scale[0] = c0
+	loglik = math.Log(c0)
+	prev := a0
 	for t := 1; t < T; t++ {
+		at, et := alpha[t], e[t]
 		var ct float64
 		for j := 0; j < n; j++ {
 			var s float64
 			for i := 0; i < n; i++ {
-				s += alpha[t-1][i] * m.A[i][j]
+				s += prev[i] * m.A[i][j]
 			}
-			alpha[t][j] = s * e[t][j]
-			ct += alpha[t][j]
+			at[j] = s * et[j]
+			ct += at[j]
 		}
 		if ct <= 0 {
 			ct = probFloor
 		}
 		for j := 0; j < n; j++ {
-			alpha[t][j] /= ct
+			at[j] /= ct
 		}
 		scale[t] = ct
-	}
-	for t := 0; t < T; t++ {
-		loglik += math.Log(scale[t])
+		loglik += math.Log(ct)
+		prev = at
 	}
 	// Backward, with gamma and xi accumulation.
 	beta := sc.beta
@@ -335,37 +406,42 @@ func (m *Model) forwardBackward(obs []int, sc *Scratch) (gamma [][]float64, xiNu
 	copy(gamma[T-1], alpha[T-1])
 	xiNum = sc.xiNum
 	for i := range xiNum {
-		for j := range xiNum[i] {
-			xiNum[i][j] = 0
+		row := xiNum[i]
+		for j := range row {
+			row[j] = 0
 		}
 	}
 	prevBeta := sc.prevBeta
 	for t := T - 2; t >= 0; t-- {
 		copy(prevBeta, beta)
+		at, gt, et1 := alpha[t], gamma[t], e[t+1]
+		ct1 := scale[t+1]
 		for i := 0; i < n; i++ {
+			rowA := m.A[i]
 			var s float64
 			for j := 0; j < n; j++ {
-				s += m.A[i][j] * e[t+1][j] * prevBeta[j]
+				s += rowA[j] * et1[j] * prevBeta[j]
 			}
-			beta[i] = s / scale[t+1]
+			beta[i] = s / ct1
 		}
 		var gsum float64
 		for i := 0; i < n; i++ {
-			gamma[t][i] = alpha[t][i] * beta[i]
-			gsum += gamma[t][i]
+			gt[i] = at[i] * beta[i]
+			gsum += gt[i]
 		}
 		if gsum > 0 {
 			for i := 0; i < n; i++ {
-				gamma[t][i] /= gsum
+				gt[i] /= gsum
 			}
 		}
 		for i := 0; i < n; i++ {
-			if alpha[t][i] == 0 {
+			av := at[i]
+			if av == 0 {
 				continue
 			}
+			rowA, rowXi := m.A[i], xiNum[i]
 			for j := 0; j < n; j++ {
-				xi := alpha[t][i] * m.A[i][j] * e[t+1][j] * prevBeta[j] / scale[t+1]
-				xiNum[i][j] += xi
+				rowXi[j] += av * rowA[j] * et1[j] * prevBeta[j] / ct1
 			}
 		}
 	}
@@ -453,16 +529,32 @@ func (m *Model) emStepInto(obs []int, sc *Scratch, next *Model) float64 {
 	next.N, next.M = n, M
 	copy(next.Pi, gamma[0])
 
+	// Per-state occupancy denominators, fused into one sweep over t: each
+	// accumulator still sums its gamma column in ascending t, so the sums
+	// are bit-identical to the per-state loops they replace. The B-step
+	// denominator over all t is the t < T-1 sum plus the final step.
+	denomA, denomB := sc.denomA, sc.denomB
+	for i := 0; i < n; i++ {
+		denomA[i] = 0
+	}
+	for t := 0; t < T-1; t++ {
+		gt := gamma[t]
+		for i := 0; i < n; i++ {
+			denomA[i] += gt[i]
+		}
+	}
+	gLast := gamma[T-1]
+	for i := 0; i < n; i++ {
+		denomB[i] = denomA[i] + gLast[i]
+	}
+
 	// Transition matrix.
 	for i := 0; i < n; i++ {
-		var denom float64
-		for t := 0; t < T-1; t++ {
-			denom += gamma[t][i]
-		}
 		row := next.A[i]
-		if denom > 0 {
+		if d := denomA[i]; d > 0 {
+			rowXi := xiNum[i]
 			for j := 0; j < n; j++ {
-				row[j] = xiNum[i][j] / denom
+				row[j] = rowXi[j] / d
 			}
 		} else {
 			copy(row, m.A[i])
@@ -490,15 +582,17 @@ func (m *Model) emStepInto(obs []int, sc *Scratch, next *Model) float64 {
 	}
 	for t := 0; t < T; t++ {
 		o := obs[t]
+		gt := gamma[t]
 		if o == Loss {
 			for i := 0; i < n; i++ {
-				g := gamma[t][i]
+				g := gt[i]
 				if g == 0 {
 					continue
 				}
+				bi, wi := bNum[i], weights[i]
 				for k := 0; k < M; k++ {
-					w := g * weights[i][k]
-					bNum[i][k] += w
+					w := g * wi[k]
+					bi[k] += w
 					lossNum[k] += w
 					symCount[k] += w
 				}
@@ -507,19 +601,16 @@ func (m *Model) emStepInto(obs []int, sc *Scratch, next *Model) float64 {
 			k := o - 1
 			symCount[k]++
 			for i := 0; i < n; i++ {
-				bNum[i][k] += gamma[t][i]
+				bNum[i][k] += gt[i]
 			}
 		}
 	}
 	for i := 0; i < n; i++ {
 		row := next.B[i]
-		var denom float64
-		for t := 0; t < T; t++ {
-			denom += gamma[t][i]
-		}
-		if denom > 0 {
+		if d := denomB[i]; d > 0 {
+			bi := bNum[i]
 			for k := 0; k < M; k++ {
-				row[k] = bNum[i][k] / denom
+				row[k] = bi[k] / d
 			}
 		} else {
 			copy(row, m.B[i])
@@ -607,27 +698,22 @@ func clamp(v, lo, hi float64) float64 {
 
 // paramDelta returns the max absolute difference across all parameters.
 func paramDelta(a, b *Model) float64 {
-	var d float64
-	upd := func(x, y float64) {
-		if diff := math.Abs(x - y); diff > d {
-			d = diff
-		}
-	}
-	for i := range a.Pi {
-		upd(a.Pi[i], b.Pi[i])
-	}
+	d := maxAbsDiff(a.Pi, b.Pi, 0)
 	for i := range a.A {
-		for j := range a.A[i] {
-			upd(a.A[i][j], b.A[i][j])
-		}
+		d = maxAbsDiff(a.A[i], b.A[i], d)
 	}
 	for i := range a.B {
-		for j := range a.B[i] {
-			upd(a.B[i][j], b.B[i][j])
-		}
+		d = maxAbsDiff(a.B[i], b.B[i], d)
 	}
-	for i := range a.C {
-		upd(a.C[i], b.C[i])
+	return maxAbsDiff(a.C, b.C, d)
+}
+
+// maxAbsDiff folds max(|x-y|) over two parameter rows into d.
+func maxAbsDiff(x, y []float64, d float64) float64 {
+	for i := range x {
+		if diff := math.Abs(x[i] - y[i]); diff > d {
+			d = diff
+		}
 	}
 	return d
 }

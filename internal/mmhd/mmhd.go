@@ -115,16 +115,33 @@ type Scratch struct {
 	all      []int   // 0..S-1
 	actBySym [][]int // symbol (1..M) -> its N state indices; index 0 = all
 
-	act                            [][]int     // per-step active sets (aliases actBySym)
-	alpha, gamma, emis             [][]float64 // per-step, carved from the flat backings
-	alphaBack, gammaBack, emisBack []float64
-	scale                          []float64
-	beta, betaNext                 []float64 // rolling backward pair, cap S
-	xiNum                          [][]float64
-	es                             eStepOut
+	act                  [][]int     // per-step active sets (aliases actBySym)
+	alpha, gamma         [][]float64 // per-step, carved from the flat backings
+	alphaBack, gammaBack []float64
+	scale                []float64
+	beta, betaNext       []float64 // rolling backward pair, cap S
+	xiNum                [][]float64
+	es                   eStepOut
+
+	// Emission rows, shared per observation: an observed symbol v has the
+	// same emission row (1 - lossProb over its N active states) at every
+	// step it appears, and every loss step shares the dense lossProb row.
+	// The M+1 distinct rows are recomputed from the current parameters
+	// once per E-step; emis[t] just points at the row for obs[t].
+	emisBack  []float64   // backing: loss row (S) + symbol rows (N each)
+	emisBySym [][]float64 // observation (0..M) -> its shared emission row
+	emis      [][]float64 // per-step row pointers (aliases emisBySym)
+
+	// lastObs is the observation sequence the per-step tables (act, alpha,
+	// gamma, emis carving) were built for. The EM loop re-enters prepare
+	// with the same obs every iteration — and every restart of the same
+	// trace reuses it — so the O(T) re-carving collapses to an O(T)
+	// equality check.
+	lastObs []int
 
 	gammaSum          []float64 // S
 	lossNum, occCount []float64 // cLen
+	cIdx              []int     // state -> C index (s, or s%M per-symbol)
 
 	models [2]*Model
 }
@@ -153,44 +170,66 @@ func (sc *Scratch) prepare(obs []int, n, mSym int, perState bool) {
 			}
 			sc.actBySym[v] = act
 		}
+		// The shared emission rows: the dense loss row plus one N-wide row
+		// per symbol, carved from one backing.
+		sc.emisBack = growFloats(sc.emisBack, 2*S)
+		sc.emisBySym = make([][]float64, mSym+1)
+		sc.emisBySym[Loss] = sc.emisBack[:S]
+		for v := 1; v <= mSym; v++ {
+			sc.emisBySym[v] = sc.emisBack[S+(v-1)*n : S+v*n]
+		}
 		sc.xiNum = nil // force regrow below
 		sc.models[0] = nil
+		sc.lastObs = sc.lastObs[:0] // per-step tables must be recarved
 	}
 	if sc.models[0] == nil || sc.perState != perState {
 		sc.perState = perState
 		sc.models[0] = newZeroModel(n, mSym, perState)
 		sc.models[1] = newZeroModel(n, mSym, perState)
-	}
-	T := len(obs)
-	// Total active-state cells across all steps: N per observed symbol,
-	// S per loss.
-	total := 0
-	for _, o := range obs {
-		if o == Loss {
-			total += S
-		} else {
-			total += n
+		if cap(sc.cIdx) < S {
+			sc.cIdx = make([]int, S)
+		}
+		sc.cIdx = sc.cIdx[:S]
+		for s := 0; s < S; s++ {
+			if perState {
+				sc.cIdx[s] = s
+			} else {
+				sc.cIdx[s] = s % mSym
+			}
 		}
 	}
-	sc.alphaBack = growFloats(sc.alphaBack, total)
-	sc.gammaBack = growFloats(sc.gammaBack, total)
-	sc.emisBack = growFloats(sc.emisBack, total)
-	if cap(sc.act) < T {
-		sc.act = make([][]int, T)
-		sc.alpha = make([][]float64, T)
-		sc.gamma = make([][]float64, T)
-		sc.emis = make([][]float64, T)
-	}
-	sc.act = sc.act[:T]
-	sc.alpha, sc.gamma, sc.emis = sc.alpha[:T], sc.gamma[:T], sc.emis[:T]
-	off := 0
-	for t, o := range obs {
-		sc.act[t] = sc.actBySym[o]
-		w := len(sc.act[t])
-		sc.alpha[t] = sc.alphaBack[off : off+w]
-		sc.gamma[t] = sc.gammaBack[off : off+w]
-		sc.emis[t] = sc.emisBack[off : off+w]
-		off += w
+	T := len(obs)
+	if !intsEqual(sc.lastObs, obs) {
+		// Total active-state cells across all steps: N per observed
+		// symbol, S per loss.
+		total := 0
+		for _, o := range obs {
+			if o == Loss {
+				total += S
+			} else {
+				total += n
+			}
+		}
+		sc.alphaBack = growFloats(sc.alphaBack, total)
+		sc.gammaBack = growFloats(sc.gammaBack, total)
+		if cap(sc.act) < T {
+			sc.act = make([][]int, T)
+			sc.alpha = make([][]float64, T)
+			sc.gamma = make([][]float64, T)
+			sc.emis = make([][]float64, T)
+		}
+		sc.act = sc.act[:T]
+		sc.alpha, sc.gamma, sc.emis = sc.alpha[:T], sc.gamma[:T], sc.emis[:T]
+		off := 0
+		for t, o := range obs {
+			sc.act[t] = sc.actBySym[o]
+			w := len(sc.act[t])
+			sc.alpha[t] = sc.alphaBack[off : off+w]
+			sc.gamma[t] = sc.gammaBack[off : off+w]
+			sc.emis[t] = sc.emisBySym[o]
+			off += w
+		}
+		sc.lastObs = append(sc.lastObs[:0], obs...)
 	}
 	sc.scale = growFloats(sc.scale, T)
 	sc.beta = growFloats(sc.beta, S)
@@ -203,6 +242,36 @@ func (sc *Scratch) prepare(obs []int, n, mSym int, perState bool) {
 	}
 	sc.lossNum = growFloats(sc.lossNum, cLen)
 	sc.occCount = growFloats(sc.occCount, cLen)
+}
+
+// fillEmissions recomputes the shared emission rows from m's current
+// parameters: the loss row is lossProb per state, a symbol row is
+// 1 - lossProb over the symbol's N active states — exactly the values the
+// per-cell emission() calls produced.
+func (sc *Scratch) fillEmissions(m *Model) {
+	S := m.N * m.M
+	lossRow := sc.emisBySym[Loss]
+	for s := 0; s < S; s++ {
+		lossRow[s] = m.lossProb(s)
+	}
+	for v := 1; v <= m.M; v++ {
+		row := sc.emisBySym[v]
+		for h := 0; h < m.N; h++ {
+			row[h] = 1 - m.lossProb(h*m.M+(v-1))
+		}
+	}
+}
+
+func intsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, v := range a {
+		if b[i] != v {
+			return false
+		}
+	}
+	return true
 }
 
 func growFloats(buf []float64, n int) []float64 {
@@ -355,26 +424,27 @@ func (m *Model) eStep(obs []int) *eStepOut {
 }
 
 // eStepScratch runs the pass on sc's buffers; the returned eStepOut
-// aliases sc and is invalidated by sc's next use.
+// aliases sc and is invalidated by sc's next use. The emission values come
+// from the shared per-observation rows (recomputed once per call) and the
+// scaling/log-likelihood pass is fused into the forward sweep; every
+// floating-point operation runs in the order of the formulation it
+// replaced, so fits are bit-identical (pinned by the golden test).
 func (m *Model) eStepScratch(obs []int, sc *Scratch) *eStepOut {
 	T := len(obs)
 	sc.prepare(obs, m.N, m.M, m.PerStateLoss)
 	act := sc.act
-	emis := sc.emis // emission per active state
-	for t := 0; t < T; t++ {
-		e := emis[t]
-		for k, s := range act[t] {
-			e[k] = m.emission(s, obs[t])
-		}
-	}
+	emis := sc.emis // per-step shared emission rows
+	sc.fillEmissions(m)
 
 	alpha := sc.alpha
 	scale := sc.scale
-	// Forward.
-	a0 := alpha[0]
+	A := m.A
+	// Forward, accumulating the log-likelihood as each scale factor is
+	// produced.
+	a0, e0 := alpha[0], emis[0]
 	var c0 float64
 	for k, s := range act[0] {
-		a0[k] = m.Pi[s] * emis[0][k]
+		a0[k] = m.Pi[s] * e0[k]
 		c0 += a0[k]
 	}
 	if c0 <= 0 {
@@ -384,9 +454,10 @@ func (m *Model) eStepScratch(obs []int, sc *Scratch) *eStepOut {
 		a0[k] /= c0
 	}
 	scale[0] = c0
+	loglik := math.Log(c0)
 	for t := 1; t < T; t++ {
 		prevAct, prevAlpha := act[t-1], alpha[t-1]
-		at := alpha[t]
+		at, et := alpha[t], emis[t]
 		var ct float64
 		for k, sp := range act[t] {
 			var sum float64
@@ -395,9 +466,9 @@ func (m *Model) eStepScratch(obs []int, sc *Scratch) *eStepOut {
 				if av == 0 {
 					continue
 				}
-				sum += av * m.A[s][sp]
+				sum += av * A[s][sp]
 			}
-			at[k] = sum * emis[t][k]
+			at[k] = sum * et[k]
 			ct += at[k]
 		}
 		if ct <= 0 {
@@ -407,10 +478,7 @@ func (m *Model) eStepScratch(obs []int, sc *Scratch) *eStepOut {
 			at[k] /= ct
 		}
 		scale[t] = ct
-	}
-	var loglik float64
-	for t := 0; t < T; t++ {
-		loglik += math.Log(scale[t])
+		loglik += math.Log(ct)
 	}
 
 	// Backward, accumulating gamma and the xi numerator.
@@ -430,22 +498,25 @@ func (m *Model) eStepScratch(obs []int, sc *Scratch) *eStepOut {
 	spareBeta := sc.betaNext
 	for t := T - 2; t >= 0; t-- {
 		nextAct, nextBeta, nextEmis := act[t+1], beta, emis[t+1]
-		bt := spareBeta[:len(act[t])]
-		for k, s := range act[t] {
+		actT, at := act[t], alpha[t]
+		ct1 := scale[t+1]
+		bt := spareBeta[:len(actT)]
+		for k, s := range actT {
+			rowA := A[s]
 			var sum float64
 			for kk, sp := range nextAct {
 				w := nextEmis[kk] * nextBeta[kk]
 				if w == 0 {
 					continue
 				}
-				sum += m.A[s][sp] * w
+				sum += rowA[sp] * w
 			}
-			bt[k] = sum / scale[t+1]
+			bt[k] = sum / ct1
 		}
 		gt := gamma[t]
 		var gsum float64
 		for k := range gt {
-			gt[k] = alpha[t][k] * bt[k]
+			gt[k] = at[k] * bt[k]
 			gsum += gt[k]
 		}
 		if gsum > 0 {
@@ -454,19 +525,19 @@ func (m *Model) eStepScratch(obs []int, sc *Scratch) *eStepOut {
 			}
 		}
 		// xi accumulation over active pairs.
-		for k, s := range act[t] {
-			av := alpha[t][k]
+		for k, s := range actT {
+			av := at[k]
 			if av == 0 {
 				continue
 			}
-			rowA := m.A[s]
+			rowA := A[s]
 			rowXi := xiNum[s]
 			for kk, sp := range nextAct {
 				w := nextEmis[kk] * nextBeta[kk]
 				if w == 0 {
 					continue
 				}
-				rowXi[sp] += av * rowA[sp] * w / scale[t+1]
+				rowXi[sp] += av * rowA[sp] * w / ct1
 			}
 		}
 		spareBeta = beta[:cap(beta)]
@@ -507,15 +578,17 @@ func (m *Model) emStepInto(obs []int, sc *Scratch, next *Model) float64 {
 		gammaSum[s] = 0
 	}
 	for t := 0; t < T-1; t++ {
+		gt := es.gamma[t]
 		for k, s := range es.act[t] {
-			gammaSum[s] += es.gamma[t][k]
+			gammaSum[s] += gt[k]
 		}
 	}
 	for s := 0; s < S; s++ {
 		row := next.A[s]
-		if gammaSum[s] > 0 {
+		if gs := gammaSum[s]; gs > 0 {
+			xiRow := es.xiNum[s]
 			for sp := 0; sp < S; sp++ {
-				row[sp] = es.xiNum[s][sp] / gammaSum[s]
+				row[sp] = xiRow[sp] / gs
 			}
 			normalizeRow(row)
 		} else {
@@ -535,14 +608,13 @@ func (m *Model) emStepInto(obs []int, sc *Scratch, next *Model) float64 {
 	for i := 0; i < cLen; i++ {
 		lossNum[i], occCount[i] = 0, 0
 	}
+	cIdx := sc.cIdx // state -> C index, precomputed in prepare
 	for t := 0; t < T; t++ {
 		isLoss := obs[t] == Loss
+		gt := es.gamma[t]
 		for k, s := range es.act[t] {
-			idx := s % m.M
-			if m.PerStateLoss {
-				idx = s
-			}
-			g := es.gamma[t][k]
+			idx := cIdx[s]
+			g := gt[k]
 			occCount[idx] += g
 			if isLoss {
 				lossNum[idx] += g
@@ -674,22 +746,19 @@ func clamp(v, lo, hi float64) float64 {
 
 // paramDelta returns the max absolute parameter difference between models.
 func paramDelta(a, b *Model) float64 {
-	var d float64
-	upd := func(x, y float64) {
-		if diff := math.Abs(x - y); diff > d {
+	d := maxAbsDiff(a.Pi, b.Pi, 0)
+	for i := range a.A {
+		d = maxAbsDiff(a.A[i], b.A[i], d)
+	}
+	return maxAbsDiff(a.C, b.C, d)
+}
+
+// maxAbsDiff returns max(d, max_i |x[i]-y[i]|).
+func maxAbsDiff(x, y []float64, d float64) float64 {
+	for i, v := range x {
+		if diff := math.Abs(v - y[i]); diff > d {
 			d = diff
 		}
-	}
-	for i := range a.Pi {
-		upd(a.Pi[i], b.Pi[i])
-	}
-	for i := range a.A {
-		for j := range a.A[i] {
-			upd(a.A[i][j], b.A[i][j])
-		}
-	}
-	for i := range a.C {
-		upd(a.C[i], b.C[i])
 	}
 	return d
 }

@@ -3,6 +3,7 @@ package monitor
 import (
 	"expvar"
 	"fmt"
+	"math"
 	"net/http"
 	"time"
 )
@@ -64,6 +65,56 @@ func (m *metrics) observeLatency(d time.Duration) {
 	}
 	m.latency[len(latencyBoundsMS)].Add(1)
 	m.identifySeconds.Add(d.Seconds())
+}
+
+// LatencyStats is a point-in-time copy of the identification latency
+// histogram, in the units the histogram is kept in.
+type LatencyStats struct {
+	// BoundsMS are the cumulative bucket upper edges in milliseconds; the
+	// final Counts entry is the +Inf overflow (== total observations).
+	BoundsMS []float64
+	Counts   []int64
+	// TotalSeconds is the summed identification wall-clock.
+	TotalSeconds float64
+}
+
+// Observations returns the number of recorded identifications.
+func (ls LatencyStats) Observations() int64 {
+	if len(ls.Counts) == 0 {
+		return 0
+	}
+	return ls.Counts[len(ls.Counts)-1]
+}
+
+// QuantileMS returns a conservative upper estimate of the q-quantile
+// (0 < q <= 1) of the identification latency in milliseconds: the upper
+// edge of the first cumulative bucket covering q. It returns +Inf when the
+// quantile falls in the overflow bucket and 0 when nothing was recorded.
+func (ls LatencyStats) QuantileMS(q float64) float64 {
+	total := ls.Observations()
+	if total == 0 {
+		return 0
+	}
+	need := q * float64(total)
+	for i, b := range ls.BoundsMS {
+		if float64(ls.Counts[i]) >= need {
+			return b
+		}
+	}
+	return math.Inf(1)
+}
+
+// snapshotLatency copies the histogram counters.
+func (m *metrics) snapshotLatency() LatencyStats {
+	ls := LatencyStats{
+		BoundsMS:     append([]float64(nil), latencyBoundsMS[:]...),
+		Counts:       make([]int64, len(m.latency)),
+		TotalSeconds: m.identifySeconds.Value(),
+	}
+	for i := range m.latency {
+		ls.Counts[i] = m.latency[i].Value()
+	}
+	return ls
 }
 
 // gauge returns the session-state gauge for st.

@@ -187,6 +187,14 @@ func (m *Monitor) Statuses() []StatusJSON {
 	return out
 }
 
+// LatencyStats returns a point-in-time copy of the identification latency
+// histogram — the per-window EM wall-clock distribution across every
+// session — for load tests and operational dashboards that want the
+// percentiles without scraping /metrics.
+func (m *Monitor) LatencyStats() LatencyStats {
+	return m.metrics.snapshotLatency()
+}
+
 // Closing reports whether shutdown has begun.
 func (m *Monitor) Closing() bool {
 	m.mu.Lock()
