@@ -10,6 +10,8 @@
 // Usage:
 //
 //	dclserved -addr :8844 [-window 3000] [-stride 1000] [-workers 8] [-queue 4096]
+//	          [-session-rate 5000] [-global-rate 50000] [-shed reject|drop-newest|drop-oldest]
+//	          [-window-deadline 10s] [-breaker-deadline 2s] [-breaker-trips 3] [-breaker-cooldown 5s]
 //
 // API (see DESIGN.md "Monitoring service" for details):
 //
@@ -65,14 +67,25 @@ func main() {
 		seed     = flag.Int64("seed", 1, "EM initialization seed")
 		drain    = flag.Duration("drain", 30*time.Second, "graceful shutdown deadline")
 		pprofOn  = flag.Bool("pprof", false, "expose /debug/pprof profiling endpoints")
+
+		// Overload controls (all off by default; see DESIGN.md "Overload
+		// behavior").
+		sessionRate  = flag.Float64("session-rate", 0, "per-session ingestion limit, observations/sec (0 = unlimited)")
+		sessionBurst = flag.Int("session-burst", 0, "per-session rate-limit burst (0 = one second's worth)")
+		globalRate   = flag.Float64("global-rate", 0, "monitor-wide ingestion limit, observations/sec (0 = unlimited)")
+		globalBurst  = flag.Int("global-burst", 0, "global rate-limit burst (0 = one second's worth)")
+		shed         = flag.String("shed", "reject", "full-queue policy: reject, drop-newest or drop-oldest")
+		windowDL     = flag.Duration("window-deadline", 0, "per-window identification deadline (0 = none)")
+		breakerDL    = flag.Duration("breaker-deadline", 0, "identification latency that counts as pathological; 0 disables the circuit breaker")
+		breakerTrips = flag.Int("breaker-trips", 3, "consecutive slow windows that open the breaker")
+		breakerCool  = flag.Duration("breaker-cooldown", 5*time.Second, "how long an open breaker sheds before probing")
 	)
 	flag.Parse()
 
 	cfg := core.IdentifyConfig{
 		Symbols: *m, HiddenStates: *n,
-		X: *x, Y: *y, ExactY: *y == 0,
 		Seed: *seed,
-	}
+	}.WithX(*x).WithY(*y)
 	switch *model {
 	case "mmhd":
 		cfg.Model = core.MMHD
@@ -85,6 +98,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	wcfg.Deadline = *windowDL
+	shedPolicy, err := monitor.ParseShedPolicy(*shed)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	mon := monitor.New(monitor.Config{
 		Workers:     *workers,
@@ -93,6 +111,15 @@ func main() {
 		MaxSessions: *sessions,
 		Window:      wcfg,
 		Identify:    cfg,
+
+		SessionRate: *sessionRate, SessionBurst: *sessionBurst,
+		GlobalRate: *globalRate, GlobalBurst: *globalBurst,
+		Shed: shedPolicy,
+		Breaker: monitor.BreakerConfig{
+			Deadline: *breakerDL,
+			Trips:    *breakerTrips,
+			Cooldown: *breakerCool,
+		},
 	})
 	var handler http.Handler = mon.Handler()
 	if *pprofOn {

@@ -29,12 +29,35 @@
 // The zero value of IdentifyConfig reproduces the paper's defaults (MMHD,
 // M=5, N=2, EM threshold 1e-3, 5 restarts, x=y=0.06); DefaultConfig
 // returns the same defaults materialized into every field. Because zero
-// means "use the default", a literal X=0, Y=0 or Tolerance=0 must be
-// accompanied by the matching ExactX/ExactY/ExactTolerance marker, or it
-// would silently become the paper default:
+// means "use the default", a literal X=0, Y=0 or Tolerance=0 needs an
+// exact-match marker alongside the value, or it would silently become the
+// paper default. The WithX, WithY and WithTolerance builders set the
+// value and its marker together and are the recommended way to override
+// these fields:
+//
+//	cfg := dominantlink.IdentifyConfig{}.WithY(0) // strict WDCL(x, 0)
+//
+// The underlying ExactX/ExactY/ExactTolerance marker fields remain for
+// struct-literal construction and older callers:
 //
 //	cfg := dominantlink.DefaultConfig()
-//	cfg.Y, cfg.ExactY = 0, true // the paper's strict WDCL(x, 0) test
+//	cfg.Y, cfg.ExactY = 0, true // equivalent, pre-builder form
+//
+// Deprecated: setting the Exact* markers by hand is error-prone (a value
+// without its marker, or vice versa, silently changes meaning); new code
+// should prefer the With* builders.
+//
+// # Cancellation contract
+//
+// Every potentially long-running entry point is context-first.
+// IdentifyContext is the canonical form — Identify is shorthand for
+// IdentifyContext(context.Background(), ...) — and IdentifyBatch,
+// IdentifyStream and Engine.IdentifyJobs all take ctx as their first
+// argument. Cancellation is prompt: a canceled context stops batch work
+// at the next restart boundary, and interrupts a running EM fit at the
+// next iteration (this is also how per-window deadlines preempt a fit
+// mid-flight). Cancellation never changes results that do complete:
+// for a fixed Seed, outcomes are bit-identical with or without a context.
 //
 // # Batch identification
 //
@@ -102,7 +125,39 @@
 //	...
 //	mon.Close(ctx) // drain every session under ctx's deadline
 //
-// cmd/dclserved wraps the same service core into a standalone daemon.
+// cmd/dclserved wraps the same service core into a standalone daemon, and
+// MonitorClient is the agent-side counterpart: a retrying client whose
+// Ingest honors the 429 + Retry-After backpressure contract, resuming
+// from the server-reported accepted offset.
+//
+// # Overload behavior
+//
+// The monitor is designed to degrade explicitly, never silently. Three
+// admission layers compose (all off by default):
+//
+//   - Rate limits (MonitorConfig.SessionRate / GlobalRate): token buckets
+//     that refuse observations at the front door; refusals surface as
+//     *RateLimitedError (HTTP 429 with Retry-After) carrying the retry
+//     delay.
+//   - Shed policies (MonitorConfig.Shed): what a full session queue does
+//     with overflow — ShedReject bounces it back to the client (429;
+//     nothing accepted is lost), ShedDropNewest discards the overflow,
+//     ShedDropOldest evicts the oldest queued observations so the queue
+//     always holds the freshest data.
+//   - The circuit breaker (MonitorConfig.Breaker) plus the per-window
+//     deadline (WindowConfig.Deadline): when EM latency turns
+//     pathological, windows time out with ErrWindowDeadline instead of
+//     wedging the pipeline, and the breaker sheds whole windows with
+//     explicit Shed results (ErrWindowShed) until a half-open probe
+//     proves the engine healthy again.
+//
+// Accounting stays closed under all of it: every accepted observation is
+// attributed to exactly one window result or one explicit eviction, and
+// shed, deadlined and dropped work is always visible — in window results,
+// session status and the /metrics counters — never a silent gap. The
+// internal/faultinject package provides the chaos harness (source drops,
+// stalls, injected EM latency and failures) that soaks these guarantees
+// under the race detector in CI.
 //
 // The cmd/ directory holds the executables (dclsim, dclidentify,
 // dcltrace, dclserved, dclbench, experiments) and examples/ holds

@@ -24,6 +24,9 @@ type Engine struct {
 	// engine (see NewSharedEngine). A nil shared keeps the original
 	// behaviour: each stream gets its own private pool of `workers` slots.
 	shared chan struct{}
+	// hook, when non-nil, runs at the start of every identification; see
+	// SetIdentifyHook.
+	hook func(ctx context.Context) error
 }
 
 // NewEngine returns an engine with the given worker-pool size; workers <= 0
@@ -50,6 +53,15 @@ func NewSharedEngine(workers int) *Engine {
 
 // Workers reports the engine's worker-pool size.
 func (e *Engine) Workers() int { return e.workers }
+
+// SetIdentifyHook installs fn at the front of every identification the
+// engine performs — batch jobs and streamed windows alike. A non-nil error
+// from fn fails that identification with the error; a panic inside fn is
+// recovered into an error exactly like a pipeline panic. The hook is the
+// fault-injection and instrumentation seam (injected EM latency, forced
+// failures, chaos panics): install it before the engine serves traffic —
+// installation is not synchronized with in-flight identifications.
+func (e *Engine) SetIdentifyHook(fn func(ctx context.Context) error) { e.hook = fn }
 
 // streamSlots returns the semaphore a Windower stream bounds its in-flight
 // identifications with: the engine-wide pool on a shared engine, else a
@@ -164,6 +176,11 @@ func (e *Engine) identifyOne(ctx context.Context, job Job) (id *Identification, 
 	}()
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	if e.hook != nil {
+		if err := e.hook(ctx); err != nil {
+			return nil, err
+		}
 	}
 	return IdentifyContext(ctx, job.Trace, job.Config)
 }

@@ -18,4 +18,19 @@ var (
 
 	// ErrUnknownModel reports a ModelKind other than MMHD or HMM.
 	ErrUnknownModel = errors.New("core: unknown model kind")
+
+	// ErrWindowDeadline reports a streamed window whose identification did
+	// not finish within WindowConfig.Deadline. The window's result carries
+	// it (wrapped) instead of an Identification; the stream itself keeps
+	// going — the deadline exists precisely so one pathological window
+	// cannot stall the session behind it.
+	ErrWindowDeadline = errors.New("core: window identification deadline exceeded")
+
+	// ErrWindowShed reports a streamed window that admission control
+	// refused to identify (WindowConfig.Admit returned an error): the
+	// serving layer chose to shed the window's work rather than queue it
+	// behind an overloaded engine. The result has Shed set and wraps this
+	// sentinel, so consumers can tell deliberate load shedding from
+	// identification failures.
+	ErrWindowShed = errors.New("core: window shed by admission control")
 )

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
@@ -79,6 +80,11 @@ type IdentifyConfig struct {
 	// default. Y=0 with ExactY is the paper's strict WDCL delay
 	// condition; Tolerance=0 with ExactTolerance makes the SDCL test
 	// exact ("F(i) > 0" with no numerical slack).
+	//
+	// Deprecated: set the paired field through WithX, WithY and
+	// WithTolerance instead, which keep the value and its marker in step.
+	// The fields keep working indefinitely — With* compiles down to exactly
+	// these assignments.
 	ExactX, ExactY, ExactTolerance bool
 
 	// Parallelism bounds the number of EM restarts fitted concurrently
@@ -127,6 +133,29 @@ func (c *IdentifyConfig) defaults() {
 	if c.Restarts == 0 {
 		c.Restarts = 5
 	}
+}
+
+// WithX returns a copy of the config with the WDCL loss parameter x set
+// explicitly — including to 0 — so the value is never mistaken for "use
+// the paper default". It is the supported form of the ExactX marker.
+func (c IdentifyConfig) WithX(x float64) IdentifyConfig {
+	c.X, c.ExactX = x, true
+	return c
+}
+
+// WithY returns a copy of the config with the WDCL delay parameter y set
+// explicitly. WithY(0) is the paper's strict WDCL delay condition.
+func (c IdentifyConfig) WithY(y float64) IdentifyConfig {
+	c.Y, c.ExactY = y, true
+	return c
+}
+
+// WithTolerance returns a copy of the config with the numerical tolerance
+// of the tests set explicitly. WithTolerance(0) makes the SDCL test exact:
+// "F(i) > 0" with no numerical slack.
+func (c IdentifyConfig) WithTolerance(tol float64) IdentifyConfig {
+	c.Tolerance, c.ExactTolerance = tol, true
+	return c
 }
 
 // Identification is the outcome of the pipeline on one trace.
@@ -253,42 +282,54 @@ type fitScratch struct {
 }
 
 // fitRestart runs restart r of the configured model on the worker's
-// scratch buffers.
-func fitRestart(obs []int, cfg *IdentifyConfig, r int, sc *fitScratch) restartFit {
+// scratch buffers. cancel (ctx.Done() of the identification) reaches the
+// EM iteration loop, so a context deadline interrupts even a single
+// long-running fit; a canceled fit reports ctx's error.
+func fitRestart(ctx context.Context, obs []int, cfg *IdentifyConfig, r int, sc *fitScratch) restartFit {
 	seed := stats.RestartSeed(cfg.Seed, r)
+	var fit restartFit
 	switch cfg.Model {
 	case MMHD:
 		if sc.mmhd == nil {
 			sc.mmhd = mmhd.NewScratch()
 		}
-		_, res, err := mmhd.FitWithScratch(obs, mmhd.Config{
+		_, r, err := mmhd.FitWithScratch(obs, mmhd.Config{
 			HiddenStates: cfg.HiddenStates,
 			Symbols:      cfg.Symbols,
 			Threshold:    cfg.Threshold,
 			MaxIter:      cfg.MaxIter,
 			Seed:         seed,
 			PerStateLoss: !cfg.PerSymbolLoss,
+			Cancel:       ctx.Done(),
 		}, sc.mmhd)
 		if err != nil {
+			if errors.Is(err, mmhd.ErrCanceled) && ctx.Err() != nil {
+				err = ctx.Err()
+			}
 			return restartFit{err: err}
 		}
-		return restartFit{pmf: res.VirtualPMF, iterations: res.Iterations, converged: res.Converged, loglik: res.LogLik}
+		fit = restartFit{pmf: r.VirtualPMF, iterations: r.Iterations, converged: r.Converged, loglik: r.LogLik}
 	default: // HMM; unknown kinds are rejected before the restart loop
 		if sc.hmm == nil {
 			sc.hmm = hmm.NewScratch()
 		}
-		_, res, err := hmm.FitWithScratch(obs, hmm.Config{
+		_, r, err := hmm.FitWithScratch(obs, hmm.Config{
 			HiddenStates: cfg.HiddenStates,
 			Symbols:      cfg.Symbols,
 			Threshold:    cfg.Threshold,
 			MaxIter:      cfg.MaxIter,
 			Seed:         seed,
+			Cancel:       ctx.Done(),
 		}, sc.hmm)
 		if err != nil {
+			if errors.Is(err, hmm.ErrCanceled) && ctx.Err() != nil {
+				err = ctx.Err()
+			}
 			return restartFit{err: err}
 		}
-		return restartFit{pmf: res.VirtualPMF, iterations: res.Iterations, converged: res.Converged, loglik: res.LogLik}
+		fit = restartFit{pmf: r.VirtualPMF, iterations: r.Iterations, converged: r.Converged, loglik: r.LogLik}
 	}
+	return fit
 }
 
 // runRestarts fits all cfg.Restarts EM initializations, spreading them
@@ -310,7 +351,7 @@ func runRestarts(ctx context.Context, obs []int, cfg IdentifyConfig) ([]restartF
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			fits[r] = fitRestart(obs, &cfg, r, sc)
+			fits[r] = fitRestart(ctx, obs, &cfg, r, sc)
 		}
 		return fits, nil
 	}
@@ -326,7 +367,7 @@ func runRestarts(ctx context.Context, obs []int, cfg IdentifyConfig) ([]restartF
 				if r >= len(fits) || ctx.Err() != nil {
 					return
 				}
-				fits[r] = fitRestart(obs, &cfg, r, sc)
+				fits[r] = fitRestart(ctx, obs, &cfg, r, sc)
 			}
 		}()
 	}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestWindowDeadline proves the per-window deadline is a real interrupt:
+// an identification that would never finish (the hook blocks until its
+// context dies) comes back as a typed ErrWindowDeadline result instead of
+// hanging the stream, and the stream keeps going.
+func TestWindowDeadline(t *testing.T) {
+	tr := synthTrace(2000, 0.020, 0.120, 0.25, 1)
+	engine := NewEngine(2)
+	engine.SetIdentifyHook(func(ctx context.Context) error {
+		<-ctx.Done()
+		return ctx.Err()
+	})
+	wcfg := WindowConfig{Size: 1000, DisableGate: true, Deadline: 50 * time.Millisecond}
+	ch, err := NewWindower(engine, wcfg).Stream(context.Background(), tr.Source(), IdentifyConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan []WindowResult, 1)
+	go func() { done <- collectStream(t, ch) }()
+	var results []WindowResult
+	select {
+	case results = <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("stream hung despite the per-window deadline")
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d windows, want 2", len(results))
+	}
+	for i, res := range results {
+		if !errors.Is(res.Err, ErrWindowDeadline) {
+			t.Fatalf("window %d err = %v, want ErrWindowDeadline", i, res.Err)
+		}
+		if !res.Admitted || res.Decided() || res.Shed {
+			t.Fatalf("window %d = admitted %v decided %v shed %v, want admitted, undecided, not shed",
+				i, res.Admitted, res.Decided(), res.Shed)
+		}
+		if res.Elapsed < wcfg.Deadline {
+			t.Fatalf("window %d elapsed %v under the %v deadline", i, res.Elapsed, wcfg.Deadline)
+		}
+	}
+}
+
+// TestWindowDeadlineUnsetIsUnchanged: without a deadline the hook-free
+// pipeline result is byte-for-byte what it always was (the Cancel channel
+// plumbing must not perturb the EM arithmetic).
+func TestWindowDeadlineUnsetIsUnchanged(t *testing.T) {
+	tr := synthTrace(3000, 0.020, 0.120, 0.25, 1)
+	cfg := IdentifyConfig{Seed: 1}
+	want, err := Identify(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A generous deadline that never fires must also be bit-identical.
+	results := startStream(t, 2,
+		WindowConfig{Size: 3000, DisableGate: true, Deadline: time.Hour}, tr.Source(), cfg)
+	if len(results) != 1 || results[0].Err != nil {
+		t.Fatalf("results = %+v", results)
+	}
+	got := results[0].ID
+	if got.LogLik != want.LogLik || got.EMIterations != want.EMIterations ||
+		got.BoundSeconds != want.BoundSeconds {
+		t.Fatalf("deadline plumbing perturbed the fit: loglik %v/%v iters %d/%d bound %v/%v",
+			got.LogLik, want.LogLik, got.EMIterations, want.EMIterations,
+			got.BoundSeconds, want.BoundSeconds)
+	}
+}
+
+// TestWindowAdmitShed: a refusing Admit policy yields explicit Shed
+// results — undecided, typed, carrying the policy's reason — and the
+// stream continues to the next window.
+func TestWindowAdmitShed(t *testing.T) {
+	tr := synthTrace(2000, 0.020, 0.120, 0.25, 2)
+	reason := errors.New("overloaded right now")
+	n := 0
+	wcfg := WindowConfig{
+		Size: 1000, DisableGate: true,
+		Admit: func(res *WindowResult) error {
+			n++
+			if n == 1 {
+				return fmt.Errorf("shedding window %d: %w", res.Index, reason)
+			}
+			return nil
+		},
+	}
+	results := startStream(t, 1, wcfg, tr.Source(), IdentifyConfig{Seed: 1})
+	if len(results) != 2 {
+		t.Fatalf("got %d windows, want 2", len(results))
+	}
+	shed, kept := results[0], results[1]
+	if !shed.Shed || shed.Admitted || shed.Decided() {
+		t.Fatalf("shed window = %+v, want Shed, not admitted, undecided", shed)
+	}
+	if !errors.Is(shed.Err, ErrWindowShed) || !errors.Is(shed.Err, reason) {
+		t.Fatalf("shed err = %v, want ErrWindowShed wrapping the policy reason", shed.Err)
+	}
+	if shed.ID != nil {
+		t.Fatal("shed window ran an identification")
+	}
+	if kept.Shed || kept.Err != nil || kept.ID == nil {
+		t.Fatalf("admitted window = %+v, want a normal identification", kept)
+	}
+}
+
+// TestIdentifyHookError: a hook failure surfaces as the window's error
+// without being mistaken for a deadline.
+func TestIdentifyHookError(t *testing.T) {
+	tr := synthTrace(1000, 0.020, 0.120, 0.25, 3)
+	injected := errors.New("injected engine failure")
+	engine := NewEngine(1)
+	engine.SetIdentifyHook(func(context.Context) error { return injected })
+	ch, err := NewWindower(engine, WindowConfig{Size: 1000, DisableGate: true}).
+		Stream(context.Background(), tr.Source(), IdentifyConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := collectStream(t, ch)
+	if len(results) != 1 {
+		t.Fatalf("got %d windows, want 1", len(results))
+	}
+	res := results[0]
+	if !errors.Is(res.Err, injected) || errors.Is(res.Err, ErrWindowDeadline) {
+		t.Fatalf("err = %v, want the injected failure and not a deadline", res.Err)
+	}
+}
+
+// TestOptionHelpers: the With* builders must set the value and its paired
+// exact-match marker together, without mutating the receiver.
+func TestOptionHelpers(t *testing.T) {
+	base := IdentifyConfig{Seed: 7}
+	cfg := base.WithX(0.05).WithY(1e-9).WithTolerance(1e-7)
+	if cfg.X != 0.05 || !cfg.ExactX {
+		t.Fatalf("WithX: %+v", cfg)
+	}
+	if cfg.Y != 1e-9 || !cfg.ExactY {
+		t.Fatalf("WithY: %+v", cfg)
+	}
+	if cfg.Tolerance != 1e-7 || !cfg.ExactTolerance {
+		t.Fatalf("WithTolerance: %+v", cfg)
+	}
+	if cfg.Seed != 7 {
+		t.Fatal("With* chain lost unrelated fields")
+	}
+	if base.ExactX || base.ExactY || base.ExactTolerance {
+		t.Fatal("With* mutated its receiver")
+	}
+}

@@ -81,6 +81,23 @@ type WindowConfig struct {
 	// stream deliberately and want a final verdict over the tail instead
 	// of silently dropping it.
 	FlushPartial bool
+
+	// Deadline bounds one window's identification wall-clock. When the EM
+	// fit of a window has not finished within Deadline, it is interrupted
+	// at the next EM iteration and the result carries ErrWindowDeadline
+	// (match with errors.Is) instead of an Identification — the stream
+	// moves on to the next window, so a pathological trace cannot stall
+	// the session behind it. Zero means no deadline.
+	Deadline time.Duration
+
+	// Admit, when non-nil, is consulted for each window after the
+	// stationarity gate and before identification. A non-nil return sheds
+	// the window: no identification runs and the result has Shed set with
+	// an error wrapping both ErrWindowShed and Admit's error. This is the
+	// load-shedding seam of the serving layer (the monitor's circuit
+	// breaker plugs in here); the callback must be fast and safe for
+	// concurrent use — it runs on the identification workers.
+	Admit func(res *WindowResult) error
 }
 
 func (c *WindowConfig) defaults() error {
@@ -124,6 +141,13 @@ type WindowResult struct {
 
 	Stationarity StationarityReport
 	Admitted     bool
+
+	// Shed marks a window refused by admission control
+	// (WindowConfig.Admit): the window passed the stationarity gate but
+	// the serving layer chose not to spend an identification on it. Err
+	// wraps ErrWindowShed plus the admission error. Shed windows are not
+	// Decided and never advance the transition state.
+	Shed bool
 
 	ID  *Identification
 	Err error
@@ -365,8 +389,9 @@ func (w *Windower) cutWindows(ctx context.Context, src trace.ObservationSource, 
 	}
 }
 
-// identifyWindow gates one window on stationarity and, when admitted,
-// identifies it through the engine (sharing its panic isolation).
+// identifyWindow gates one window on stationarity, consults admission
+// control, and identifies admitted windows through the engine (sharing its
+// panic isolation) under the configured per-window deadline.
 func (w *Windower) identifyWindow(ctx context.Context, res WindowResult, obs []trace.Observation, cfg IdentifyConfig) WindowResult {
 	tr := &trace.Trace{Observations: obs}
 	res.Stationarity = StationarityCheck(tr, w.cfg.Gate)
@@ -374,14 +399,34 @@ func (w *Windower) identifyWindow(ctx context.Context, res WindowResult, obs []t
 	if !res.Admitted {
 		return res
 	}
+	if w.cfg.Admit != nil {
+		if err := w.cfg.Admit(&res); err != nil {
+			res.Admitted = false
+			res.Shed = true
+			res.Err = fmt.Errorf("%w: %w", ErrWindowShed, err)
+			return res
+		}
+	}
 	// Window-level parallelism replaces restart-level parallelism when the
 	// pool has several workers, exactly like a saturated batch.
 	if cfg.Parallelism == 0 && w.engine.Workers() > 1 {
 		cfg.Parallelism = 1
 	}
+	ictx := ctx
+	if w.cfg.Deadline > 0 {
+		var cancel context.CancelFunc
+		ictx, cancel = context.WithTimeout(ctx, w.cfg.Deadline)
+		defer cancel()
+	}
 	start := time.Now()
-	res.ID, res.Err = w.engine.identifyOne(ctx, Job{Trace: tr, Config: cfg})
+	res.ID, res.Err = w.engine.identifyOne(ictx, Job{Trace: tr, Config: cfg})
 	res.Elapsed = time.Since(start)
+	// A deadline expiry of THIS window (and not a cancellation of the whole
+	// stream) surfaces as the typed window-deadline error.
+	if res.Err != nil && ctx.Err() == nil && errors.Is(res.Err, context.DeadlineExceeded) {
+		res.Err = fmt.Errorf("%w after %v (deadline %v)", ErrWindowDeadline,
+			res.Elapsed.Round(time.Millisecond), w.cfg.Deadline)
+	}
 	return res
 }
 

@@ -1,0 +1,189 @@
+// Package faultinject is the chaos-testing harness for the streaming
+// identification pipeline: deterministic fault wrappers around the two
+// seams the rest of the system already exposes — trace.ObservationSource
+// (the ingest side) and the engine's identify hook (the EM side). Tests
+// and soak harnesses compose them to prove the monitor's overload story:
+// that under probe loss, source stalls, injected EM latency, and even
+// panicking identifications, the daemon neither leaks goroutines nor
+// loses accounting — every accepted observation ends in exactly one
+// window result or one explicit shed/evict event.
+//
+// Everything here is deterministic: faults fire on schedules derived from
+// a seeded PRNG or fixed counters, never from wall-clock randomness, so a
+// failing chaos run replays exactly.
+package faultinject
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dominantlink/internal/trace"
+)
+
+// SourceConfig shapes a faulty observation source. Probabilities are in
+// [0,1] and evaluated per observation with the seeded PRNG; zero values
+// disable that fault.
+type SourceConfig struct {
+	// Seed feeds the deterministic PRNG (0 is a valid, fixed seed).
+	Seed int64
+	// DropProb silently swallows an observation (the source skips to the
+	// next one), modeling collector-side loss before ingestion.
+	DropProb float64
+	// Latency pauses each Next call by a fixed duration, modeling a slow
+	// collector; combine with JitterProb for an occasional extra stall.
+	Latency time.Duration
+	// JitterProb is the chance a Next call additionally stalls for
+	// JitterLatency.
+	JitterProb    float64
+	JitterLatency time.Duration
+	// ErrorAfter, when > 0, makes the source fail with Err (default
+	// ErrInjected) after that many delivered observations.
+	ErrorAfter int
+	Err        error
+	// PanicAfter, when > 0, makes the source panic after that many
+	// delivered observations — the harness for crash-safety tests.
+	PanicAfter int
+}
+
+// ErrInjected is the default failure injected by a faulty source.
+var ErrInjected = fmt.Errorf("faultinject: injected source failure")
+
+// Source wraps an ObservationSource with the configured faults. It also
+// keeps delivery accounting so tests can close the loop between what the
+// wrapped source produced and what the pipeline saw.
+type Source struct {
+	cfg   SourceConfig
+	inner trace.ObservationSource
+	rng   *rand.Rand
+
+	gate      chan struct{} // non-nil while stalled; closed to release
+	gateMu    sync.Mutex
+	delivered atomic.Int64
+	dropped   atomic.Int64
+}
+
+// NewSource wraps inner with cfg's faults.
+func NewSource(inner trace.ObservationSource, cfg SourceConfig) *Source {
+	if cfg.Err == nil {
+		cfg.Err = ErrInjected
+	}
+	return &Source{
+		cfg:   cfg,
+		inner: inner,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+	}
+}
+
+// Delivered reports how many observations passed through to the consumer.
+func (s *Source) Delivered() int64 { return s.delivered.Load() }
+
+// Dropped reports how many observations the fault layer swallowed.
+func (s *Source) Dropped() int64 { return s.dropped.Load() }
+
+// Stall blocks every subsequent Next call until Release, modeling a hung
+// collector. Calling Stall while already stalled is a no-op.
+func (s *Source) Stall() {
+	s.gateMu.Lock()
+	defer s.gateMu.Unlock()
+	if s.gate == nil {
+		s.gate = make(chan struct{})
+	}
+}
+
+// Release unblocks a Stall. Safe to call when not stalled.
+func (s *Source) Release() {
+	s.gateMu.Lock()
+	defer s.gateMu.Unlock()
+	if s.gate != nil {
+		close(s.gate)
+		s.gate = nil
+	}
+}
+
+// Next implements trace.ObservationSource with faults applied.
+func (s *Source) Next() (trace.Observation, error) {
+	for {
+		s.gateMu.Lock()
+		gate := s.gate
+		s.gateMu.Unlock()
+		if gate != nil {
+			<-gate
+		}
+		if s.cfg.Latency > 0 {
+			time.Sleep(s.cfg.Latency)
+		}
+		if s.cfg.JitterProb > 0 && s.rng.Float64() < s.cfg.JitterProb {
+			time.Sleep(s.cfg.JitterLatency)
+		}
+		o, err := s.inner.Next()
+		if err != nil {
+			return o, err
+		}
+		if s.cfg.DropProb > 0 && s.rng.Float64() < s.cfg.DropProb {
+			s.dropped.Add(1)
+			continue
+		}
+		n := s.delivered.Add(1)
+		if s.cfg.PanicAfter > 0 && n > int64(s.cfg.PanicAfter) {
+			panic(fmt.Sprintf("faultinject: source panic after %d observations", s.cfg.PanicAfter))
+		}
+		if s.cfg.ErrorAfter > 0 && n > int64(s.cfg.ErrorAfter) {
+			return trace.Observation{}, s.cfg.Err
+		}
+		return o, nil
+	}
+}
+
+// EngineFaults builds identify hooks for the engine-side seam
+// (core.Engine.SetIdentifyHook / monitor.Config.EngineHook): injected EM
+// latency, forced failures, and panics, each on a deterministic schedule.
+type EngineFaults struct {
+	// Latency delays every identification; LatencyEvery, when > 0, delays
+	// only every Nth call instead (1-indexed: calls N, 2N, ...).
+	Latency      time.Duration
+	LatencyEvery int
+	// FailEvery, when > 0, fails every Nth identification with Err
+	// (default ErrInjected).
+	FailEvery int
+	Err       error
+	// PanicEvery, when > 0, panics on every Nth identification.
+	PanicEvery int
+
+	calls atomic.Int64
+}
+
+// Calls reports how many identifications the hook has intercepted.
+func (f *EngineFaults) Calls() int64 { return f.calls.Load() }
+
+// Hook returns the context-aware hook to install on the engine. The hook
+// honors ctx while sleeping, so per-window deadlines and cancellation cut
+// an injected stall short exactly like a real slow EM fit.
+func (f *EngineFaults) Hook() func(ctx context.Context) error {
+	errInj := f.Err
+	if errInj == nil {
+		errInj = ErrInjected
+	}
+	return func(ctx context.Context) error {
+		n := f.calls.Add(1)
+		if f.PanicEvery > 0 && n%int64(f.PanicEvery) == 0 {
+			panic(fmt.Sprintf("faultinject: engine panic on call %d", n))
+		}
+		if f.Latency > 0 && (f.LatencyEvery <= 0 || n%int64(f.LatencyEvery) == 0) {
+			t := time.NewTimer(f.Latency)
+			defer t.Stop()
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		if f.FailEvery > 0 && n%int64(f.FailEvery) == 0 {
+			return fmt.Errorf("faultinject: injected engine failure on call %d: %w", n, errInj)
+		}
+		return ctx.Err()
+	}
+}

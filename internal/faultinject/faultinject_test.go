@@ -1,0 +1,161 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"dominantlink/internal/trace"
+)
+
+func obs(n int) []trace.Observation {
+	out := make([]trace.Observation, n)
+	for i := range out {
+		out[i] = trace.Observation{Seq: int64(i), SendTime: float64(i) * 0.02, Delay: 0.01}
+	}
+	return out
+}
+
+func TestSourcePassthrough(t *testing.T) {
+	src := NewSource(trace.NewSliceSource(obs(10)), SourceConfig{})
+	tr, err := trace.Collect(src)
+	if err != nil || len(tr.Observations) != 10 {
+		t.Fatalf("Collect = (%d obs, %v), want 10 and nil", len(tr.Observations), err)
+	}
+	if src.Delivered() != 10 || src.Dropped() != 0 {
+		t.Fatalf("accounting = delivered %d dropped %d, want 10/0", src.Delivered(), src.Dropped())
+	}
+}
+
+func TestSourceDropsAreDeterministic(t *testing.T) {
+	run := func() (int64, []int64) {
+		src := NewSource(trace.NewSliceSource(obs(1000)), SourceConfig{Seed: 42, DropProb: 0.3})
+		tr, err := trace.Collect(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqs := make([]int64, len(tr.Observations))
+		for i, o := range tr.Observations {
+			seqs[i] = o.Seq
+		}
+		return src.Dropped(), seqs
+	}
+	d1, s1 := run()
+	d2, s2 := run()
+	if d1 == 0 || d1 != d2 || len(s1) != len(s2) {
+		t.Fatalf("drops not deterministic: %d vs %d", d1, d2)
+	}
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatalf("surviving sequence diverges at %d: %d vs %d", i, s1[i], s2[i])
+		}
+	}
+	if d1+int64(len(s1)) != 1000 {
+		t.Fatalf("dropped %d + delivered %d != 1000", d1, len(s1))
+	}
+}
+
+func TestSourceErrorAfter(t *testing.T) {
+	src := NewSource(trace.NewSliceSource(obs(10)), SourceConfig{ErrorAfter: 4})
+	tr, err := trace.Collect(src)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("Collect error = %v, want ErrInjected", err)
+	}
+	if len(tr.Observations) != 4 {
+		t.Fatalf("observations before failure = %d, want 4", len(tr.Observations))
+	}
+}
+
+func TestSourceStallRelease(t *testing.T) {
+	src := NewSource(trace.NewSliceSource(obs(2)), SourceConfig{})
+	if _, err := src.Next(); err != nil {
+		t.Fatal(err)
+	}
+	src.Stall()
+	src.Stall() // idempotent
+	got := make(chan error, 1)
+	go func() {
+		_, err := src.Next()
+		got <- err
+	}()
+	select {
+	case err := <-got:
+		t.Fatalf("Next returned %v while stalled", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	src.Release()
+	select {
+	case err := <-got:
+		if err != nil {
+			t.Fatalf("Next after Release: %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Next still blocked after Release")
+	}
+	src.Release() // safe when not stalled
+	if _, err := src.Next(); err != io.EOF {
+		t.Fatalf("exhausted source = %v, want io.EOF", err)
+	}
+}
+
+func TestSourcePanicAfter(t *testing.T) {
+	src := NewSource(trace.NewSliceSource(obs(5)), SourceConfig{PanicAfter: 2})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected the source to panic")
+		}
+	}()
+	for i := 0; i < 5; i++ {
+		if _, err := src.Next(); err != nil {
+			t.Fatalf("unexpected error before panic: %v", err)
+		}
+	}
+}
+
+func TestEngineFaultsFailEvery(t *testing.T) {
+	f := &EngineFaults{FailEvery: 3}
+	hook := f.Hook()
+	ctx := context.Background()
+	fails := 0
+	for i := 0; i < 9; i++ {
+		if err := hook(ctx); err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("injected failure = %v, want ErrInjected", err)
+			}
+			fails++
+		}
+	}
+	if fails != 3 || f.Calls() != 9 {
+		t.Fatalf("fails = %d calls = %d, want 3 and 9", fails, f.Calls())
+	}
+}
+
+func TestEngineFaultsLatencyHonorsContext(t *testing.T) {
+	f := &EngineFaults{Latency: 10 * time.Second}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := f.Hook()(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("stalled hook = %v, want DeadlineExceeded", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("hook ignored context cancellation")
+	}
+}
+
+func TestEngineFaultsPanicEvery(t *testing.T) {
+	f := &EngineFaults{PanicEvery: 2}
+	hook := f.Hook()
+	if err := hook(context.Background()); err != nil {
+		t.Fatalf("call 1: %v", err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected call 2 to panic")
+		}
+	}()
+	hook(context.Background())
+}

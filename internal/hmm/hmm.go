@@ -18,6 +18,20 @@ import (
 // 1..M.
 const Loss = 0
 
+// ErrCanceled reports a fit aborted through Config.Cancel before it
+// converged or reached MaxIter.
+var ErrCanceled = errors.New("hmm: fit canceled")
+
+// canceled reports whether the cancel channel has been closed.
+func canceled(c <-chan struct{}) bool {
+	select {
+	case <-c:
+		return true
+	default:
+		return false
+	}
+}
+
 // Model holds the parameters of the loss-augmented HMM.
 type Model struct {
 	N int // hidden states
@@ -36,6 +50,13 @@ type Config struct {
 	Threshold    float64 // convergence threshold on max parameter change (default 1e-3)
 	MaxIter      int     // iteration cap (default 500)
 	Seed         int64   // RNG seed for the random initialization
+
+	// Cancel, when non-nil, aborts the fit between EM iterations once the
+	// channel is closed: Fit returns ErrCanceled instead of a result. It is
+	// how context deadlines reach the inner loop — a fit on a pathological
+	// trace stops within one iteration of the deadline instead of running
+	// to MaxIter. A nil Cancel never aborts and changes nothing.
+	Cancel <-chan struct{}
 }
 
 func (c *Config) defaults() error {
@@ -495,6 +516,9 @@ func FitWithScratch(obs []int, cfg Config, sc *Scratch) (*Model, *Result, error)
 	NewRandomModel(cfg.HiddenStates, cfg.Symbols, obs, rng).copyInto(model)
 	res := &Result{}
 	for iter := 0; iter < cfg.MaxIter; iter++ {
+		if cfg.Cancel != nil && canceled(cfg.Cancel) {
+			return nil, nil, ErrCanceled
+		}
 		loglik := model.emStepInto(obs, sc, spare)
 		res.Iterations = iter + 1
 		res.LogLik = loglik

@@ -27,6 +27,20 @@ import (
 // Loss marks a lost probe in the observation sequence; symbols are 1..M.
 const Loss = 0
 
+// ErrCanceled reports a fit aborted through Config.Cancel before it
+// converged or reached MaxIter.
+var ErrCanceled = errors.New("mmhd: fit canceled")
+
+// canceled reports whether the cancel channel has been closed.
+func canceled(c <-chan struct{}) bool {
+	select {
+	case <-c:
+		return true
+	default:
+		return false
+	}
+}
+
 // Model holds MMHD parameters. States are indexed s = h*M + (v-1) for
 // hidden state h in 0..N-1 and symbol v in 1..M.
 //
@@ -72,6 +86,13 @@ type Config struct {
 	MaxIter      int     // iteration cap (default 500)
 	Seed         int64   // RNG seed for the random initialization
 	PerStateLoss bool    // per-state loss probabilities (extension; see Model)
+
+	// Cancel, when non-nil, aborts the fit between EM iterations once the
+	// channel is closed: Fit returns ErrCanceled instead of a result. It is
+	// how context deadlines reach the inner loop — a fit on a pathological
+	// trace stops within one iteration of the deadline instead of running
+	// to MaxIter. A nil Cancel never aborts and changes nothing.
+	Cancel <-chan struct{}
 }
 
 func (c *Config) defaults() error {
@@ -656,6 +677,9 @@ func FitWithScratch(obs []int, cfg Config, sc *Scratch) (*Model, *Result, error)
 	newRandomModel(cfg.HiddenStates, cfg.Symbols, obs, rng, cfg.PerStateLoss).copyInto(model)
 	res := &Result{}
 	for iter := 0; iter < cfg.MaxIter; iter++ {
+		if cfg.Cancel != nil && canceled(cfg.Cancel) {
+			return nil, nil, ErrCanceled
+		}
 		loglik := model.emStepInto(obs, sc, spare)
 		res.Iterations = iter + 1
 		res.LogLik = loglik

@@ -1,0 +1,325 @@
+package monitor
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"dominantlink/internal/core"
+)
+
+// Admission control: the monitor's defenses against overload. Three
+// mechanisms compose, each shedding load at a different depth of the
+// pipeline:
+//
+//   - token-bucket rate limits (per session and monitor-wide) refuse
+//     observations at the front door before they cost queue memory;
+//   - shed policies decide what a full ingestion queue does with the
+//     overflow (reject it back to the client, drop the newest, or evict
+//     the oldest);
+//   - the circuit breaker watches identification latency and, when the EM
+//     pool is pathologically slow, sheds whole windows with an explicit
+//     Shed result instead of letting every session's backlog grow behind
+//     a saturated engine.
+//
+// Everything here is deliberately boring: plain mutexes, no background
+// goroutines, injectable clocks for tests.
+
+// ShedPolicy selects what a session does when its bounded ingestion queue
+// cannot take an offered batch.
+type ShedPolicy int
+
+const (
+	// ShedReject (the default) accepts the prefix that fits and rejects
+	// the remainder with ErrQueueFull — the 429 + Retry-After signal; a
+	// well-behaved client backs off and resends from the accepted offset.
+	// Nothing already accepted is ever lost.
+	ShedReject ShedPolicy = iota
+	// ShedDropNewest accepts the prefix that fits and silently drops the
+	// remainder (counted in observations_dropped). The client is told how
+	// much was dropped but not asked to retry: under this policy fresh
+	// overload is the caller's loss.
+	ShedDropNewest
+	// ShedDropOldest evicts the oldest queued observations to make room,
+	// so the whole batch is accepted and the queue always holds the most
+	// recent data. Evictions are counted in observations_evicted; evicted
+	// observations never reach a window. Favors freshness over
+	// completeness — the right trade for live monitoring dashboards.
+	ShedDropOldest
+)
+
+func (p ShedPolicy) String() string {
+	switch p {
+	case ShedDropNewest:
+		return "drop-newest"
+	case ShedDropOldest:
+		return "drop-oldest"
+	default:
+		return "reject"
+	}
+}
+
+// ParseShedPolicy reads a policy name as used by the dclserved -shed flag:
+// "reject", "drop-newest" or "drop-oldest".
+func ParseShedPolicy(s string) (ShedPolicy, error) {
+	switch s {
+	case "reject", "":
+		return ShedReject, nil
+	case "drop-newest":
+		return ShedDropNewest, nil
+	case "drop-oldest":
+		return ShedDropOldest, nil
+	default:
+		return ShedReject, fmt.Errorf("monitor: unknown shed policy %q (want reject, drop-newest or drop-oldest)", s)
+	}
+}
+
+// ErrRateLimited is the sentinel of rate-limit rejections; the concrete
+// error is a *RateLimitedError carrying the suggested retry delay. Match
+// with errors.Is (or errors.As for the delay).
+var ErrRateLimited = errors.New("monitor: rate limited")
+
+// RateLimitedError reports an offered batch (or its tail) refused by the
+// per-session or global rate limit. RetryAfter is when enough tokens will
+// have accumulated to make retrying worthwhile; the HTTP layer renders it
+// as the Retry-After header.
+type RateLimitedError struct {
+	RetryAfter time.Duration
+}
+
+func (e *RateLimitedError) Error() string {
+	return fmt.Sprintf("monitor: rate limited (retry after %v)", e.RetryAfter)
+}
+
+// Is makes errors.Is(err, ErrRateLimited) match.
+func (e *RateLimitedError) Is(target error) bool { return target == ErrRateLimited }
+
+// tokenBucket is a classic token-bucket rate limiter: capacity `burst`
+// tokens, refilled at `rate` tokens per second, one token per observation.
+// A nil *tokenBucket is an unlimited limiter (every method is safe on
+// nil), so callers need no branching for the disabled case.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64 // bucket capacity
+	tokens float64
+	last   time.Time
+	now    func() time.Time
+}
+
+// newTokenBucket returns a bucket refilling at rate tokens/sec with the
+// given burst capacity (<= 0 means one second's worth, at least 1). A
+// rate <= 0 returns nil: unlimited. now == nil uses time.Now.
+func newTokenBucket(rate float64, burst int, now func() time.Time) *tokenBucket {
+	if rate <= 0 {
+		return nil
+	}
+	if now == nil {
+		now = time.Now
+	}
+	b := float64(burst)
+	if burst <= 0 {
+		b = math.Max(1, rate)
+	}
+	return &tokenBucket{rate: rate, burst: b, tokens: b, last: now(), now: now}
+}
+
+// refillLocked advances the bucket to the current time.
+func (b *tokenBucket) refillLocked() {
+	t := b.now()
+	if dt := t.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens = math.Min(b.burst, b.tokens+dt*b.rate)
+	}
+	b.last = t
+}
+
+// take grants up to n tokens and reports how many. When the grant falls
+// short, retryAfter is the time until at least one more token exists —
+// the client's backoff hint.
+func (b *tokenBucket) take(n int) (granted int, retryAfter time.Duration) {
+	if b == nil {
+		return n, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked()
+	granted = n
+	if whole := int(b.tokens); whole < n {
+		granted = whole
+	}
+	b.tokens -= float64(granted)
+	if granted < n {
+		need := 1 - (b.tokens - math.Floor(b.tokens))
+		retryAfter = time.Duration(need / b.rate * float64(time.Second))
+	}
+	return granted, retryAfter
+}
+
+// refund returns unused tokens (granted from this bucket but refused by a
+// narrower one downstream).
+func (b *tokenBucket) refund(n int) {
+	if b == nil || n <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.tokens = math.Min(b.burst, b.tokens+float64(n))
+}
+
+// BreakerConfig configures the identification-latency circuit breaker.
+// The breaker watches the wall-clock cost of every admitted window
+// (WindowResult.Elapsed, the same signal LatencyStats aggregates): when
+// Trips consecutive windows run over Deadline — or time out entirely
+// under the windower's per-window deadline — the breaker opens and whole
+// windows are shed with an explicit Shed result instead of queuing behind
+// a saturated EM pool. After Cooldown one probe window is admitted
+// (half-open); a fast probe closes the breaker, a slow one reopens it.
+type BreakerConfig struct {
+	// Deadline is the per-window identification latency considered
+	// pathological. Zero disables the breaker.
+	Deadline time.Duration
+	// Trips is how many consecutive over-deadline windows open the
+	// breaker (default 3).
+	Trips int
+	// Cooldown is how long the breaker stays open before admitting a
+	// half-open probe window (default 5s).
+	Cooldown time.Duration
+}
+
+func (c *BreakerConfig) defaults() {
+	if c.Trips <= 0 {
+		c.Trips = 3
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 5 * time.Second
+	}
+}
+
+// breakerState is the classic three-state circuit breaker lifecycle.
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// breaker is the monitor-wide circuit breaker. admit runs on the
+// identification workers (the windower's Admit callback), observe on the
+// session pipeline goroutines; both are quick critical sections.
+type breaker struct {
+	cfg BreakerConfig
+	now func() time.Time
+	met *metrics
+
+	mu       sync.Mutex
+	state    breakerState
+	slow     int // consecutive over-deadline windows while closed
+	openedAt time.Time
+	probing  bool // half-open: the one probe window is in flight
+}
+
+// newBreaker returns the breaker for cfg, or nil when cfg disables it
+// (Deadline == 0). now == nil uses time.Now.
+func newBreaker(cfg BreakerConfig, now func() time.Time, met *metrics) *breaker {
+	if cfg.Deadline <= 0 {
+		return nil
+	}
+	cfg.defaults()
+	if now == nil {
+		now = time.Now
+	}
+	return &breaker{cfg: cfg, now: now, met: met}
+}
+
+// admit is the windower Admit callback: it decides whether this window
+// gets an identification or an explicit shed.
+func (b *breaker) admit(_ *core.WindowResult) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return nil
+	case breakerOpen:
+		if wait := b.cfg.Cooldown - b.now().Sub(b.openedAt); wait > 0 {
+			return fmt.Errorf("circuit breaker open: %d consecutive windows over the %v identification deadline (half-open probe in %v)",
+				b.cfg.Trips, b.cfg.Deadline, wait.Round(time.Millisecond))
+		}
+		// Cooldown over: this window is the half-open probe.
+		b.state = breakerHalfOpen
+		b.probing = true
+		return nil
+	default: // half-open
+		if b.probing {
+			return errors.New("circuit breaker half-open: probe window in flight")
+		}
+		b.probing = true
+		return nil
+	}
+}
+
+// observe folds one admitted window's identification outcome into the
+// breaker: elapsed is its wall-clock, expired whether the per-window
+// deadline cut it short (always pathological).
+func (b *breaker) observe(elapsed time.Duration, expired bool) {
+	slow := expired || elapsed > b.cfg.Deadline
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		if !slow {
+			b.slow = 0
+			return
+		}
+		b.slow++
+		if b.slow >= b.cfg.Trips {
+			b.openLocked()
+		}
+	case breakerHalfOpen:
+		b.probing = false
+		if slow {
+			b.openLocked()
+		} else {
+			b.state = breakerClosed
+			b.slow = 0
+		}
+	case breakerOpen:
+		// A straggler finishing after the breaker opened carries no new
+		// information; the half-open probe is the recovery signal.
+	}
+}
+
+// openLocked trips the breaker. Caller holds b.mu.
+func (b *breaker) openLocked() {
+	b.state = breakerOpen
+	b.openedAt = b.now()
+	b.slow = 0
+	b.probing = false
+	b.met.breakerOpens.Add(1)
+}
+
+// State reports the breaker's current state name ("closed", "open",
+// "half-open"), for status endpoints and tests.
+func (b *breaker) State() string {
+	if b == nil {
+		return "disabled"
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	// An open breaker past its cooldown is morally half-open; reporting
+	// "open" until the next window actually probes keeps State a pure read.
+	return b.state.String()
+}

@@ -1,0 +1,177 @@
+package monitor
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"dominantlink/internal/core"
+)
+
+// fakeClock is a manually advanced clock for the admission primitives.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func TestTokenBucketNilIsUnlimited(t *testing.T) {
+	var b *tokenBucket
+	if b = newTokenBucket(0, 10, nil); b != nil {
+		t.Fatal("rate 0 should return a nil (unlimited) bucket")
+	}
+	if granted, retry := b.take(1_000_000); granted != 1_000_000 || retry != 0 {
+		t.Fatalf("nil bucket take = (%d, %v), want everything immediately", granted, retry)
+	}
+	b.refund(5) // must not panic
+}
+
+func TestTokenBucketGrantAndRefill(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := newTokenBucket(10, 5, clk.now) // 10/s, burst 5, starts full
+
+	if granted, _ := b.take(3); granted != 3 {
+		t.Fatalf("first take = %d, want 3", granted)
+	}
+	granted, retry := b.take(4)
+	if granted != 2 {
+		t.Fatalf("over-budget take = %d, want 2", granted)
+	}
+	if retry <= 0 || retry > 150*time.Millisecond {
+		t.Fatalf("retry hint = %v, want ~100ms (one token at 10/s)", retry)
+	}
+
+	clk.advance(200 * time.Millisecond) // +2 tokens
+	if granted, _ := b.take(5); granted != 2 {
+		t.Fatalf("take after refill = %d, want 2", granted)
+	}
+
+	// Refill caps at burst.
+	clk.advance(time.Hour)
+	if granted, _ := b.take(100); granted != 5 {
+		t.Fatalf("take after long idle = %d, want burst 5", granted)
+	}
+}
+
+func TestTokenBucketRefund(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := newTokenBucket(1, 4, clk.now)
+	b.take(4)
+	b.refund(3)
+	if granted, _ := b.take(4); granted != 3 {
+		t.Fatalf("take after refund = %d, want 3", granted)
+	}
+	b.refund(100) // caps at burst
+	if granted, _ := b.take(100); granted != 4 {
+		t.Fatalf("take after over-refund = %d, want burst 4", granted)
+	}
+}
+
+func TestTokenBucketDefaultBurst(t *testing.T) {
+	b := newTokenBucket(25, 0, (&fakeClock{t: time.Unix(0, 0)}).now)
+	if b.burst != 25 {
+		t.Fatalf("default burst = %v, want one second's worth (25)", b.burst)
+	}
+	if b = newTokenBucket(0.5, 0, (&fakeClock{t: time.Unix(0, 0)}).now); b.burst != 1 {
+		t.Fatalf("default burst for sub-1/s rate = %v, want 1", b.burst)
+	}
+}
+
+func TestParseShedPolicy(t *testing.T) {
+	for in, want := range map[string]ShedPolicy{
+		"": ShedReject, "reject": ShedReject,
+		"drop-newest": ShedDropNewest, "drop-oldest": ShedDropOldest,
+	} {
+		got, err := ParseShedPolicy(in)
+		if err != nil || got != want {
+			t.Errorf("ParseShedPolicy(%q) = (%v, %v), want %v", in, got, err, want)
+		}
+		if got.String() == "" {
+			t.Errorf("ShedPolicy(%v).String() empty", got)
+		}
+	}
+	if _, err := ParseShedPolicy("bogus"); err == nil {
+		t.Error("ParseShedPolicy accepted an unknown policy")
+	}
+}
+
+func TestRateLimitedErrorIs(t *testing.T) {
+	err := error(&RateLimitedError{RetryAfter: time.Second})
+	if !errors.Is(err, ErrRateLimited) {
+		t.Fatal("RateLimitedError should match ErrRateLimited")
+	}
+	var rl *RateLimitedError
+	if !errors.As(err, &rl) || rl.RetryAfter != time.Second {
+		t.Fatal("errors.As should recover the retry hint")
+	}
+}
+
+func TestBreakerStateMachine(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := newBreaker(BreakerConfig{Deadline: 100 * time.Millisecond, Trips: 2, Cooldown: time.Second},
+		clk.now, newMetrics())
+	res := &core.WindowResult{}
+
+	// Closed: fast windows keep it closed; the slow streak must be consecutive.
+	if err := b.admit(res); err != nil {
+		t.Fatalf("closed breaker refused a window: %v", err)
+	}
+	b.observe(200*time.Millisecond, false) // slow 1
+	b.observe(10*time.Millisecond, false)  // fast: streak resets
+	b.observe(200*time.Millisecond, false) // slow 1
+	if b.State() != "closed" {
+		t.Fatalf("state after non-consecutive slow windows = %s, want closed", b.State())
+	}
+	b.observe(200*time.Millisecond, false) // slow 2: trips
+	if b.State() != "open" {
+		t.Fatalf("state after %d consecutive slow windows = %s, want open", 2, b.State())
+	}
+
+	// Open: sheds until the cooldown elapses.
+	if err := b.admit(res); err == nil {
+		t.Fatal("open breaker admitted a window during cooldown")
+	}
+	clk.advance(1100 * time.Millisecond)
+	if err := b.admit(res); err != nil {
+		t.Fatalf("breaker past cooldown refused the half-open probe: %v", err)
+	}
+	if b.State() != "half-open" {
+		t.Fatalf("state during probe = %s, want half-open", b.State())
+	}
+	// Half-open with the probe in flight: everything else sheds.
+	if err := b.admit(res); err == nil {
+		t.Fatal("half-open breaker admitted a second window during the probe")
+	}
+
+	// Slow probe: reopen.
+	b.observe(300*time.Millisecond, false)
+	if b.State() != "open" {
+		t.Fatalf("state after slow probe = %s, want open", b.State())
+	}
+
+	// Fast probe after another cooldown: close.
+	clk.advance(1100 * time.Millisecond)
+	if err := b.admit(res); err != nil {
+		t.Fatalf("second probe refused: %v", err)
+	}
+	b.observe(10*time.Millisecond, false)
+	if b.State() != "closed" {
+		t.Fatalf("state after fast probe = %s, want closed", b.State())
+	}
+
+	// A deadline expiry is pathological regardless of elapsed.
+	b.observe(time.Millisecond, true)
+	b.observe(time.Millisecond, true)
+	if b.State() != "open" {
+		t.Fatalf("state after %d deadline expiries = %s, want open", 2, b.State())
+	}
+}
+
+func TestBreakerDisabled(t *testing.T) {
+	if b := newBreaker(BreakerConfig{}, nil, newMetrics()); b != nil {
+		t.Fatal("zero BreakerConfig should disable the breaker")
+	}
+	var b *breaker
+	if got := b.State(); got != "disabled" {
+		t.Fatalf("nil breaker State = %q, want disabled", got)
+	}
+}

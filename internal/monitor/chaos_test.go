@@ -1,0 +1,264 @@
+package monitor
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"dominantlink/internal/core"
+	"dominantlink/internal/faultinject"
+	"dominantlink/internal/trace"
+)
+
+// TestChaosSoak is the fault-injection soak of the overload design: a
+// monitor under injected EM latency and failures, a flaky collector
+// (probabilistic probe loss, occasional stalls), client-side 429 retries,
+// and the drop-oldest shed policy — all at once, under the race detector
+// in CI. After the storm it asserts the two properties the overload layer
+// promises:
+//
+//  1. no goroutine leaks: the process returns to its goroutine baseline
+//     once every session is drained and the monitor closed;
+//  2. closed accounting: every observation the daemon accepted is
+//     attributed to exactly one window result or one explicit eviction —
+//     observations_windowed + evicted == ingested per session, with shed
+//     and deadlined windows reported explicitly rather than vanishing.
+func TestChaosSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test; skipped with -short")
+	}
+	baseline := runtime.NumGoroutine()
+
+	faults := &faultinject.EngineFaults{
+		Latency:      5 * time.Millisecond,
+		LatencyEvery: 3, // every third fit is slow
+		FailEvery:    7, // every seventh fit fails outright
+	}
+	m := New(Config{
+		Workers:   4,
+		QueueSize: 128,
+		Window: core.WindowConfig{
+			Size: 100, DisableGate: true, FlushPartial: true,
+			Deadline: 3 * time.Second,
+		},
+		Shed:        ShedDropOldest,
+		SessionRate: 50_000, SessionBurst: 256,
+		Breaker:    BreakerConfig{Deadline: 500 * time.Millisecond, Trips: 3, Cooldown: 100 * time.Millisecond},
+		EngineHook: faults.Hook(),
+	})
+	srv := httptest.NewServer(m.Handler())
+
+	const (
+		paths     = 3
+		perPath   = 1200
+		batchSize = 100
+	)
+	var wg sync.WaitGroup
+	clientAccepted := make([]int, paths)
+	for p := 0; p < paths; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			path := fmt.Sprintf("path-%d", p)
+			c, err := NewClient(ClientConfig{
+				BaseURL: srv.URL, HTTPClient: srv.Client(),
+				Backoff: 5 * time.Millisecond, MaxBackoff: 100 * time.Millisecond,
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			// A flaky collector: deterministic probabilistic loss plus a
+			// mid-run stall, in front of the batcher that feeds the client.
+			src := faultinject.NewSource(
+				trace.NewSliceSource(healthyObs(perPath)),
+				faultinject.SourceConfig{Seed: int64(p), DropProb: 0.05},
+			)
+			// Generous budget: the whole path — ingest, retries, and the
+			// blocking drain — shares it, and EM under -race on a loaded
+			// single-core runner is slow.
+			ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+			defer cancel()
+			batch := make([]trace.Observation, 0, batchSize)
+			flush := func() bool {
+				if len(batch) == 0 {
+					return true
+				}
+				stats, err := c.Ingest(ctx, path, batch)
+				clientAccepted[p] += stats.Accepted
+				if err != nil {
+					t.Errorf("%s: ingest: %v", path, err)
+					return false
+				}
+				batch = batch[:0]
+				return true
+			}
+			n := 0
+			for {
+				o, err := src.Next()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					t.Errorf("%s: source: %v", path, err)
+					return
+				}
+				batch = append(batch, o)
+				if len(batch) == batchSize && !flush() {
+					return
+				}
+				if n++; n == perPath/2 && p == 0 {
+					// One collector hiccups mid-run: stall, then recover.
+					src.Stall()
+					time.AfterFunc(20*time.Millisecond, src.Release)
+				}
+			}
+			flush()
+			// Fresh budget for the blocking drain so a slow ingest phase
+			// cannot starve it; a 202 still-draining answer is not an error
+			// and is settled by the status poll below.
+			dctx, dcancel := context.WithTimeout(context.Background(), 2*time.Minute)
+			defer dcancel()
+			if _, err := c.Drain(dctx, path); err != nil {
+				t.Errorf("%s: drain: %v", path, err)
+			}
+		}(p)
+	}
+	wg.Wait()
+
+	// Every session is draining or closed; audit the books over the
+	// public API. DELETE answers 202 (still draining) if its request
+	// context expires before the backlog finishes, so poll each session
+	// to closed rather than demanding it instantly.
+	for p := 0; p < paths; p++ {
+		path := fmt.Sprintf("path-%d", p)
+		var st StatusJSON
+		closeBy := time.Now().Add(time.Minute)
+		for {
+			resp, err := srv.Client().Get(srv.URL + "/v1/paths/" + path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			err = json.NewDecoder(resp.Body).Decode(&st)
+			resp.Body.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.State == "closed" {
+				break
+			}
+			if time.Now().After(closeBy) {
+				t.Fatalf("%s state = %s, never closed", path, st.State)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		if st.Ingested != uint64(clientAccepted[p]) {
+			t.Errorf("%s: server ingested %d != client accepted %d",
+				path, st.Ingested, clientAccepted[p])
+		}
+		// The invariant: accepted observations end in exactly one window
+		// result or one explicit eviction. Shed/deadlined/failed windows
+		// still carry their observations (they are window results), so the
+		// books close even under injected engine failures.
+		if st.ProbesWindowed+st.Evicted != st.Ingested {
+			t.Errorf("%s: windowed %d + evicted %d != ingested %d (lost observations)",
+				path, st.ProbesWindowed, st.Evicted, st.Ingested)
+		}
+		if st.Windows != st.Admitted+st.Rejected+st.Shed {
+			t.Errorf("%s: windows %d != admitted %d + rejected %d + shed %d",
+				path, st.Windows, st.Admitted, st.Rejected, st.Shed)
+		}
+		if st.Windows == 0 {
+			t.Errorf("%s: no windows at all", path)
+		}
+	}
+	// The injected engine failures must have surfaced somewhere explicit:
+	// as window errors in results, not as silent gaps.
+	if faults.Calls() == 0 {
+		t.Error("engine fault hook never ran")
+	}
+	var injectedSeen bool
+	for p := 0; p < paths && !injectedSeen; p++ {
+		resp, err := srv.Client().Get(srv.URL + fmt.Sprintf("/v1/paths/path-%d/results", p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out struct {
+			Results []struct {
+				Window int    `json:"window"`
+				Error  string `json:"error"`
+			} `json:"results"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&out)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range out.Results {
+			if r.Error != "" {
+				injectedSeen = true
+				break
+			}
+		}
+	}
+	if faults.Calls() >= 7 && !injectedSeen {
+		t.Error("injected engine failures left no trace in the results")
+	}
+
+	if err := m.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+
+	// Goroutine hygiene: back to baseline (with slack for the runtime's
+	// own pool) once everything is drained and closed.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if g := runtime.NumGoroutine(); g <= baseline+3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutine leak: %d now vs %d at baseline\n%s",
+				runtime.NumGoroutine(), baseline, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestChaosSourceFailureTerminatesSession: a source that dies mid-stream
+// (injected failure) must close its windower stream with a terminal error
+// on the last window, not hang the pipeline — proven here at the core
+// layer with the faultinject wrapper, matching how the monitor surfaces
+// session errors.
+func TestChaosSourceFailureTerminatesSession(t *testing.T) {
+	src := faultinject.NewSource(
+		trace.NewSliceSource(healthyObs(500)),
+		faultinject.SourceConfig{ErrorAfter: 250},
+	)
+	eng := core.NewEngine(2)
+	ch, err := core.NewWindower(eng, core.WindowConfig{Size: 100, DisableGate: true}).
+		Stream(context.Background(), src, core.IdentifyConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last core.WindowResult
+	n := 0
+	for res := range ch {
+		last = res
+		n++
+	}
+	if n == 0 {
+		t.Fatal("no windows before the injected source failure")
+	}
+	if !errors.Is(last.Err, faultinject.ErrInjected) {
+		t.Fatalf("last window err = %v, want the injected source failure", last.Err)
+	}
+}

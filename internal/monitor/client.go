@@ -1,0 +1,359 @@
+package monitor
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"dominantlink/internal/trace"
+)
+
+// Client is the measurement agent's side of the monitor API: a thin,
+// retrying HTTP client for the /v1 surface. Its core job is making
+// ingestion overload-safe without per-caller boilerplate — Ingest honors
+// the server's 429 + Retry-After backpressure contract, resuming each
+// retry from the server-reported accepted offset so no observation is
+// ever sent into a window twice. A Client is safe for concurrent use.
+type Client struct {
+	base    *url.URL
+	hc      *http.Client
+	retries int
+	backoff time.Duration
+	maxWait time.Duration
+	sleep   func(ctx context.Context, d time.Duration) error
+}
+
+// ClientConfig shapes a Client. The zero value of every field is
+// serviceable; only BaseURL is required.
+type ClientConfig struct {
+	// BaseURL is the daemon's root, e.g. "http://127.0.0.1:8844".
+	BaseURL string
+	// HTTPClient, when non-nil, replaces http.DefaultClient.
+	HTTPClient *http.Client
+	// MaxRetries bounds how many backoff rounds one Ingest call takes
+	// before giving up with ErrQueueFull/ErrRateLimited (default 8).
+	MaxRetries int
+	// Backoff is the wait before a retry when the server sends no
+	// Retry-After hint (default 100ms, doubling up to MaxBackoff). A
+	// server Retry-After always wins, capped at MaxBackoff.
+	Backoff time.Duration
+	// MaxBackoff caps any single wait (default 5s).
+	MaxBackoff time.Duration
+}
+
+// NewClient returns a client for the monitor daemon at cfg.BaseURL.
+func NewClient(cfg ClientConfig) (*Client, error) {
+	base, err := url.Parse(cfg.BaseURL)
+	if err != nil {
+		return nil, fmt.Errorf("monitor: client base URL: %w", err)
+	}
+	if base.Scheme == "" || base.Host == "" {
+		return nil, fmt.Errorf("monitor: client base URL %q needs a scheme and host", cfg.BaseURL)
+	}
+	c := &Client{
+		base:    base,
+		hc:      cfg.HTTPClient,
+		retries: cfg.MaxRetries,
+		backoff: cfg.Backoff,
+		maxWait: cfg.MaxBackoff,
+	}
+	if c.hc == nil {
+		c.hc = http.DefaultClient
+	}
+	if c.retries <= 0 {
+		c.retries = 8
+	}
+	if c.backoff <= 0 {
+		c.backoff = 100 * time.Millisecond
+	}
+	if c.maxWait <= 0 {
+		c.maxWait = 5 * time.Second
+	}
+	c.sleep = func(ctx context.Context, d time.Duration) error {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-t.C:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return c, nil
+}
+
+// APIError is a non-2xx response from the monitor API, decoded from the
+// uniform error envelope {"error": {"code", "message"}}.
+type APIError struct {
+	Status  int    // HTTP status code
+	Code    string // stable machine-readable code ("queue_full", "not_found", ...)
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("monitor: api error %d (%s): %s", e.Status, e.Code, e.Message)
+}
+
+// Is maps the envelope codes back onto the package sentinels, so callers
+// use one errors.Is vocabulary on both sides of the wire.
+func (e *APIError) Is(target error) bool {
+	switch target {
+	case ErrQueueFull:
+		return e.Code == codeQueueFull
+	case ErrRateLimited:
+		return e.Code == codeRateLimited
+	case ErrSessionClosed:
+		return e.Code == codeSessionClosed
+	case ErrShuttingDown:
+		return e.Code == codeShuttingDown
+	case ErrTooManySessions:
+		return e.Code == codeTooManySessions
+	}
+	return false
+}
+
+// apiError decodes the error envelope of a non-2xx response body.
+func apiError(status int, body []byte) *APIError {
+	e := &APIError{Status: status, Code: codeInternal}
+	var envelope struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	if json.Unmarshal(body, &envelope) == nil && envelope.Error.Code != "" {
+		e.Code, e.Message = envelope.Error.Code, envelope.Error.Message
+	} else {
+		e.Message = strings.TrimSpace(string(body))
+	}
+	return e
+}
+
+// do runs one request and decodes a 2xx JSON body into out (when non-nil);
+// non-2xx responses come back as *APIError.
+func (c *Client) do(ctx context.Context, method, path string, body []byte, out any) error {
+	u := c.base.JoinPath(path)
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, u.String(), rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return apiError(resp.StatusCode, raw)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(raw, out)
+}
+
+// CreatePath creates (or re-opens) the session for path. A nil spec uses
+// the daemon's default window shape; a non-nil spec applies only when the
+// session does not exist yet.
+func (c *Client) CreatePath(ctx context.Context, path string, spec *WindowSpec) (StatusJSON, error) {
+	var body []byte
+	if spec != nil {
+		body = mustJSON(spec.wire())
+	}
+	var st StatusJSON
+	err := c.do(ctx, http.MethodPut, "/v1/paths/"+url.PathEscape(path), body, &st)
+	return st, err
+}
+
+// Status fetches one session's registry entry.
+func (c *Client) Status(ctx context.Context, path string) (StatusJSON, error) {
+	var st StatusJSON
+	err := c.do(ctx, http.MethodGet, "/v1/paths/"+url.PathEscape(path), nil, &st)
+	return st, err
+}
+
+// Results fetches the retained window results with index >= since, plus
+// the index to resume polling from.
+func (c *Client) Results(ctx context.Context, path string, since int) ([]WindowJSON, int, error) {
+	var out struct {
+		Next    int          `json:"next"`
+		Results []WindowJSON `json:"results"`
+	}
+	p := "/v1/paths/" + url.PathEscape(path) + "/results"
+	if since > 0 {
+		p += "?since=" + strconv.Itoa(since)
+	}
+	// do joins paths, so the query has to ride along explicitly.
+	u := *c.base
+	u.Path, u.RawQuery = "", ""
+	err := c.do(ctx, http.MethodGet, p, nil, &out)
+	return out.Results, out.Next, err
+}
+
+// Drain asks the daemon to drain the session: the pipeline finishes its
+// backlog and flushes the final partial window. The returned status
+// reports "closed" once the drain finished within the request's context,
+// "draining" when it is still going.
+func (c *Client) Drain(ctx context.Context, path string) (StatusJSON, error) {
+	var st StatusJSON
+	err := c.do(ctx, http.MethodDelete, "/v1/paths/"+url.PathEscape(path), nil, &st)
+	return st, err
+}
+
+// IngestStats reports what one Ingest call did end to end.
+type IngestStats struct {
+	// Accepted observations (all of them, when the error is nil).
+	Accepted int
+	// Dropped observations the server discarded under a drop policy
+	// (never retried: the server explicitly chose to shed them).
+	Dropped int
+	// Retries is how many backoff rounds the call took.
+	Retries int
+}
+
+// ingestResponse is the wire form of an observation POST's response.
+type ingestResponse struct {
+	Accepted int `json:"accepted"`
+	Dropped  int `json:"dropped"`
+	Error    *struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+// Ingest posts a batch of observations, honoring the server's
+// backpressure contract: on 429 (queue full or rate limited) it waits the
+// server's Retry-After — falling back to exponential backoff when absent —
+// and resends from the server-reported accepted offset, so every
+// observation is delivered at most once. It keeps retrying until the batch
+// is fully accepted, ctx is done, or MaxRetries rounds are spent (the
+// returned stats then say how far it got, and the error matches
+// ErrQueueFull or ErrRateLimited with errors.Is). A server running a drop
+// policy (drop-newest) reports dropped observations in the stats instead
+// of asking for a retry.
+func (c *Client) Ingest(ctx context.Context, path string, obs []trace.Observation) (IngestStats, error) {
+	var stats IngestStats
+	rows := make([]obsJSON, len(obs))
+	for i, o := range obs {
+		rows[i] = obsJSON{Seq: o.Seq, SendTime: o.SendTime, Delay: o.Delay, Lost: o.Lost}
+	}
+	wait := c.backoff
+	offset := 0
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return stats, err
+		}
+		body := mustJSON(map[string]any{"observations": rows[offset:]})
+		u := c.base.JoinPath("/v1/paths/" + url.PathEscape(path) + "/observations")
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, u.String(), bytes.NewReader(body))
+		if err != nil {
+			return stats, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			return stats, err
+		}
+		raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		if err != nil {
+			return stats, err
+		}
+
+		var ir ingestResponse
+		switch resp.StatusCode {
+		case http.StatusOK:
+			if err := json.Unmarshal(raw, &ir); err != nil {
+				return stats, fmt.Errorf("monitor: ingest response: %w", err)
+			}
+			stats.Accepted += ir.Accepted
+			stats.Dropped += ir.Dropped
+			return stats, nil
+		case http.StatusTooManyRequests:
+			if err := json.Unmarshal(raw, &ir); err != nil {
+				return stats, fmt.Errorf("monitor: ingest 429 response: %w", err)
+			}
+			stats.Accepted += ir.Accepted
+			offset += ir.Accepted
+			if attempt >= c.retries {
+				return stats, apiError(resp.StatusCode, raw)
+			}
+			stats.Retries++
+			d := wait
+			if ra := retryAfterHeader(resp); ra > 0 {
+				d = ra
+			}
+			if d > c.maxWait {
+				d = c.maxWait
+			}
+			if err := c.sleep(ctx, d); err != nil {
+				return stats, err
+			}
+			wait *= 2
+			if wait > c.maxWait {
+				wait = c.maxWait
+			}
+		default:
+			return stats, apiError(resp.StatusCode, raw)
+		}
+	}
+}
+
+// retryAfterHeader parses a delay-seconds Retry-After value (the only form
+// the monitor emits); 0 means absent or unparseable.
+func retryAfterHeader(resp *http.Response) time.Duration {
+	v := resp.Header.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.ParseFloat(v, 64); err == nil && secs >= 0 {
+		return time.Duration(secs * float64(time.Second))
+	}
+	return 0
+}
+
+// WindowSpec is the JSON window specification of a session-creating PUT,
+// mirroring core.WindowConfig's serializable fields.
+type WindowSpec struct {
+	Size            int     `json:"size,omitempty"`
+	DurationSeconds float64 `json:"duration_seconds,omitempty"`
+	Stride          int     `json:"stride,omitempty"`
+	StrideSeconds   float64 `json:"stride_seconds,omitempty"`
+	Gate            *bool   `json:"gate,omitempty"`
+	GateLossFactor  float64 `json:"gate_loss_factor,omitempty"`
+	FlushPartial    *bool   `json:"flush_partial,omitempty"`
+	BoundDelta      float64 `json:"bound_delta,omitempty"`
+	DeadlineSeconds float64 `json:"deadline_seconds,omitempty"`
+}
+
+// wire converts the public spec into the handler's windowSpec shape.
+func (w *WindowSpec) wire() windowSpec {
+	return windowSpec{
+		Size:            w.Size,
+		Duration:        w.DurationSeconds,
+		Stride:          w.Stride,
+		StrideDuration:  w.StrideSeconds,
+		Gate:            w.Gate,
+		GateLossFactor:  w.GateLossFactor,
+		FlushPartial:    w.FlushPartial,
+		BoundDelta:      w.BoundDelta,
+		DeadlineSeconds: w.DeadlineSeconds,
+	}
+}

@@ -1,0 +1,193 @@
+package monitor
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"dominantlink/internal/core"
+)
+
+func TestNewClientValidation(t *testing.T) {
+	for _, bad := range []string{"", "not a url\x7f", "/just/a/path"} {
+		if _, err := NewClient(ClientConfig{BaseURL: bad}); err == nil {
+			t.Errorf("NewClient(%q) accepted an unusable base URL", bad)
+		}
+	}
+	if _, err := NewClient(ClientConfig{BaseURL: "http://127.0.0.1:0"}); err != nil {
+		t.Fatalf("NewClient rejected a valid URL: %v", err)
+	}
+}
+
+// TestClientIngestRetriesWithRetryAfter drives the client against a stub
+// that 429s twice with partial acceptance: the client must honor the
+// server's Retry-After, resume from the accepted offset (no observation
+// sent into a window twice), and report the full batch accepted.
+func TestClientIngestRetriesWithRetryAfter(t *testing.T) {
+	var batches []int // length of each received batch
+	step := 0
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var body struct {
+			Observations []obsJSON `json:"observations"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+			t.Errorf("bad ingest body: %v", err)
+		}
+		batches = append(batches, len(body.Observations))
+		switch step {
+		case 0: // take 2 of 6, ask for a 2s backoff
+			step++
+			w.Header().Set("Retry-After", "2")
+			writeJSON(w, http.StatusTooManyRequests, map[string]any{
+				"accepted": 2, "dropped": 0,
+				"error": map[string]string{"code": codeQueueFull, "message": "queue full"},
+			})
+		case 1: // take 1 of the remaining 4, no hint: client backs off on its own
+			step++
+			writeJSON(w, http.StatusTooManyRequests, map[string]any{
+				"accepted": 1, "dropped": 0,
+				"error": map[string]string{"code": codeQueueFull, "message": "queue full"},
+			})
+		default: // accept the rest
+			writeJSON(w, http.StatusOK, map[string]any{"accepted": len(body.Observations), "dropped": 0})
+		}
+	}))
+	defer srv.Close()
+
+	c, err := NewClient(ClientConfig{BaseURL: srv.URL, Backoff: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var waits []time.Duration
+	c.sleep = func(_ context.Context, d time.Duration) error {
+		waits = append(waits, d)
+		return nil
+	}
+
+	stats, err := c.Ingest(context.Background(), "p", healthyObs(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Accepted != 6 || stats.Retries != 2 {
+		t.Fatalf("stats = %+v, want 6 accepted over 2 retries", stats)
+	}
+	wantBatches := []int{6, 4, 3}
+	if len(batches) != len(wantBatches) {
+		t.Fatalf("batches = %v, want %v (resume from the accepted offset)", batches, wantBatches)
+	}
+	for i := range wantBatches {
+		if batches[i] != wantBatches[i] {
+			t.Fatalf("batches = %v, want %v", batches, wantBatches)
+		}
+	}
+	// Round 1 honors the server hint; round 2 has no hint and falls back
+	// to the client's own backoff, which doubles every round.
+	if len(waits) != 2 || waits[0] != 2*time.Second || waits[1] != 20*time.Millisecond {
+		t.Fatalf("waits = %v, want [2s (server hint), 20ms (doubled own backoff)]", waits)
+	}
+}
+
+// TestClientIngestGivesUp: MaxRetries bounds the loop; the terminal error
+// matches the sentinel for the server's envelope code, and the stats say
+// how far ingestion got.
+func TestClientIngestGivesUp(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusTooManyRequests, map[string]any{
+			"accepted": 1, "dropped": 0,
+			"error": map[string]string{"code": codeRateLimited, "message": "rate limited"},
+		})
+	}))
+	defer srv.Close()
+
+	c, err := NewClient(ClientConfig{BaseURL: srv.URL, MaxRetries: 2, Backoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.sleep = func(context.Context, time.Duration) error { return nil }
+
+	stats, err := c.Ingest(context.Background(), "p", healthyObs(10))
+	if !errors.Is(err, ErrRateLimited) {
+		t.Fatalf("err = %v, want an APIError matching ErrRateLimited", err)
+	}
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusTooManyRequests {
+		t.Fatalf("err = %#v, want *APIError with status 429", err)
+	}
+	// 1 initial + 2 retries, 1 accepted each.
+	if stats.Accepted != 3 || stats.Retries != 2 {
+		t.Fatalf("stats = %+v, want 3 accepted over 2 retries", stats)
+	}
+}
+
+func TestClientIngestHonorsContext(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "30")
+		writeJSON(w, http.StatusTooManyRequests, map[string]any{
+			"accepted": 0, "dropped": 0,
+			"error": map[string]string{"code": codeQueueFull, "message": "queue full"},
+		})
+	}))
+	defer srv.Close()
+
+	c, err := NewClient(ClientConfig{BaseURL: srv.URL, MaxBackoff: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, err := c.Ingest(ctx, "p", healthyObs(3)); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("Ingest kept sleeping past its context")
+	}
+}
+
+// TestClientEndToEnd runs the real client against a real monitor: create,
+// ingest, drain, read results and status — the full loop the dclserved
+// examples document.
+func TestClientEndToEnd(t *testing.T) {
+	m := New(Config{Window: core.WindowConfig{Size: 50, DisableGate: true, FlushPartial: true}})
+	srv := httptest.NewServer(m.Handler())
+	defer srv.Close()
+	defer m.Close(context.Background())
+
+	c, err := NewClient(ClientConfig{BaseURL: srv.URL, HTTPClient: srv.Client()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	st, err := c.CreatePath(ctx, "e2e", &WindowSpec{Size: 50})
+	if err != nil || st.State != "active" {
+		t.Fatalf("CreatePath = (%+v, %v), want an active session", st, err)
+	}
+	if _, err := c.Status(ctx, "ghost"); !errorsAsCode(err, codeNotFound) {
+		t.Fatalf("Status(ghost) = %v, want not_found APIError", err)
+	}
+
+	stats, err := c.Ingest(ctx, "e2e", healthyObs(120))
+	if err != nil || stats.Accepted != 120 {
+		t.Fatalf("Ingest = (%+v, %v), want all 120 accepted", stats, err)
+	}
+	if st, err = c.Drain(ctx, "e2e"); err != nil || st.State != "closed" {
+		t.Fatalf("Drain = (%+v, %v), want a closed session", st, err)
+	}
+	results, next, err := c.Results(ctx, "e2e", 0)
+	if err != nil || len(results) != 3 || next != 3 {
+		t.Fatalf("Results = (%d results, next %d, %v), want 3 windows", len(results), next, err)
+	}
+	if st, err = c.Status(ctx, "e2e"); err != nil || st.ProbesWindowed != 120 {
+		t.Fatalf("Status = (%+v, %v), want 120 observations windowed", st, err)
+	}
+}
+
+func errorsAsCode(err error, code string) bool {
+	var ae *APIError
+	return errors.As(err, &ae) && ae.Code == code
+}

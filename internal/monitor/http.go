@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"strconv"
 	"strings"
@@ -31,6 +32,7 @@ type WindowJSON struct {
 	Partial      bool      `json:"partial,omitempty"`
 	Stationary   bool      `json:"stationary"`
 	Admitted     bool      `json:"admitted"`
+	Shed         bool      `json:"shed,omitempty"`
 	Decided      bool      `json:"decided"`
 	NoLosses     bool      `json:"no_losses,omitempty"`
 	LossRate     float64   `json:"loss_rate,omitempty"`
@@ -57,6 +59,7 @@ func windowJSON(res core.WindowResult) WindowJSON {
 		Partial:    res.Partial,
 		Stationary: res.Stationarity.Stationary,
 		Admitted:   res.Admitted,
+		Shed:       res.Shed,
 		Decided:    res.Decided(),
 		HasDCL:     res.HasDCL(),
 	}
@@ -92,11 +95,16 @@ type StatusJSON struct {
 	State            string  `json:"state"`
 	Ingested         uint64  `json:"observations_ingested"`
 	Dropped          uint64  `json:"observations_dropped"`
+	Evicted          uint64  `json:"observations_evicted,omitempty"`
+	RateLimited      uint64  `json:"observations_rate_limited,omitempty"`
 	QueueLen         int     `json:"queue_len"`
 	QueueCap         int     `json:"queue_cap"`
 	Windows          uint64  `json:"windows"`
 	Admitted         uint64  `json:"windows_admitted"`
 	Rejected         uint64  `json:"windows_rejected"`
+	Shed             uint64  `json:"windows_shed,omitempty"`
+	Deadlined        uint64  `json:"windows_deadline_expired,omitempty"`
+	ProbesWindowed   uint64  `json:"observations_windowed"`
 	HasDCL           bool    `json:"has_dcl"`
 	BoundSeconds     float64 `json:"bound_seconds,omitempty"`
 	LastTransition   string  `json:"last_transition,omitempty"`
@@ -106,14 +114,15 @@ type StatusJSON struct {
 
 // windowSpec is the optional JSON body of a session-creating PUT.
 type windowSpec struct {
-	Size           int     `json:"size"`
-	Duration       float64 `json:"duration_seconds"`
-	Stride         int     `json:"stride"`
-	StrideDuration float64 `json:"stride_seconds"`
-	Gate           *bool   `json:"gate"` // default true
-	GateLossFactor float64 `json:"gate_loss_factor"`
-	FlushPartial   *bool   `json:"flush_partial"` // default true
-	BoundDelta     float64 `json:"bound_delta"`
+	Size            int     `json:"size"`
+	Duration        float64 `json:"duration_seconds"`
+	Stride          int     `json:"stride"`
+	StrideDuration  float64 `json:"stride_seconds"`
+	Gate            *bool   `json:"gate"` // default true
+	GateLossFactor  float64 `json:"gate_loss_factor"`
+	FlushPartial    *bool   `json:"flush_partial"` // default true
+	BoundDelta      float64 `json:"bound_delta"`
+	DeadlineSeconds float64 `json:"deadline_seconds"` // per-window identification deadline
 }
 
 func (sp windowSpec) config() core.WindowConfig {
@@ -125,6 +134,7 @@ func (sp windowSpec) config() core.WindowConfig {
 		BoundDelta:     sp.BoundDelta,
 		FlushPartial:   sp.FlushPartial == nil || *sp.FlushPartial,
 		DisableGate:    sp.Gate != nil && !*sp.Gate,
+		Deadline:       time.Duration(sp.DeadlineSeconds * float64(time.Second)),
 	}
 	cfg.Gate.LossRateFactor = sp.GateLossFactor
 	return cfg
@@ -173,8 +183,58 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Write([]byte("\n"))
 }
 
-func writeError(w http.ResponseWriter, code int, format string, args ...any) {
-	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+// Stable machine-readable error codes of the /v1 error envelope. Every
+// non-2xx response from the API carries {"error": {"code", "message"}}
+// with one of these codes, so clients branch on the code instead of
+// parsing messages or memorizing per-endpoint status conventions.
+const (
+	codeBadRequest      = "bad_request"
+	codeNotFound        = "not_found"
+	codeQueueFull       = "queue_full"
+	codeRateLimited     = "rate_limited"
+	codeSessionClosed   = "session_closed"
+	codeShuttingDown    = "shutting_down"
+	codeTooManySessions = "too_many_sessions"
+	codeInternal        = "internal"
+)
+
+// errorBody builds the error envelope; callers may add sibling fields
+// (the 429 ingest response carries accepted/dropped next to the error).
+func errorBody(code, message string) map[string]any {
+	return map[string]any{"error": map[string]string{"code": code, "message": message}}
+}
+
+func writeError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeJSON(w, status, errorBody(code, fmt.Sprintf(format, args...)))
+}
+
+// errStatus maps the session/monitor sentinel errors onto (HTTP status,
+// envelope code) pairs, uniformly across every endpoint.
+func errStatus(err error) (int, string) {
+	switch {
+	case errors.Is(err, ErrShuttingDown):
+		return http.StatusServiceUnavailable, codeShuttingDown
+	case errors.Is(err, ErrTooManySessions):
+		return http.StatusServiceUnavailable, codeTooManySessions
+	case errors.Is(err, ErrRateLimited):
+		return http.StatusTooManyRequests, codeRateLimited
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests, codeQueueFull
+	case errors.Is(err, ErrSessionClosed):
+		return http.StatusConflict, codeSessionClosed
+	default:
+		return http.StatusBadRequest, codeBadRequest
+	}
+}
+
+// retryAfterSeconds renders a backoff hint as a whole-second Retry-After
+// value, at least 1 so clients never busy-loop.
+func retryAfterSeconds(d time.Duration) string {
+	secs := int(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
 }
 
 func (m *Monitor) handleHealth(w http.ResponseWriter, _ *http.Request) {
@@ -194,13 +254,13 @@ func (m *Monitor) handlePut(w http.ResponseWriter, r *http.Request) {
 	var wcfg *core.WindowConfig
 	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "reading body: %v", err)
+		writeError(w, http.StatusBadRequest, codeBadRequest, "reading body: %v", err)
 		return
 	}
 	if len(body) > 0 {
 		var spec windowSpec
 		if err := json.Unmarshal(body, &spec); err != nil {
-			writeError(w, http.StatusBadRequest, "window spec: %v", err)
+			writeError(w, http.StatusBadRequest, codeBadRequest, "window spec: %v", err)
 			return
 		}
 		cfg := spec.config()
@@ -208,7 +268,8 @@ func (m *Monitor) handlePut(w http.ResponseWriter, r *http.Request) {
 	}
 	s, created, err := m.Open(id, wcfg)
 	if err != nil {
-		writeError(w, openStatus(err), "%v", err)
+		status, code := errStatus(err)
+		writeError(w, status, code, "%v", err)
 		return
 	}
 	code := http.StatusOK // existing session; the spec, if any, is ignored
@@ -221,7 +282,7 @@ func (m *Monitor) handlePut(w http.ResponseWriter, r *http.Request) {
 func (m *Monitor) handleStatus(w http.ResponseWriter, r *http.Request) {
 	s, ok := m.Session(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown path %q", r.PathValue("id"))
+		writeError(w, http.StatusNotFound, codeNotFound, "unknown path %q", r.PathValue("id"))
 		return
 	}
 	writeJSON(w, http.StatusOK, s.Status())
@@ -231,7 +292,7 @@ func (m *Monitor) handleDelete(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	s, ok := m.Session(id)
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown path %q", id)
+		writeError(w, http.StatusNotFound, codeNotFound, "unknown path %q", id)
 		return
 	}
 	if s.State() == StateClosed {
@@ -250,40 +311,41 @@ func (m *Monitor) handleDelete(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Status())
 }
 
-// openStatus maps session-opening errors to HTTP codes.
-func openStatus(err error) int {
-	switch {
-	case errors.Is(err, ErrShuttingDown), errors.Is(err, ErrTooManySessions):
-		return http.StatusServiceUnavailable
-	default:
-		return http.StatusBadRequest
-	}
-}
-
 func (m *Monitor) handleIngest(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	s, _, err := m.Open(id, nil) // auto-create with the default window shape
 	if err != nil {
-		writeError(w, openStatus(err), "%v", err)
+		status, code := errStatus(err)
+		writeError(w, status, code, "%v", err)
 		return
 	}
 	batch, err := decodeBatch(r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, http.StatusBadRequest, codeBadRequest, "%v", err)
 		return
 	}
 	accepted, err := s.Offer(batch)
-	resp := map[string]any{"path": id, "accepted": accepted, "dropped": len(batch) - accepted}
+	var rl *RateLimitedError
 	switch {
-	case errors.Is(err, ErrQueueFull):
-		// Backpressure: the client should resend from the accepted offset
-		// after a beat. Everything up to `accepted` IS ingested.
-		w.Header().Set("Retry-After", "1")
-		writeJSON(w, http.StatusTooManyRequests, resp)
+	case errors.Is(err, ErrQueueFull), errors.As(err, &rl):
+		// Backpressure: everything up to `accepted` IS ingested; the client
+		// should back off per Retry-After and resend from that offset. The
+		// 429 body carries the envelope plus the accepted/dropped split.
+		retry := "1"
+		if rl != nil {
+			retry = retryAfterSeconds(rl.RetryAfter)
+		}
+		w.Header().Set("Retry-After", retry)
+		status, code := errStatus(err)
+		body := errorBody(code, err.Error())
+		body["path"], body["accepted"], body["dropped"] = id, accepted, len(batch)-accepted
+		writeJSON(w, status, body)
 	case errors.Is(err, ErrSessionClosed):
-		writeError(w, http.StatusConflict, "path %q is %s", id, s.State())
+		writeError(w, http.StatusConflict, codeSessionClosed, "path %q is %s", id, s.State())
 	default:
-		writeJSON(w, http.StatusOK, resp)
+		writeJSON(w, http.StatusOK, map[string]any{
+			"path": id, "accepted": accepted, "dropped": len(batch) - accepted,
+		})
 	}
 }
 
@@ -343,14 +405,14 @@ func (m *Monitor) handleResults(w http.ResponseWriter, r *http.Request) {
 	}
 	s, ok := m.Session(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown path %q", r.PathValue("id"))
+		writeError(w, http.StatusNotFound, codeNotFound, "unknown path %q", r.PathValue("id"))
 		return
 	}
 	since := 0
 	if q := r.URL.Query().Get("since"); q != "" {
 		n, err := strconv.Atoi(q)
 		if err != nil || n < 0 {
-			writeError(w, http.StatusBadRequest, "since: %q is not a window index", q)
+			writeError(w, http.StatusBadRequest, codeBadRequest, "since: %q is not a window index", q)
 			return
 		}
 		since = n
@@ -370,12 +432,12 @@ func (m *Monitor) handleResults(w http.ResponseWriter, r *http.Request) {
 func (m *Monitor) handleEvents(w http.ResponseWriter, r *http.Request) {
 	s, ok := m.Session(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown path %q", r.PathValue("id"))
+		writeError(w, http.StatusNotFound, codeNotFound, "unknown path %q", r.PathValue("id"))
 		return
 	}
 	fl, ok := w.(http.Flusher)
 	if !ok {
-		writeError(w, http.StatusInternalServerError, "response writer cannot stream")
+		writeError(w, http.StatusInternalServerError, codeInternal, "response writer cannot stream")
 		return
 	}
 	events, cancel := s.Subscribe(256)

@@ -21,8 +21,13 @@ var latencyBoundsMS = [...]float64{10, 30, 100, 300, 1000, 3000, 10000}
 // rendering is the /metrics wire format: a JSON object of counters.
 type metrics struct {
 	ingested, dropped expvar.Int // observations
+	evicted           expvar.Int // observations evicted by ShedDropOldest
+	rateLimited       expvar.Int // observations refused by a rate limit
 	windowsAdmitted   expvar.Int // windows past the stationarity gate
 	windowsRejected   expvar.Int // windows the gate kept out
+	windowsShed       expvar.Int // windows shed by admission control
+	windowsDeadline   expvar.Int // windows cut short by the per-window deadline
+	breakerOpens      expvar.Int // circuit breaker trips
 	eventsDropped     expvar.Int // SSE events lost to slow subscribers
 	sessionsActive    expvar.Int // gauges, one per session state
 	sessionsDraining  expvar.Int
@@ -37,8 +42,13 @@ func newMetrics() *metrics {
 	mp := new(expvar.Map).Init()
 	mp.Set("observations_ingested", &m.ingested)
 	mp.Set("observations_dropped", &m.dropped)
+	mp.Set("observations_evicted", &m.evicted)
+	mp.Set("observations_rate_limited", &m.rateLimited)
 	mp.Set("windows_admitted", &m.windowsAdmitted)
 	mp.Set("windows_rejected", &m.windowsRejected)
+	mp.Set("windows_shed", &m.windowsShed)
+	mp.Set("windows_deadline_expired", &m.windowsDeadline)
+	mp.Set("breaker_opens", &m.breakerOpens)
 	mp.Set("events_dropped", &m.eventsDropped)
 	mp.Set("sessions_active", &m.sessionsActive)
 	mp.Set("sessions_draining", &m.sessionsDraining)

@@ -49,6 +49,34 @@ type Config struct {
 	// Identify configures every session's identification; the zero value
 	// is the paper's defaults.
 	Identify core.IdentifyConfig
+
+	// SessionRate limits each session's ingestion to this many
+	// observations per second (token bucket, burst SessionBurst; a zero
+	// burst defaults to one second's worth). 0 = unlimited. Refused
+	// observations surface as *RateLimitedError with a retry hint.
+	SessionRate  float64
+	SessionBurst int
+	// GlobalRate is the monitor-wide ingestion ceiling across all
+	// sessions, same semantics as SessionRate. 0 = unlimited.
+	GlobalRate  float64
+	GlobalBurst int
+
+	// Shed selects what a full session queue does with overflow:
+	// reject it back to the client (default), drop the newest, or evict
+	// the oldest queued observations.
+	Shed ShedPolicy
+
+	// Breaker configures the identification-latency circuit breaker; the
+	// zero value (Deadline 0) disables it. An open breaker sheds whole
+	// windows with explicit Shed results instead of queuing them behind a
+	// saturated EM pool.
+	Breaker BreakerConfig
+
+	// EngineHook, when non-nil, runs at the front of every window
+	// identification on the shared engine. It exists for fault injection
+	// and test instrumentation (injected EM latency, forced failures);
+	// leave it nil in production.
+	EngineHook func(ctx context.Context) error
 }
 
 func (c *Config) defaults() {
@@ -66,12 +94,15 @@ func (c *Config) defaults() {
 	}
 }
 
-// Monitor is the session registry plus the shared identification engine.
-// Safe for concurrent use; construct with New.
+// Monitor is the session registry plus the shared identification engine
+// and the monitor-wide admission state (global rate limit, circuit
+// breaker). Safe for concurrent use; construct with New.
 type Monitor struct {
-	cfg     Config
-	engine  *core.Engine
-	metrics *metrics
+	cfg        Config
+	engine     *core.Engine
+	metrics    *metrics
+	breaker    *breaker     // nil when the breaker is disabled
+	globalRate *tokenBucket // nil when unlimited
 
 	mu       sync.Mutex
 	sessions map[string]*Session
@@ -83,13 +114,24 @@ type Monitor struct {
 // first session opens.
 func New(cfg Config) *Monitor {
 	cfg.defaults()
+	engine := core.NewSharedEngine(cfg.Workers)
+	if cfg.EngineHook != nil {
+		engine.SetIdentifyHook(cfg.EngineHook)
+	}
+	met := newMetrics()
 	return &Monitor{
-		cfg:      cfg,
-		engine:   core.NewSharedEngine(cfg.Workers),
-		metrics:  newMetrics(),
-		sessions: make(map[string]*Session),
+		cfg:        cfg,
+		engine:     engine,
+		metrics:    met,
+		breaker:    newBreaker(cfg.Breaker, nil, met),
+		globalRate: newTokenBucket(cfg.GlobalRate, cfg.GlobalBurst, nil),
+		sessions:   make(map[string]*Session),
 	}
 }
+
+// BreakerState reports the circuit breaker's state ("closed", "open",
+// "half-open", or "disabled" when no breaker is configured).
+func (m *Monitor) BreakerState() string { return m.breaker.State() }
 
 // validateID keeps path identifiers printable, short, and slash-free so
 // they embed cleanly in URLs and logs.
@@ -118,6 +160,19 @@ func (m *Monitor) Open(id string, wcfg *core.WindowConfig) (s *Session, created 
 	}
 	if err := cfg.Validate(); err != nil {
 		return nil, false, err
+	}
+	if m.breaker != nil {
+		// The breaker decides admission after any caller-provided policy,
+		// so a custom Admit cannot accidentally bypass overload protection.
+		user := cfg.Admit
+		cfg.Admit = func(res *core.WindowResult) error {
+			if user != nil {
+				if err := user(res); err != nil {
+					return err
+				}
+			}
+			return m.breaker.admit(res)
+		}
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()

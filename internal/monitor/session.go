@@ -68,14 +68,21 @@ type Session struct {
 	cancel context.CancelFunc
 	done   chan struct{}
 
+	rate *tokenBucket // per-session ingestion limit; nil = unlimited
+
 	mu               sync.Mutex
 	state            State
 	err              error // pipeline setup or source failure
 	ingested         uint64
 	dropped          uint64
+	evicted          uint64 // accepted, then evicted by ShedDropOldest
+	rateLimited      uint64 // refused by a rate limit (subset of dropped)
 	windows          uint64
 	admitted         uint64
 	rejected         uint64
+	shed             uint64 // windows shed by admission control
+	deadlined        uint64 // windows cut short by the per-window deadline
+	probesWindowed   uint64 // observations that reached a window result
 	hasDCL           bool
 	bound            float64
 	lastTransition   string
@@ -90,6 +97,7 @@ func newSession(m *Monitor, id string, wcfg core.WindowConfig) *Session {
 		id:    id,
 		mon:   m,
 		wcfg:  wcfg,
+		rate:  newTokenBucket(m.cfg.SessionRate, m.cfg.SessionBurst, nil),
 		queue: make(chan trace.Observation, m.cfg.QueueSize),
 		done:  make(chan struct{}),
 		subs:  make(map[chan Event]bool),
@@ -140,30 +148,85 @@ func (s *Session) run(ctx context.Context) {
 }
 
 // Offer appends a batch to the ingestion queue without blocking. It
-// returns how many observations were accepted; when the queue fills
-// mid-batch the remainder is dropped and ErrQueueFull tells the caller to
-// back off and resend from the accepted offset.
+// returns how many observations were accepted. Admission runs in two
+// stages: the global and per-session rate limits grant a budget (a short
+// grant returns *RateLimitedError with a retry hint), then the granted
+// prefix meets the queue under the monitor's shed policy — ShedReject
+// returns ErrQueueFull for the part that did not fit (back off and resend
+// from the accepted offset), ShedDropNewest drops it, ShedDropOldest
+// evicts the oldest queued observations to make room. Every observation
+// is counted exactly once: accepted (ingested), refused (dropped, with
+// rate-limited refusals also in rate_limited), or accepted-then-evicted
+// (evicted).
 func (s *Session) Offer(obs []trace.Observation) (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.state != StateActive {
 		return 0, ErrSessionClosed
 	}
-	accepted := 0
-	for i := range obs {
+	met := s.mon.metrics
+
+	// Rate limits: take from the wide bucket first, then the narrow one,
+	// refunding the difference so a session cap cannot burn global budget.
+	granted, retry := s.mon.globalRate.take(len(obs))
+	g2, retry2 := s.rate.take(granted)
+	s.mon.globalRate.refund(granted - g2)
+	granted = g2
+	if retry2 > retry {
+		retry = retry2
+	}
+	if limited := len(obs) - granted; limited > 0 {
+		s.rateLimited += uint64(limited)
+		s.dropped += uint64(limited)
+		met.rateLimited.Add(int64(limited))
+		met.dropped.Add(int64(limited))
+	}
+
+	accepted, evicted := 0, 0
+	var queueErr error
+offer:
+	for i := 0; i < granted; i++ {
 		select {
 		case s.queue <- obs[i]:
 			accepted++
 		default:
-			s.ingested += uint64(accepted)
-			s.dropped += uint64(len(obs) - accepted)
-			s.mon.metrics.ingested.Add(int64(accepted))
-			s.mon.metrics.dropped.Add(int64(len(obs) - accepted))
-			return accepted, ErrQueueFull
+			switch s.mon.cfg.Shed {
+			case ShedDropOldest:
+				// Evict the oldest queued observation; the send then
+				// succeeds because Offer (under s.mu) is the only sender
+				// and the pipeline only drains.
+				select {
+				case <-s.queue:
+					evicted++
+				default: // racing consumer emptied the queue; just retry
+				}
+				s.queue <- obs[i]
+				accepted++
+			case ShedDropNewest:
+				break offer
+			default: // ShedReject
+				queueErr = ErrQueueFull
+				break offer
+			}
 		}
 	}
+
 	s.ingested += uint64(accepted)
-	s.mon.metrics.ingested.Add(int64(accepted))
+	s.evicted += uint64(evicted)
+	met.ingested.Add(int64(accepted))
+	met.evicted.Add(int64(evicted))
+	if over := granted - accepted; over > 0 {
+		s.dropped += uint64(over)
+		met.dropped.Add(int64(over))
+	}
+	// The queue verdict outranks the rate-limit one: it concerns earlier
+	// offsets, and the client resumes from `accepted` either way.
+	if queueErr != nil {
+		return accepted, queueErr
+	}
+	if granted < len(obs) {
+		return accepted, &RateLimitedError{RetryAfter: retry}
+	}
 	return accepted, nil
 }
 
@@ -233,20 +296,37 @@ func (s *Session) Subscribe(buf int) (<-chan Event, func()) {
 // to subscribers, in pipeline order.
 func (s *Session) record(res core.WindowResult) {
 	met := s.mon.metrics
+	expired := res.Err != nil && errors.Is(res.Err, core.ErrWindowDeadline)
 	switch {
+	case res.Shed:
+		met.windowsShed.Add(1)
 	case res.Admitted:
 		met.windowsAdmitted.Add(1)
 		met.observeLatency(res.Elapsed)
+		if expired {
+			met.windowsDeadline.Add(1)
+		}
 	case res.Err == nil:
 		met.windowsRejected.Add(1)
+	}
+	if s.mon.breaker != nil && res.Admitted {
+		// Deadline expiries count as pathological even when Elapsed
+		// (cut short by the timeout) is under the breaker deadline.
+		s.mon.breaker.observe(res.Elapsed, expired)
 	}
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.windows++
+	s.probesWindowed += uint64(res.Probes())
 	switch {
+	case res.Shed:
+		s.shed++
 	case res.Admitted:
 		s.admitted++
+		if expired {
+			s.deadlined++
+		}
 	case res.Err == nil:
 		s.rejected++
 	default:
@@ -351,11 +431,16 @@ func (s *Session) statusLocked() StatusJSON {
 		State:            s.state.String(),
 		Ingested:         s.ingested,
 		Dropped:          s.dropped,
+		Evicted:          s.evicted,
+		RateLimited:      s.rateLimited,
 		QueueLen:         len(s.queue),
 		QueueCap:         cap(s.queue),
 		Windows:          s.windows,
 		Admitted:         s.admitted,
 		Rejected:         s.rejected,
+		Shed:             s.shed,
+		Deadlined:        s.deadlined,
+		ProbesWindowed:   s.probesWindowed,
 		HasDCL:           s.hasDCL,
 		LastTransition:   s.lastTransition,
 		LastTransitionAt: s.lastTransitionAt,

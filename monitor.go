@@ -19,7 +19,8 @@ type (
 	// serves them over HTTP (Handler) or programmatically (Open).
 	Monitor = monitor.Monitor
 	// MonitorConfig shapes a Monitor: shared pool size, per-session queue
-	// and history bounds, default window shape, identification config.
+	// and history bounds, default window shape, identification config,
+	// and the overload controls (rate limits, shed policy, breaker).
 	MonitorConfig = monitor.Config
 	// MonitorSession is one monitored path: Offer ingests observations,
 	// Subscribe streams events, Drain closes it flushing the final
@@ -27,8 +28,77 @@ type (
 	MonitorSession = monitor.Session
 )
 
+// Overload-control types: the monitor's admission machinery, configured
+// through MonitorConfig and surfaced to clients as typed errors.
+type (
+	// ShedPolicy selects what a full session queue does with overflow:
+	// reject it back to the client (default), drop the newest, or evict
+	// the oldest queued observations.
+	ShedPolicy = monitor.ShedPolicy
+	// BreakerConfig configures the identification-latency circuit
+	// breaker; the zero value disables it.
+	BreakerConfig = monitor.BreakerConfig
+	// RateLimitedError reports ingestion refused by a rate limit, with
+	// the suggested retry delay; matches ErrRateLimited via errors.Is.
+	RateLimitedError = monitor.RateLimitedError
+)
+
+// Shed policies for MonitorConfig.Shed.
+const (
+	ShedReject     = monitor.ShedReject
+	ShedDropNewest = monitor.ShedDropNewest
+	ShedDropOldest = monitor.ShedDropOldest
+)
+
+// Sentinel errors of the monitor's ingestion path; match with errors.Is.
+// The HTTP layer maps them onto the /v1 error envelope (429 with
+// Retry-After for ErrQueueFull and ErrRateLimited), and MonitorClient
+// maps envelope codes back onto the same sentinels, so one vocabulary
+// works on both sides of the wire.
+var (
+	ErrQueueFull       = monitor.ErrQueueFull
+	ErrRateLimited     = monitor.ErrRateLimited
+	ErrSessionClosed   = monitor.ErrSessionClosed
+	ErrMonitorShutdown = monitor.ErrShuttingDown
+	ErrTooManySessions = monitor.ErrTooManySessions
+)
+
+// ParseShedPolicy reads a shed policy name ("reject", "drop-newest",
+// "drop-oldest"), as used by the dclserved -shed flag.
+func ParseShedPolicy(s string) (ShedPolicy, error) { return monitor.ParseShedPolicy(s) }
+
 // NewMonitor returns an embeddable monitoring service core. The zero
 // config is serviceable: GOMAXPROCS identification workers, 4096-probe
 // session queues, 3000-probe tumbling windows, the paper's
-// identification defaults.
+// identification defaults, and no overload limits (unlimited rates,
+// reject-on-full-queue, breaker off).
 func NewMonitor(cfg MonitorConfig) *Monitor { return monitor.New(cfg) }
+
+// Client types: the measurement agent's side of the monitor API.
+type (
+	// MonitorClient is a retrying HTTP client for the monitor's /v1
+	// surface; its Ingest honors the server's 429 + Retry-After
+	// backpressure contract, resuming from the accepted offset.
+	MonitorClient = monitor.Client
+	// MonitorClientConfig shapes a MonitorClient (base URL, retry budget,
+	// backoff bounds).
+	MonitorClientConfig = monitor.ClientConfig
+	// IngestStats reports what one Ingest call did: observations
+	// accepted, observations the server dropped under a drop policy, and
+	// backoff rounds taken.
+	IngestStats = monitor.IngestStats
+	// MonitorAPIError is a non-2xx monitor API response, decoded from the
+	// uniform {"error": {"code", "message"}} envelope; it matches the
+	// ingestion sentinels (ErrQueueFull, ErrRateLimited, ...) via
+	// errors.Is.
+	MonitorAPIError = monitor.APIError
+	// MonitorWindowSpec is the JSON window specification accepted when
+	// creating a session over the API.
+	MonitorWindowSpec = monitor.WindowSpec
+)
+
+// NewMonitorClient returns a client for the monitor daemon at
+// cfg.BaseURL.
+func NewMonitorClient(cfg MonitorClientConfig) (*MonitorClient, error) {
+	return monitor.NewClient(cfg)
+}

@@ -22,7 +22,9 @@ type (
 	// returns io.EOF once the source is exhausted.
 	ObservationSource = trace.ObservationSource
 	// WindowConfig shapes the sliding windows: Size (probe count) or
-	// Duration (seconds), stride, and the stationarity admission gate.
+	// Duration (seconds), stride, the stationarity admission gate, the
+	// per-window identification Deadline, and the Admit load-shedding
+	// policy hook.
 	WindowConfig = core.WindowConfig
 	// WindowResult is the per-window outcome: stationarity report,
 	// identification (or error), and the DCL transition.
@@ -40,6 +42,19 @@ const (
 	TransitionOnset   = core.TransitionOnset
 	TransitionCleared = core.TransitionCleared
 	TransitionBound   = core.TransitionBound
+)
+
+// Degraded-window sentinels; match against WindowResult.Err with
+// errors.Is. Neither is a terminal stream failure: the pipeline keeps
+// going and later windows decide normally.
+var (
+	// ErrWindowDeadline marks a window whose identification was cut short
+	// by WindowConfig.Deadline. The window stays undecided.
+	ErrWindowDeadline = core.ErrWindowDeadline
+	// ErrWindowShed marks a window refused by WindowConfig.Admit (e.g.
+	// the monitor's circuit breaker): no identification ran, the result
+	// has Shed set, and the error wraps the admission policy's reason.
+	ErrWindowShed = core.ErrWindowShed
 )
 
 // StreamCSV returns a source reading probe observations incrementally
