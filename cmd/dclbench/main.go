@@ -5,15 +5,16 @@
 //
 // Usage:
 //
-//	dclbench [-quick] [-out BENCH_pr4.json] [-baseline BENCH_baseline.json] [-tolerance 0.2]
+//	dclbench [-quick] [-out BENCH_pr7.json] [-baseline BENCH_baseline.json] [-tolerance 0.2]
 //
 // With -baseline, the run is additionally gated: if any workload's
-// fits/sec falls more than -tolerance below the baseline report, dclbench
+// fits/sec falls more than -tolerance below the baseline report, or its
+// allocs/op grows more than bench.AllocTolerance (20%) above it, dclbench
 // prints the regressions and exits 1 (the CI contract).
 //
 // Regenerate the published numbers with:
 //
-//	go run ./cmd/dclbench -out BENCH_pr4.json
+//	go run ./cmd/dclbench -out BENCH_pr7.json
 package main
 
 import (
@@ -35,7 +36,7 @@ func main() {
 	var (
 		quick     = flag.Bool("quick", false, "run the reduced CI matrix instead of the full one")
 		out       = flag.String("out", "", "write the JSON report to this file")
-		baseline  = flag.String("baseline", "", "gate fits/sec against this baseline report")
+		baseline  = flag.String("baseline", "", "gate fits/sec and allocs/op against this baseline report")
 		tolerance = flag.Float64("tolerance", 0.2, "allowed fractional fits/sec regression vs -baseline")
 	)
 	flag.Parse()
@@ -63,7 +64,7 @@ func main() {
 
 	fmt.Println()
 	tw := tabwriter.NewWriter(os.Stdout, 2, 8, 2, ' ', 0)
-	fmt.Fprintln(tw, "name\tworkload\tops\tns/op\tallocs/op\tfits/sec\tp50 ms\tp99 ms")
+	fmt.Fprintln(tw, "name\tworkload\tops\tns/op\tallocs/op\tbytes/op\tfits/sec\tp50 ms\tp99 ms")
 	failed := 0
 	for _, r := range rep.Results {
 		if r.Err != "" {
@@ -71,8 +72,8 @@ func main() {
 			fmt.Fprintf(tw, "%s\t%s\tERROR: %s\n", r.Name, r.Workload, r.Err)
 			continue
 		}
-		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%d\t%.2f\t%.1f\t%.1f\n",
-			r.Name, r.Workload, r.Ops, r.NsPerOp, r.AllocsPerOp, r.FitsPerSec, r.P50Ms, r.P99Ms)
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%d\t%d\t%.2f\t%.1f\t%.1f\n",
+			r.Name, r.Workload, r.Ops, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp, r.FitsPerSec, r.P50Ms, r.P99Ms)
 	}
 	tw.Flush()
 	fmt.Printf("\n%s %s/%s, %d CPUs, %s total\n", rep.GoVersion, rep.GOOS, rep.GOARCH, rep.NumCPU, time.Since(started).Round(time.Millisecond))

@@ -193,7 +193,9 @@ func parseSpan(s string) (count int, seconds float64, err error) {
 
 // streamTraces runs the windowed pipeline over each trace file in turn,
 // reading the CSV incrementally (and, with follow, tailing it as it
-// grows until interrupted).
+// grows until interrupted). trace.StreamCSV is a trace.BatchSource, so
+// the pipeline pulls whole columnar batches per read — rows decode
+// straight into the windower's ring buffer without per-probe hand-offs.
 func streamTraces(paths []string, wcfg core.WindowConfig, cfg core.IdentifyConfig, workers int, follow, asJSON bool) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -104,9 +104,13 @@
 //	}
 //
 // Sources are pull iterators (ObservationSource); StreamCSV reads a
-// capture incrementally in constant memory, SourceFromTrace adapts an
-// in-memory trace, and the one-shot contract is preserved exactly: a
-// single window spanning a whole trace reproduces Identify bit for bit.
+// capture incrementally in constant memory and SourceFromTrace adapts an
+// in-memory trace. Both implement BatchSource, the batch-pull fast path:
+// observations flow through the pipeline as columnar Batch blocks
+// (struct-of-arrays delay/time columns plus a loss bitmap) and each
+// window is identified from a zero-copy view of a ring buffer. The
+// one-shot contract is preserved exactly: a single window spanning a
+// whole trace reproduces Identify bit for bit.
 //
 // # Monitoring service
 //

@@ -6,23 +6,34 @@ import (
 	"os"
 )
 
-// Regression is one workload whose throughput fell below the gate.
+// AllocTolerance is how much allocs/op may grow over the baseline before
+// Compare flags it: 20%. Unlike the throughput gate's tolerance it is
+// fixed, because alloc counts are deterministic for a fixed matrix — a
+// rise past noise (GC-timing jitter on the MemStats deltas) means a code
+// path started allocating.
+const AllocTolerance = 0.20
+
+// Regression is one workload that moved past a gate: throughput fell
+// below it, or allocations grew above it.
 type Regression struct {
 	Name      string
-	Baseline  float64 // fits/sec
+	Metric    string // "fits/sec" or "allocs/op"
+	Baseline  float64
 	Current   float64
 	Ratio     float64 // current / baseline
-	Threshold float64 // minimum acceptable ratio
+	Threshold float64 // acceptable ratio bound (min for fits/sec, max for allocs/op)
 }
 
 func (r Regression) String() string {
-	return fmt.Sprintf("%s: %.2f fits/sec vs baseline %.2f (%.0f%%, gate %.0f%%)",
-		r.Name, r.Current, r.Baseline, 100*r.Ratio, 100*r.Threshold)
+	return fmt.Sprintf("%s: %.2f %s vs baseline %.2f (%.0f%%, gate %.0f%%)",
+		r.Name, r.Current, r.Metric, r.Baseline, 100*r.Ratio, 100*r.Threshold)
 }
 
 // Compare gates current against a baseline report: any result present in
-// both whose fits/sec fell below (1 - tolerance) of the baseline is a
-// regression. Results only one side has are ignored (the matrix may grow).
+// both whose fits/sec fell below (1 - tolerance) of the baseline, or
+// whose allocs/op grew beyond (1 + AllocTolerance) of it, is a
+// regression. Results only one side has are ignored (the matrix may
+// grow), as are metrics the baseline never recorded (zero allocs/op).
 func Compare(baseline, current *Report, tolerance float64) []Regression {
 	base := make(map[string]Result, len(baseline.Results))
 	for _, r := range baseline.Results {
@@ -32,17 +43,31 @@ func Compare(baseline, current *Report, tolerance float64) []Regression {
 	}
 	var regs []Regression
 	floor := 1 - tolerance
+	ceil := 1 + AllocTolerance
 	for _, cur := range current.Results {
 		b, ok := base[cur.Name]
-		if !ok || cur.Err != "" || b.FitsPerSec <= 0 {
+		if !ok || cur.Err != "" {
 			continue
 		}
-		ratio := cur.FitsPerSec / b.FitsPerSec
-		if ratio < floor {
-			regs = append(regs, Regression{
-				Name: cur.Name, Baseline: b.FitsPerSec, Current: cur.FitsPerSec,
-				Ratio: ratio, Threshold: floor,
-			})
+		if b.FitsPerSec > 0 {
+			ratio := cur.FitsPerSec / b.FitsPerSec
+			if ratio < floor {
+				regs = append(regs, Regression{
+					Name: cur.Name, Metric: "fits/sec",
+					Baseline: b.FitsPerSec, Current: cur.FitsPerSec,
+					Ratio: ratio, Threshold: floor,
+				})
+			}
+		}
+		if b.AllocsPerOp > 0 {
+			ratio := float64(cur.AllocsPerOp) / float64(b.AllocsPerOp)
+			if ratio > ceil {
+				regs = append(regs, Regression{
+					Name: cur.Name, Metric: "allocs/op",
+					Baseline: float64(b.AllocsPerOp), Current: float64(cur.AllocsPerOp),
+					Ratio: ratio, Threshold: ceil,
+				})
+			}
 		}
 	}
 	return regs

@@ -1,0 +1,219 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"dominantlink/internal/stats"
+	"dominantlink/internal/trace"
+)
+
+// The batch identification path: the streaming pipeline hands each window
+// to this file as a trace.Batch view plus a pooled pipelineScratch, and
+// the stationarity gate, discretization and symbol encoding all run out of
+// the scratch's reused buffers. Every function here is the columnar twin
+// of a row-major original (StationarityCheck, NewDiscretization,
+// Discretization.Encode, IdentifyContext) and must stay bit-identical to
+// it: same gather order, same sort, same quantile rule, same float
+// arithmetic. The windower equivalence property test holds them to that.
+
+// pipelineScratch carries one window's reusable buffers across the
+// stationarity check, discretization and symbol encoding. gather must run
+// before the stages that read delays/sorted. Scratches are pooled; none of
+// the slices escape into results.
+type pipelineScratch struct {
+	delays      []float64 // delivered one-way delays, trace order
+	sorted      []float64 // delays, ascending
+	blockSorted []float64 // one stationarity block's delays, ascending
+	rates       []float64 // per-block loss rates, ascending
+	symbols     []int     // encoded model input
+}
+
+var pipelinePool = sync.Pool{New: func() any { return new(pipelineScratch) }}
+
+// gather fills delays (delivered probes, trace order) and sorted from the
+// batch. The sort is the single ordering every downstream quantile shares,
+// exactly as the row path's stats.NewEmpirical copies would produce.
+func (sc *pipelineScratch) gather(b *trace.Batch) {
+	sc.delays = b.AppendDelivered(sc.delays[:0])
+	sc.sorted = append(sc.sorted[:0], sc.delays...)
+	sort.Float64s(sc.sorted)
+}
+
+// stationarityCheckBatch is StationarityCheck on a columnar window: block
+// loss counts come from the loss bitmap (a popcount per block instead of a
+// scan) and block delay medians from contiguous subranges of the gathered
+// delays. sc must be gathered from b.
+func stationarityCheckBatch(b *trace.Batch, cfg StationarityConfig, sc *pipelineScratch) StationarityReport {
+	cfg.defaults()
+	rep := StationarityReport{LossRate: b.LossRate()}
+	n := b.Len()
+	if n == 0 || cfg.Blocks < 1 {
+		rep.Stationary = true
+		return rep
+	}
+	if len(sc.delays) == 0 {
+		rep.Stationary = false
+		return rep
+	}
+	rep.Median = stats.QuantileSorted(sc.sorted, 0.5)
+	spread := sc.sorted[len(sc.sorted)-1] - sc.sorted[0]
+
+	blockLen := n / cfg.Blocks
+	if blockLen == 0 {
+		blockLen = 1
+	}
+	rep.Blocks = make([]BlockStats, 0, (n+blockLen-1)/blockLen)
+	// Delivered delays of block [start, end) are the contiguous range
+	// sc.delays[dFrom : dFrom+delivered]: blocks partition the window in
+	// order, so a running cursor replaces the per-block re-gather.
+	dFrom := 0
+	for start := 0; start < n; start += blockLen {
+		end := start + blockLen
+		if end > n {
+			end = n
+		}
+		losses := b.LossCountRange(start, end)
+		delivered := (end - start) - losses
+		bs := BlockStats{Start: start, End: end}
+		bs.LossRate = float64(losses) / float64(end-start)
+		if delivered > 0 {
+			sc.blockSorted = append(sc.blockSorted[:0], sc.delays[dFrom:dFrom+delivered]...)
+			sort.Float64s(sc.blockSorted)
+			bs.MedianDelay = stats.QuantileSorted(sc.blockSorted, 0.5)
+		}
+		dFrom += delivered
+		rep.Blocks = append(rep.Blocks, bs)
+		if end == n {
+			break
+		}
+	}
+
+	sc.rates = sc.rates[:0]
+	for _, bs := range rep.Blocks {
+		sc.rates = append(sc.rates, bs.LossRate)
+	}
+	sort.Float64s(sc.rates)
+	rep.RefLossRate = stats.QuantileSorted(sc.rates, 0.5)
+
+	for _, bs := range rep.Blocks {
+		if blockViolates(bs, rep, cfg, spread) {
+			rep.Violations++
+		}
+	}
+	rep.Stationary = rep.Violations == 0
+	return rep
+}
+
+// discretizeBatch is NewDiscretization from an already-gathered scratch:
+// the sorted delivered delays stand in for the Empirical sample.
+func discretizeBatch(m int, knownProp float64, sc *pipelineScratch) (Discretization, error) {
+	if m < 1 {
+		return Discretization{}, errNeedSymbol
+	}
+	if len(sc.sorted) == 0 {
+		return Discretization{}, errNoDelivered
+	}
+	lo := sc.sorted[0]
+	hi := stats.QuantileSorted(sc.sorted, RangeQuantile)
+	if knownProp > 0 {
+		lo = knownProp
+	}
+	if hi <= lo {
+		hi = lo + 1e-9 // degenerate but well-defined
+	}
+	return Discretization{M: m, Lo: lo, Hi: hi, BinWidth: (hi - lo) / float64(m)}, nil
+}
+
+// encodeBatch is Discretization.Encode into the scratch's reused symbol
+// buffer. The models copy what they retain (Scratch.lastObs), so handing
+// them the pooled buffer is safe.
+func encodeBatch(b *trace.Batch, d Discretization, sc *pipelineScratch) []int {
+	n := b.Len()
+	if cap(sc.symbols) < n {
+		sc.symbols = make([]int, n)
+	} else {
+		sc.symbols = sc.symbols[:n]
+	}
+	for i := 0; i < n; i++ {
+		if b.Lost(i) {
+			sc.symbols[i] = 0
+		} else {
+			sc.symbols[i] = d.Symbol(b.Delay(i))
+		}
+	}
+	return sc.symbols
+}
+
+// identifyBatchContext is IdentifyContext on a columnar window, fed from
+// the scratch's reused buffers instead of per-window allocations. sc must
+// be gathered from b.
+func identifyBatchContext(ctx context.Context, b *trace.Batch, cfg IdentifyConfig, sc *pipelineScratch) (*Identification, error) {
+	cfg.defaults()
+	if b.Len() == 0 {
+		return nil, ErrEmptyTrace
+	}
+	if cfg.Model != MMHD && cfg.Model != HMM {
+		return nil, fmt.Errorf("%w %d", ErrUnknownModel, cfg.Model)
+	}
+	disc, err := discretizeBatch(cfg.Symbols, cfg.KnownPropagation, sc)
+	if err != nil {
+		return nil, err
+	}
+	obs := encodeBatch(b, disc, sc)
+
+	emStart := time.Now()
+	fits, err := runRestarts(ctx, obs, cfg)
+	if err != nil {
+		return nil, err
+	}
+	emTime := time.Since(emStart)
+	var (
+		pmf        stats.PMF
+		iterations int
+		converged  bool
+		loglik     float64
+	)
+	loglik = math.Inf(-1)
+	for r := range fits {
+		if fits[r].err != nil {
+			return nil, fits[r].err
+		}
+		// Strict > keeps the lowest restart index on ties, matching the
+		// serial loop.
+		if fits[r].loglik > loglik {
+			pmf, iterations, converged, loglik =
+				fits[r].pmf, fits[r].iterations, fits[r].converged, fits[r].loglik
+		}
+	}
+	if pmf == nil {
+		return nil, ErrNoLosses
+	}
+	id := identifyFromPMF(b.LossRate(), cfg, disc, pmf, iterations, converged, loglik)
+	id.EMTime = emTime
+	return id, nil
+}
+
+// identifyBatchOne is the engine's window entry point for the batch path:
+// the same hook and panic isolation as identifyOne, around
+// identifyBatchContext.
+func (e *Engine) identifyBatchOne(ctx context.Context, b *trace.Batch, cfg IdentifyConfig, sc *pipelineScratch) (id *Identification, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			id, err = nil, fmt.Errorf("core: identification panicked: %v", r)
+		}
+	}()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if e.hook != nil {
+		if err := e.hook(ctx); err != nil {
+			return nil, err
+		}
+	}
+	return identifyBatchContext(ctx, b, cfg, sc)
+}

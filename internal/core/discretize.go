@@ -29,6 +29,13 @@ type Discretization struct {
 	BinWidth float64
 }
 
+// Discretization failures, shared by the row-major and batch paths so the
+// two report identical errors.
+var (
+	errNeedSymbol  = errors.New("core: need at least one symbol")
+	errNoDelivered = errors.New("core: no delivered probes to discretize")
+)
+
 // RangeQuantile is the quantile of the observed delays used as the top of
 // the discretization range. Using a high quantile rather than the strict
 // maximum clamps the few largest outliers into the top bin, which
@@ -44,7 +51,7 @@ const RangeQuantile = 0.995
 // minimum observed delay (§V-A).
 func NewDiscretization(obs []trace.Observation, m int, knownProp float64) (Discretization, error) {
 	if m < 1 {
-		return Discretization{}, errors.New("core: need at least one symbol")
+		return Discretization{}, errNeedSymbol
 	}
 	delays := make([]float64, 0, len(obs))
 	for _, o := range obs {
@@ -53,7 +60,7 @@ func NewDiscretization(obs []trace.Observation, m int, knownProp float64) (Discr
 		}
 	}
 	if len(delays) == 0 {
-		return Discretization{}, errors.New("core: no delivered probes to discretize")
+		return Discretization{}, errNoDelivered
 	}
 	e := stats.NewEmpirical(delays)
 	lo := e.Min()

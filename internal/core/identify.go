@@ -261,7 +261,7 @@ func IdentifyContext(ctx context.Context, tr *trace.Trace, cfg IdentifyConfig) (
 	if pmf == nil {
 		return nil, ErrNoLosses
 	}
-	id := identifyFromPMF(tr, cfg, disc, pmf, iterations, converged, loglik)
+	id := identifyFromPMF(tr.LossRate(), cfg, disc, pmf, iterations, converged, loglik)
 	id.EMTime = emTime
 	return id, nil
 }
@@ -280,6 +280,13 @@ type fitScratch struct {
 	mmhd *mmhd.Scratch
 	hmm  *hmm.Scratch
 }
+
+// fitPool recycles EM scratch buffers across identifications, so a steady
+// streaming session allocates its forward-backward arrays once, not once
+// per window. FitWithScratch resizes the buffers to each trace, and what
+// the models retain across calls (Scratch.lastObs) is their own copy, so
+// reuse cannot couple one fit to another.
+var fitPool = sync.Pool{New: func() any { return new(fitScratch) }}
 
 // fitRestart runs restart r of the configured model on the worker's
 // scratch buffers. cancel (ctx.Done() of the identification) reaches the
@@ -346,7 +353,8 @@ func runRestarts(ctx context.Context, obs []int, cfg IdentifyConfig) ([]restartF
 	}
 	fits := make([]restartFit, cfg.Restarts)
 	if workers <= 1 {
-		sc := &fitScratch{}
+		sc := fitPool.Get().(*fitScratch)
+		defer fitPool.Put(sc)
 		for r := range fits {
 			if err := ctx.Err(); err != nil {
 				return nil, err
@@ -361,7 +369,8 @@ func runRestarts(ctx context.Context, obs []int, cfg IdentifyConfig) ([]restartF
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			sc := &fitScratch{}
+			sc := fitPool.Get().(*fitScratch)
+			defer fitPool.Put(sc)
 			for {
 				r := int(next.Add(1)) - 1
 				if r >= len(fits) || ctx.Err() != nil {
@@ -383,10 +392,10 @@ func runRestarts(ctx context.Context, obs []int, cfg IdentifyConfig) ([]restartF
 // truth, or a distribution fitted with custom model settings).
 func IdentifyFromPMF(tr *trace.Trace, cfg IdentifyConfig, disc Discretization, pmf stats.PMF) *Identification {
 	cfg.defaults()
-	return identifyFromPMF(tr, cfg, disc, pmf, 0, true, 0)
+	return identifyFromPMF(tr.LossRate(), cfg, disc, pmf, 0, true, 0)
 }
 
-func identifyFromPMF(tr *trace.Trace, cfg IdentifyConfig, disc Discretization, pmf stats.PMF, iters int, conv bool, ll float64) *Identification {
+func identifyFromPMF(lossRate float64, cfg IdentifyConfig, disc Discretization, pmf stats.PMF, iters int, conv bool, ll float64) *Identification {
 	cdf := pmf.CDF()
 	// SDCLTest and MaxQueuingDelayBound floor non-positive tolerances to
 	// DefaultTolerance, so an exact zero tolerance (Tolerance=0 with
@@ -399,7 +408,7 @@ func identifyFromPMF(tr *trace.Trace, cfg IdentifyConfig, disc Discretization, p
 	id := &Identification{
 		Config:       cfg,
 		Disc:         disc,
-		LossRate:     tr.LossRate(),
+		LossRate:     lossRate,
 		VirtualPMF:   pmf,
 		VirtualCDF:   cdf,
 		SDCL:         SDCLTest(cdf, tol),

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"dominantlink/internal/trace"
@@ -233,27 +235,90 @@ func (w *Windower) Stream(ctx context.Context, src trace.ObservationSource, cfg 
 	return out, nil
 }
 
-// sourceRead is one Next call's outcome, shuttled from the reader
-// goroutine to the producer so a stalled source cannot pin the pipeline.
-type sourceRead struct {
-	o   trace.Observation
+// The data plane of the stream is a ring of refcounted columnar chunks.
+// The reader goroutine pulls whole batches from the source (BatchSource
+// fast path; legacy sources go through the one-observation adapter) into
+// pooled transfer batches; the producer appends them to the current ring
+// chunk with three column copies and hands every window a zero-copy view
+// (trace.Batch.Slice) of that chunk. Views pin the chunk through a
+// reference count: the producer holds one reference while it appends, each
+// in-flight window holds one, and the last release recycles the chunk into
+// a pool. Copies happen in exactly one place — when sliding windows
+// (stride < size) leave a live tail in a mostly-consumed chunk, the tail
+// migrates to a fresh chunk (amortized one stride of observations per
+// window, strictly less than the old full-window copy). Oversized chunks
+// are never pooled, so a long -follow session does not pin its peak-window
+// memory forever.
+
+const (
+	// transferChunk bounds one reader batch: big enough to amortize the
+	// channel operation, small enough that a live tail stays prompt.
+	transferChunk = 1024
+	// maxPooledChunk is the largest chunk capacity (in observations) the
+	// recycler keeps; anything bigger is left to the GC.
+	maxPooledChunk = 1 << 16
+)
+
+// ringChunk is one refcounted segment of a stream's ring buffer.
+type ringChunk struct {
+	batch *trace.Batch
+	refs  atomic.Int32 // producer's hold + one per in-flight window view
+}
+
+var chunkPool = sync.Pool{New: func() any { return &ringChunk{batch: trace.NewBatch(0)} }}
+
+// getChunk returns an empty chunk holding the producer's reference.
+func getChunk() *ringChunk {
+	c := chunkPool.Get().(*ringChunk)
+	c.refs.Store(1)
+	return c
+}
+
+// release drops one reference; the last release recycles the chunk. Reset
+// is safe exactly here: zero references means no view can observe the
+// wiped columns, and the releasing goroutine's atomic decrement orders its
+// reads before the recycler's writes.
+func (c *ringChunk) release() {
+	if c.refs.Add(-1) == 0 && c.batch.Cap() <= maxPooledChunk {
+		c.batch.Reset()
+		chunkPool.Put(c)
+	}
+}
+
+var transferPool = sync.Pool{New: func() any { return trace.NewBatch(transferChunk) }}
+
+// batchRead is one reader batch, shuttled from the reader goroutine to the
+// producer. Exactly one of b and err is set (NextBatch defers a terminal
+// error hit after a partial batch to its next call).
+type batchRead struct {
+	b   *trace.Batch
 	err error
 }
 
-// readAsync pumps src.Next results into the returned channel so the
+// readBatches pumps src.NextBatch results into the returned channel so the
 // producer can select against ctx. If the source stalls forever (a tail
 // that never grows, a dead probe socket), cancellation still tears the
-// stream down promptly; the reader goroutine itself stays parked in Next
-// until the source yields or fails once more, which is the best a
-// blocking pull interface allows — sources that can unblock on close
-// (e.g. the monitor's session queues) release it immediately.
-func readAsync(ctx context.Context, src trace.ObservationSource) <-chan sourceRead {
-	reads := make(chan sourceRead)
+// stream down promptly; the reader goroutine itself stays parked in
+// NextBatch until the source yields or fails once more, which is the best
+// a blocking pull interface allows — sources that can unblock on close
+// (e.g. the monitor's session queues) release it immediately. The producer
+// returns each received batch to the transfer pool once appended.
+func readBatches(ctx context.Context, src trace.BatchSource) <-chan batchRead {
+	reads := make(chan batchRead)
 	go func() {
 		for {
-			o, err := src.Next()
+			b := transferPool.Get().(*trace.Batch)
+			b.Reset()
+			n, err := src.NextBatch(b, transferChunk)
+			if n == 0 {
+				transferPool.Put(b)
+				if err == nil {
+					continue // defensive: the contract promises n>0 or err
+				}
+				b = nil
+			}
 			select {
-			case reads <- sourceRead{o, err}:
+			case reads <- batchRead{b, err}:
 			case <-ctx.Done():
 				return
 			}
@@ -265,19 +330,23 @@ func readAsync(ctx context.Context, src trace.ObservationSource) <-chan sourceRe
 	return reads
 }
 
-// cutWindows reads src to exhaustion, cutting complete windows and
-// dispatching each to a bounded worker that identifies it into its order
-// slot.
+// cutWindows reads src to exhaustion, cutting complete windows out of the
+// chunk ring and dispatching each as a view to a bounded worker that
+// identifies it into its order slot.
 func (w *Windower) cutWindows(ctx context.Context, src trace.ObservationSource, wcfg WindowConfig, cfg IdentifyConfig, order chan chan WindowResult, sem chan struct{}) {
 	var (
-		buf      []trace.Observation
-		base     int // absolute index of buf[0]
-		winStart int // count mode: absolute index of the next window start
-		t0       float64
-		t0set    bool
-		index    int
+		chunk     = getChunk()
+		chunkBase int // absolute index of chunk element 0
+		liveStart int // absolute index of the oldest retained observation
+		winStart  int // count mode: absolute index of the next window start
+		t0        float64
+		t0set     bool
+		index     int
 	)
-	emit := func(start, end int, obs []trace.Observation, partial bool) bool {
+	defer func() { chunk.release() }()
+	total := func() int { return chunkBase + chunk.batch.Len() }
+
+	emit := func(start, end int, partial bool) bool {
 		// Acquire the worker slot before enqueueing the order slot: every
 		// slot the emitter sees is then guaranteed a worker to fill it, so
 		// an abort here can never strand the emitter on an empty future.
@@ -293,55 +362,73 @@ func (w *Windower) cutWindows(ctx context.Context, src trace.ObservationSource, 
 			<-sem // release the unused worker slot (shared across streams)
 			return false
 		}
+		view := chunk.batch.Slice(start-chunkBase, end-chunkBase)
+		chunk.refs.Add(1)
+		ch := chunk
 		res := WindowResult{Index: index, Start: start, End: end, Partial: partial,
-			StartTime: obs[0].SendTime, EndTime: obs[len(obs)-1].SendTime}
+			StartTime: view.SendTime(0), EndTime: view.SendTime(view.Len() - 1)}
 		index++
 		go func() {
 			defer func() { <-sem }()
-			slot <- w.identifyWindow(ctx, res, obs, cfg)
+			defer ch.release()
+			slot <- w.identifyWindow(ctx, res, view, cfg)
 		}()
 		return true
 	}
-	// drop compacts the buffer so buf[0] is absolute index base+n.
-	drop := func(n int) {
-		if n <= 0 {
+	// advance retires consumed observations: the logical buffer now starts
+	// at absolute index s. A fully-consumed chunk is released for reuse; a
+	// chunk whose dead prefix has grown to the live tail's size migrates
+	// the tail to a fresh chunk, which both bounds the ring at O(window)
+	// and right-sizes the backing arrays (the old chunk is recycled or
+	// GC'd, never pinned at peak size).
+	advance := func(s int) {
+		if t := total(); s > t {
+			s = t // stride > size: the drop point is past the data read so far
+		}
+		if s > liveStart {
+			liveStart = s
+		}
+		dead := liveStart - chunkBase
+		if dead == 0 {
 			return
 		}
-		if n > len(buf) {
-			n = len(buf)
+		live := chunk.batch.Len() - dead
+		if live == 0 {
+			chunk.release()
+			chunk = getChunk()
+			chunkBase = liveStart
+			return
 		}
-		buf = append(buf[:0], buf[n:]...)
-		base += n
+		if dead >= live {
+			next := getChunk()
+			next.batch.AppendBatch(chunk.batch.Slice(dead, chunk.batch.Len()))
+			chunk.release()
+			chunk = next
+			chunkBase = liveStart
+		}
 	}
-	reads := readAsync(ctx, src)
+	reads := readBatches(ctx, trace.AsBatchSource(src))
 	for {
-		var o trace.Observation
 		select {
 		case r := <-reads:
-			o = r.o
 			if r.err == io.EOF {
-				// Flush the trailing partial window, if asked to: in count
-				// mode the buffer was compacted to the next window start
-				// after each emit, in duration mode to the current window
-				// origin, so the tail is buf from the pending start on.
+				// Flush the trailing partial window, if asked to: the tail
+				// runs from the pending window start (count mode) or the
+				// current window origin (duration mode) to the end.
 				if wcfg.FlushPartial {
-					tail := buf
+					start := liveStart
 					if wcfg.Size > 0 {
-						if winStart-base >= len(buf) {
-							return
-						}
-						tail = buf[winStart-base:]
-						base = winStart
+						start = winStart
 					}
-					if len(tail) > 0 {
-						emit(base, base+len(tail), append([]trace.Observation(nil), tail...), true)
+					if start < total() {
+						emit(start, total(), true)
 					}
 				}
 				return
 			}
 			if r.err != nil {
 				slot := make(chan WindowResult, 1)
-				slot <- WindowResult{Index: index, Start: base + len(buf), End: base + len(buf),
+				slot <- WindowResult{Index: index, Start: total(), End: total(),
 					Err: fmt.Errorf("core: observation source: %w", r.err)}
 				select {
 				case order <- slot:
@@ -349,52 +436,61 @@ func (w *Windower) cutWindows(ctx context.Context, src trace.ObservationSource, 
 				}
 				return
 			}
+			chunk.batch.AppendBatch(r.b)
+			transferPool.Put(r.b)
 		case <-ctx.Done():
 			return
 		}
-		buf = append(buf, o)
 		if wcfg.Size > 0 {
-			for base+len(buf) >= winStart+wcfg.Size {
-				win := buf[winStart-base : winStart+wcfg.Size-base]
-				if !emit(winStart, winStart+wcfg.Size, append([]trace.Observation(nil), win...), false) {
+			for total() >= winStart+wcfg.Size {
+				if !emit(winStart, winStart+wcfg.Size, false) {
 					return
 				}
 				winStart += wcfg.Stride
-				drop(winStart - base)
+				advance(winStart)
 			}
 			continue
 		}
-		if !t0set {
-			t0, t0set = o.SendTime, true
+		if !t0set && chunk.batch.Len() > 0 {
+			t0, t0set = chunk.batch.SendTime(0), true
 		}
-		for o.SendTime >= t0+wcfg.Duration {
+		// Window boundaries depend only on send times, so cutting once per
+		// appended batch emits the same windows the per-observation loop
+		// did.
+		for t0set && chunk.batch.Len() > 0 &&
+			chunk.batch.SendTime(chunk.batch.Len()-1) >= t0+wcfg.Duration {
+			i := liveStart - chunkBase
 			cut := 0
-			for cut < len(buf) && buf[cut].SendTime < t0+wcfg.Duration {
+			for i+cut < chunk.batch.Len() && chunk.batch.SendTime(i+cut) < t0+wcfg.Duration {
 				cut++
 			}
 			// An empty window (a probe gap longer than the window) yields
 			// no result; the stream just moves on.
 			if cut > 0 {
-				if !emit(base, base+cut, append([]trace.Observation(nil), buf[:cut]...), false) {
+				if !emit(liveStart, liveStart+cut, false) {
 					return
 				}
 			}
 			t0 += wcfg.StrideDuration
 			n := 0
-			for n < len(buf) && buf[n].SendTime < t0 {
+			for i+n < chunk.batch.Len() && chunk.batch.SendTime(i+n) < t0 {
 				n++
 			}
-			drop(n)
+			advance(liveStart + n)
 		}
 	}
 }
 
-// identifyWindow gates one window on stationarity, consults admission
+// identifyWindow gates one window view on stationarity, consults admission
 // control, and identifies admitted windows through the engine (sharing its
-// panic isolation) under the configured per-window deadline.
-func (w *Windower) identifyWindow(ctx context.Context, res WindowResult, obs []trace.Observation, cfg IdentifyConfig) WindowResult {
-	tr := &trace.Trace{Observations: obs}
-	res.Stationarity = StationarityCheck(tr, w.cfg.Gate)
+// panic isolation) under the configured per-window deadline. The window's
+// delays are gathered and sorted once into a pooled scratch shared by the
+// gate and the discretization.
+func (w *Windower) identifyWindow(ctx context.Context, res WindowResult, b *trace.Batch, cfg IdentifyConfig) WindowResult {
+	sc := pipelinePool.Get().(*pipelineScratch)
+	defer pipelinePool.Put(sc)
+	sc.gather(b)
+	res.Stationarity = stationarityCheckBatch(b, w.cfg.Gate, sc)
 	res.Admitted = w.cfg.DisableGate || res.Stationarity.Stationary
 	if !res.Admitted {
 		return res
@@ -419,7 +515,7 @@ func (w *Windower) identifyWindow(ctx context.Context, res WindowResult, obs []t
 		defer cancel()
 	}
 	start := time.Now()
-	res.ID, res.Err = w.engine.identifyOne(ictx, Job{Trace: tr, Config: cfg})
+	res.ID, res.Err = w.engine.identifyBatchOne(ictx, b, cfg, sc)
 	res.Elapsed = time.Since(start)
 	// A deadline expiry of THIS window (and not a cancellation of the whole
 	// stream) surfaces as the typed window-deadline error.

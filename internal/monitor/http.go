@@ -324,7 +324,8 @@ func (m *Monitor) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, codeBadRequest, "%v", err)
 		return
 	}
-	accepted, err := s.Offer(batch)
+	offered := batch.Len()
+	accepted, err := s.OfferBatch(batch)
 	var rl *RateLimitedError
 	switch {
 	case errors.Is(err, ErrQueueFull), errors.As(err, &rl):
@@ -338,34 +339,35 @@ func (m *Monitor) handleIngest(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Retry-After", retry)
 		status, code := errStatus(err)
 		body := errorBody(code, err.Error())
-		body["path"], body["accepted"], body["dropped"] = id, accepted, len(batch)-accepted
+		body["path"], body["accepted"], body["dropped"] = id, accepted, offered-accepted
 		writeJSON(w, status, body)
 	case errors.Is(err, ErrSessionClosed):
 		writeError(w, http.StatusConflict, codeSessionClosed, "path %q is %s", id, s.State())
 	default:
 		writeJSON(w, http.StatusOK, map[string]any{
-			"path": id, "accepted": accepted, "dropped": len(batch) - accepted,
+			"path": id, "accepted": accepted, "dropped": offered - accepted,
 		})
 	}
 }
 
-// decodeBatch reads one ingestion body: CSV in the trace format when the
-// Content-Type says so, else a JSON array of observations (bare or under
-// an "observations" key).
-func decodeBatch(r *http.Request) ([]trace.Observation, error) {
+// decodeBatch reads one ingestion body into a columnar batch: CSV in the
+// trace format when the Content-Type says so, else a JSON array of
+// observations (bare or under an "observations" key). The batch goes
+// straight from the wire decode to the session queue — no intermediate
+// row-major slice.
+func decodeBatch(r *http.Request) (*trace.Batch, error) {
 	body := http.MaxBytesReader(nil, r.Body, maxIngestBody)
 	if ct := r.Header.Get("Content-Type"); strings.Contains(ct, "csv") {
 		src := trace.StreamCSV(body)
-		var batch []trace.Observation
+		batch := trace.NewBatch(0)
 		for {
-			o, err := src.Next()
+			_, err := src.NextBatch(batch, 0)
 			if err == io.EOF {
 				return batch, nil
 			}
 			if err != nil {
 				return nil, err
 			}
-			batch = append(batch, o)
 		}
 	}
 	raw, err := io.ReadAll(body)
@@ -385,15 +387,16 @@ func decodeBatch(r *http.Request) ([]trace.Observation, error) {
 	} else if err := json.Unmarshal(raw, &rows); err != nil {
 		return nil, fmt.Errorf("observations: %v", err)
 	}
-	batch := make([]trace.Observation, len(rows))
+	batch := trace.NewBatch(len(rows))
 	for i, row := range rows {
 		if !row.Lost && row.Delay < 0 {
 			return nil, fmt.Errorf("observation %d: negative delay %v on a delivered probe", i, row.Delay)
 		}
-		batch[i] = trace.Observation{Seq: row.Seq, SendTime: row.SendTime, Lost: row.Lost}
+		o := trace.Observation{Seq: row.Seq, SendTime: row.SendTime, Lost: row.Lost}
 		if !row.Lost {
-			batch[i].Delay = row.Delay
+			o.Delay = row.Delay
 		}
+		batch.Append(o)
 	}
 	return batch, nil
 }

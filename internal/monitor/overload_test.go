@@ -60,9 +60,9 @@ func TestOfferGlobalRateRefund(t *testing.T) {
 	}
 }
 
-// TestOfferDropOldest: the whole batch is accepted, the oldest queued
-// observations are evicted, and the accounting closes: every accepted
-// observation is either still queued or counted evicted.
+// TestOfferDropOldest: the whole offered batch is accepted, the oldest
+// queued batches are evicted to make room, and the accounting closes:
+// every accepted observation is either still queued or counted evicted.
 func TestOfferDropOldest(t *testing.T) {
 	m := New(Config{QueueSize: 4, Shed: ShedDropOldest})
 	s := newSession(m, "p", m.cfg.Window)
@@ -73,18 +73,31 @@ func TestOfferDropOldest(t *testing.T) {
 	if accepted, err := s.Offer(healthyObs(3)); accepted != 3 || err != nil {
 		t.Fatalf("overflow Offer = (%d, %v), want (3, nil) under drop-oldest", accepted, err)
 	}
+	// Eviction is batch-granular: the whole first batch (4 obs) went to
+	// make room for the 3 new ones.
 	st := s.Status()
-	if st.Ingested != 7 || st.Evicted != 3 || st.Dropped != 0 || st.QueueLen != 4 {
-		t.Fatalf("status = ingested %d evicted %d dropped %d queue %d, want 7/3/0/4",
+	if st.Ingested != 7 || st.Evicted != 4 || st.Dropped != 0 || st.QueueLen != 3 {
+		t.Fatalf("status = ingested %d evicted %d dropped %d queue %d, want 7/4/0/3",
 			st.Ingested, st.Evicted, st.Dropped, st.QueueLen)
 	}
 	if st.Ingested-st.Evicted != uint64(st.QueueLen) {
 		t.Fatal("accounting leak: ingested - evicted != queued")
 	}
-	// The queue holds the newest data: seq 0..2 of the second batch plus
-	// the survivor of the first.
-	if o := <-s.queue; o.Seq != 3 {
-		t.Fatalf("oldest surviving seq = %d, want 3 (seqs 0..2 evicted)", o.Seq)
+	// The queue holds only the newest batch. (Receiving directly stands in
+	// for the pipeline, which also decrements the queued count.)
+	b := <-s.queue
+	s.queued.Add(-int64(b.Len()))
+	if b.Len() != 3 || b.Seq(0) != 0 {
+		t.Fatalf("surviving batch = %d obs starting at seq %d, want the 3-probe overflow batch", b.Len(), b.Seq(0))
+	}
+
+	// A batch bigger than the whole queue evicts its own head: the newest
+	// QueueSize observations survive.
+	if accepted, err := s.Offer(healthyObs(6)); accepted != 6 || err != nil {
+		t.Fatalf("oversized Offer = (%d, %v), want (6, nil) under drop-oldest", accepted, err)
+	}
+	if b := <-s.queue; b.Len() != 4 || b.Seq(0) != 2 {
+		t.Fatalf("oversized survivor = %d obs starting at seq %d, want 4 obs from seq 2", b.Len(), b.Seq(0))
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"io"
 	"sync"
+	"sync/atomic"
 
 	"dominantlink/internal/core"
 	"dominantlink/internal/trace"
@@ -60,11 +61,19 @@ type Event struct {
 // Session is one monitored path: a bounded ingestion queue feeding the
 // streaming window pipeline on the monitor's shared engine. All methods
 // are safe for concurrent use.
+//
+// The queue carries columnar batches, not individual observations: one
+// HTTP ingest is one channel send however many probes it carries, and the
+// pipeline end drains whole batches per read. The capacity bound
+// (Config.QueueSize) is still counted in observations, tracked in queued;
+// every enqueued batch is non-empty and queued never exceeds QueueSize,
+// so at most QueueSize batches are in flight and a send can never block.
 type Session struct {
 	id     string
 	mon    *Monitor
 	wcfg   core.WindowConfig
-	queue  chan trace.Observation
+	queue  chan *trace.Batch
+	queued atomic.Int64 // observations currently in queue
 	cancel context.CancelFunc
 	done   chan struct{}
 
@@ -98,7 +107,7 @@ func newSession(m *Monitor, id string, wcfg core.WindowConfig) *Session {
 		mon:   m,
 		wcfg:  wcfg,
 		rate:  newTokenBucket(m.cfg.SessionRate, m.cfg.SessionBurst, nil),
-		queue: make(chan trace.Observation, m.cfg.QueueSize),
+		queue: make(chan *trace.Batch, m.cfg.QueueSize),
 		done:  make(chan struct{}),
 		subs:  make(map[chan Event]bool),
 	}
@@ -117,25 +126,97 @@ func (s *Session) State() State {
 // Done is closed once the session's pipeline has fully finished.
 func (s *Session) Done() <-chan struct{} { return s.done }
 
-// queueSource adapts the ingestion queue into a trace.ObservationSource.
-// Next blocks until an observation arrives or the queue is closed — which
-// is exactly the shape the Windower's context-aware reader expects: the
-// read unblocks the moment the session drains.
-type queueSource struct{ q chan trace.Observation }
+// queueSource adapts the ingestion queue into a trace.BatchSource.
+// NextBatch blocks until a batch arrives or the queue is closed — which is
+// exactly the shape the Windower's context-aware reader expects: the read
+// unblocks the moment the session drains — then opportunistically drains
+// whatever else is already queued, up to max. A batch leaves the queued
+// count the moment it is received; a batch too big for max parks in cur
+// and feeds later calls.
+type queueSource struct {
+	q      chan *trace.Batch
+	queued *atomic.Int64
+	cur    *trace.Batch // partially consumed batch, [i, Len) still pending
+	i      int
+}
+
+// recv accounts a received batch out of the queue.
+func (q *queueSource) recv(b *trace.Batch) { q.queued.Add(-int64(b.Len())) }
 
 func (q *queueSource) Next() (trace.Observation, error) {
-	o, ok := <-q.q
-	if !ok {
-		return trace.Observation{}, io.EOF
+	for q.cur == nil || q.i >= q.cur.Len() {
+		b, ok := <-q.q
+		if !ok {
+			return trace.Observation{}, io.EOF
+		}
+		q.recv(b)
+		q.cur, q.i = b, 0
 	}
+	o := q.cur.At(q.i)
+	q.i++
 	return o, nil
+}
+
+func (q *queueSource) NextBatch(dst *trace.Batch, max int) (int, error) {
+	if max <= 0 {
+		max = 1 << 20
+	}
+	n := 0
+	if q.cur != nil && q.i < q.cur.Len() {
+		take := q.cur.Len() - q.i
+		if take > max {
+			take = max
+		}
+		dst.AppendBatch(q.cur.Slice(q.i, q.i+take))
+		q.i += take
+		n += take
+		if n >= max {
+			return n, nil
+		}
+	}
+	q.cur = nil
+	if n == 0 { // block only when nothing was appended yet
+		b, ok := <-q.q
+		if !ok {
+			return 0, io.EOF
+		}
+		q.recv(b)
+		if b.Len() > max {
+			dst.AppendBatch(b.Slice(0, max))
+			q.cur, q.i = b, max
+			return max, nil
+		}
+		dst.AppendBatch(b)
+		n += b.Len()
+	}
+	for n < max {
+		select {
+		case b, ok := <-q.q:
+			if !ok {
+				return n, nil // the terminal io.EOF comes from a later call
+			}
+			q.recv(b)
+			take := b.Len()
+			if n+take > max {
+				take = max - n
+				dst.AppendBatch(b.Slice(0, take))
+				q.cur, q.i = b, take
+			} else {
+				dst.AppendBatch(b)
+			}
+			n += take
+		default:
+			return n, nil
+		}
+	}
+	return n, nil
 }
 
 // run is the session's pipeline loop (one goroutine per session; the
 // identification work itself runs on the monitor's shared pool).
 func (s *Session) run(ctx context.Context) {
 	defer s.finish()
-	ch, err := core.NewWindower(s.mon.engine, s.wcfg).Stream(ctx, &queueSource{q: s.queue}, s.mon.cfg.Identify)
+	ch, err := core.NewWindower(s.mon.engine, s.wcfg).Stream(ctx, &queueSource{q: s.queue, queued: &s.queued}, s.mon.cfg.Identify)
 	if err != nil {
 		s.mu.Lock()
 		s.err = err
@@ -147,68 +228,105 @@ func (s *Session) run(ctx context.Context) {
 	}
 }
 
-// Offer appends a batch to the ingestion queue without blocking. It
-// returns how many observations were accepted. Admission runs in two
+// Offer appends a row-major batch to the ingestion queue without
+// blocking; it is OfferBatch over a columnar conversion. It returns how
+// many observations were accepted.
+func (s *Session) Offer(obs []trace.Observation) (int, error) {
+	return s.OfferBatch(trace.BatchOfObservations(obs))
+}
+
+// OfferBatch appends a columnar batch to the ingestion queue without
+// blocking, taking ownership of b (the caller must not touch it again).
+// It returns how many observations were accepted. Admission runs in two
 // stages: the global and per-session rate limits grant a budget (a short
 // grant returns *RateLimitedError with a retry hint), then the granted
 // prefix meets the queue under the monitor's shed policy — ShedReject
 // returns ErrQueueFull for the part that did not fit (back off and resend
 // from the accepted offset), ShedDropNewest drops it, ShedDropOldest
-// evicts the oldest queued observations to make room. Every observation
-// is counted exactly once: accepted (ingested), refused (dropped, with
-// rate-limited refusals also in rate_limited), or accepted-then-evicted
-// (evicted).
-func (s *Session) Offer(obs []trace.Observation) (int, error) {
+// evicts the oldest queued observations (whole batches at a time) to make
+// room. Every observation is counted exactly once: accepted (ingested),
+// refused (dropped, with rate-limited refusals also in rate_limited), or
+// accepted-then-evicted (evicted). The whole admission is one lock
+// acquisition and at most one channel send per call, however many probes
+// the batch carries.
+func (s *Session) OfferBatch(b *trace.Batch) (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.state != StateActive {
 		return 0, ErrSessionClosed
 	}
 	met := s.mon.metrics
+	n := b.Len()
 
 	// Rate limits: take from the wide bucket first, then the narrow one,
 	// refunding the difference so a session cap cannot burn global budget.
-	granted, retry := s.mon.globalRate.take(len(obs))
+	granted, retry := s.mon.globalRate.take(n)
 	g2, retry2 := s.rate.take(granted)
 	s.mon.globalRate.refund(granted - g2)
 	granted = g2
 	if retry2 > retry {
 		retry = retry2
 	}
-	if limited := len(obs) - granted; limited > 0 {
+	if limited := n - granted; limited > 0 {
 		s.rateLimited += uint64(limited)
 		s.dropped += uint64(limited)
 		met.rateLimited.Add(int64(limited))
 		met.dropped.Add(int64(limited))
 	}
 
-	accepted, evicted := 0, 0
+	// The queue bound is counted in observations (s.queued); Offer under
+	// s.mu is the only incrementer and the pipeline only decrements, so
+	// free is a safe lower bound on the actual room.
+	accepted, evicted := granted, 0
+	lo := 0 // enqueue b[lo:accepted]
 	var queueErr error
-offer:
-	for i := 0; i < granted; i++ {
-		select {
-		case s.queue <- obs[i]:
-			accepted++
-		default:
-			switch s.mon.cfg.Shed {
-			case ShedDropOldest:
-				// Evict the oldest queued observation; the send then
-				// succeeds because Offer (under s.mu) is the only sender
-				// and the pipeline only drains.
+	free := s.mon.cfg.QueueSize - int(s.queued.Load())
+	if accepted > free {
+		switch s.mon.cfg.Shed {
+		case ShedDropOldest:
+			// Evict whole queued batches, oldest first, until the grant
+			// fits. The receive cannot block: under s.mu we are the only
+			// sender, and a racing consumer only makes more room.
+			for accepted > free {
 				select {
-				case <-s.queue:
-					evicted++
-				default: // racing consumer emptied the queue; just retry
+				case old := <-s.queue:
+					s.queued.Add(-int64(old.Len()))
+					free += old.Len()
+					evicted += old.Len()
+				default: // queue empty; the batch alone exceeds capacity
+					free = s.mon.cfg.QueueSize - int(s.queued.Load())
+					if accepted > free {
+						// Keep the newest `free` observations; the head is
+						// accepted-then-evicted, exactly as enqueueing one
+						// by one and self-evicting would leave it.
+						lo = accepted - free
+						evicted += lo
+					}
 				}
-				s.queue <- obs[i]
-				accepted++
-			case ShedDropNewest:
-				break offer
-			default: // ShedReject
-				queueErr = ErrQueueFull
-				break offer
+				if accepted-lo <= free {
+					break
+				}
 			}
+		case ShedDropNewest:
+			if free < 0 {
+				free = 0
+			}
+			accepted = free
+		default: // ShedReject
+			if free < 0 {
+				free = 0
+			}
+			accepted = free
+			queueErr = ErrQueueFull
 		}
+	}
+	if accepted > lo {
+		enq := b
+		if lo > 0 || accepted < n {
+			enq = b.Slice(lo, accepted)
+		}
+		s.queued.Add(int64(enq.Len()))
+		s.queue <- enq // cannot block: queued <= QueueSize and batches >= 1 obs
 	}
 
 	s.ingested += uint64(accepted)
@@ -224,7 +342,7 @@ offer:
 	if queueErr != nil {
 		return accepted, queueErr
 	}
-	if granted < len(obs) {
+	if granted < n {
 		return accepted, &RateLimitedError{RetryAfter: retry}
 	}
 	return accepted, nil
@@ -433,8 +551,8 @@ func (s *Session) statusLocked() StatusJSON {
 		Dropped:          s.dropped,
 		Evicted:          s.evicted,
 		RateLimited:      s.rateLimited,
-		QueueLen:         len(s.queue),
-		QueueCap:         cap(s.queue),
+		QueueLen:         int(s.queued.Load()),
+		QueueCap:         s.mon.cfg.QueueSize,
 		Windows:          s.windows,
 		Admitted:         s.admitted,
 		Rejected:         s.rejected,

@@ -73,3 +73,32 @@ func (s *LiveSource) Next() (trace.Observation, error) {
 		s.run.Sim.Run(until)
 	}
 }
+
+// NextBatch implements trace.BatchSource: it yields every probe already
+// settled at the current simulation time in one call (up to max),
+// advancing the clock only when none is pending — so the stream flows in
+// whole columns without running the simulation further ahead than Next
+// would.
+func (s *LiveSource) NextBatch(dst *trace.Batch, max int) (int, error) {
+	if max <= 0 {
+		max = 4096
+	}
+	n := 0
+	for n < max {
+		o, err := s.Next()
+		if err != nil {
+			if n > 0 {
+				return n, nil // io.EOF surfaces on the next call
+			}
+			return 0, err
+		}
+		dst.Append(o)
+		n++
+		// Keep draining only while the next probe has already settled;
+		// advancing the clock for it is Next's job on a later call.
+		if _, ok := s.run.prober.ObservationAt(s.next); !ok {
+			break
+		}
+	}
+	return n, nil
+}

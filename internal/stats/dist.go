@@ -143,6 +143,27 @@ func (e *Empirical) Quantile(q float64) float64 {
 	return e.sorted[idx]
 }
 
+// QuantileSorted returns the q-quantile of an already-sorted sample using
+// the same nearest-rank rule as Empirical.Quantile, for callers that
+// manage their own sorted buffer (the streaming pipeline's per-window
+// scratch) and must match Empirical bit for bit.
+func QuantileSorted(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return sorted[idx]
+}
+
 // Mean returns the sample mean, or NaN for an empty sample.
 func (e *Empirical) Mean() float64 {
 	if len(e.sorted) == 0 {

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"bufio"
 	"encoding/csv"
 	"fmt"
 	"io"
@@ -38,9 +39,10 @@ func (s *SliceSource) Next() (Observation, error) {
 	return o, nil
 }
 
-// Source returns an ObservationSource over the trace's observations, for
-// feeding a fully materialized trace into the streaming pipeline.
-func (t *Trace) Source() ObservationSource {
+// Source returns a source over the trace's observations, for feeding a
+// fully materialized trace into the streaming pipeline. The returned
+// SliceSource is also a BatchSource: the whole trace drains in bulk.
+func (t *Trace) Source() *SliceSource {
 	return NewSliceSource(t.Observations)
 }
 
@@ -70,8 +72,10 @@ func Collect(src ObservationSource) (*Trace, error) {
 // through Truth immediately after the Next call that consumed the row.
 type CSVSource struct {
 	cr      *csv.Reader
-	started bool // first data row seen; fields count fixed
-	wide    bool // extended ground-truth columns present
+	br      *bufio.Reader // our buffer around r; Buffered()>0 = more rows promptly available
+	pending error         // deferred terminal error after a partial NextBatch
+	started bool          // first data row seen; fields count fixed
+	wide    bool          // extended ground-truth columns present
 	truth   GroundTruth
 	hasGT   bool
 }
@@ -80,13 +84,46 @@ type CSVSource struct {
 // incrementally. The reader is consumed row by row: memory use is O(1) in
 // the trace length.
 func StreamCSV(r io.Reader) *CSVSource {
-	cr := csv.NewReader(r)
+	// Our own bufio layer sits under the csv reader's so NextBatch can ask
+	// "is more input promptly available?" (Buffered() > 0) and batch
+	// greedily on files while staying prompt on live tails.
+	br := bufio.NewReaderSize(r, 64<<10)
+	cr := csv.NewReader(br)
 	// Field-count consistency is enforced below with line-numbered errors;
 	// letting the csv layer do it would also reject the header of a
 	// truth-extended file following 4-field data rows (and vice versa).
 	cr.FieldsPerRecord = -1
 	cr.ReuseRecord = true
-	return &CSVSource{cr: cr}
+	return &CSVSource{cr: cr, br: br}
+}
+
+// NextBatch implements BatchSource: it blocks for the first row, then
+// keeps appending rows while max allows and the underlying reader has
+// bytes already buffered — so a materialized file drains in max-sized
+// columns while a tailed live capture yields whatever has arrived without
+// waiting for a full batch. A terminal error hit after at least one
+// appended row is deferred to the next call.
+func (s *CSVSource) NextBatch(dst *Batch, max int) (int, error) {
+	if max <= 0 {
+		max = 4096
+	}
+	n := 0
+	for n < max {
+		o, err := s.Next()
+		if err != nil {
+			if n > 0 {
+				s.pending = err
+				return n, nil
+			}
+			return 0, err
+		}
+		dst.Append(o)
+		n++
+		if s.br.Buffered() == 0 {
+			break
+		}
+	}
+	return n, nil
 }
 
 // Truth returns the ground-truth columns of the row consumed by the last
@@ -108,6 +145,11 @@ func blankRow(row []string) bool {
 
 // Next implements ObservationSource.
 func (s *CSVSource) Next() (Observation, error) {
+	if s.pending != nil {
+		err := s.pending
+		s.pending = nil
+		return Observation{}, err
+	}
 	for {
 		row, err := s.cr.Read()
 		if err != nil {

@@ -9,6 +9,7 @@ import (
 	"io"
 	"strconv"
 	"strings"
+	"sync/atomic"
 )
 
 // Observation is one periodic probe: either a one-way delay in seconds or
@@ -40,16 +41,39 @@ type Trace struct {
 	// it (it approximates it with the minimum observed delay, §V-A) but
 	// experiments use it to quantify that approximation (Fig. 14).
 	PropagationDelay float64
+
+	// lossCount caches the number of lost probes (stored as count+1; 0 =
+	// not yet counted) so the per-window metric and stationarity paths
+	// stop rescanning the whole trace; it is filled on first use (or up
+	// front by construction sites that already know it, e.g. a Batch
+	// materialization). It is a single atomic word because one trace may
+	// be identified by several engine workers at once: concurrent fills
+	// scan the same immutable observations and store the same value. Code
+	// that flips Lost flags after the count was taken must not rely on
+	// LossCount/LossRate again.
+	lossCount atomic.Int64
 }
 
-// LossCount returns the number of lost probes.
+// SetLossCount primes the loss-count cache for constructors that already
+// know how many probes were lost (a Batch tracks it incrementally). The
+// count must match the Lost flags in Observations.
+func (t *Trace) SetLossCount(n int) {
+	t.lossCount.Store(int64(n) + 1)
+}
+
+// LossCount returns the number of lost probes. The scan runs once; the
+// count is cached across calls.
 func (t *Trace) LossCount() int {
+	if v := t.lossCount.Load(); v > 0 {
+		return int(v - 1)
+	}
 	n := 0
 	for _, o := range t.Observations {
 		if o.Lost {
 			n++
 		}
 	}
+	t.SetLossCount(n)
 	return n
 }
 

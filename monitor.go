@@ -22,9 +22,9 @@ type (
 	// and history bounds, default window shape, identification config,
 	// and the overload controls (rate limits, shed policy, breaker).
 	MonitorConfig = monitor.Config
-	// MonitorSession is one monitored path: Offer ingests observations,
-	// Subscribe streams events, Drain closes it flushing the final
-	// partial window.
+	// MonitorSession is one monitored path: Offer (or the zero-copy
+	// OfferBatch, taking a columnar Batch) ingests observations, Subscribe
+	// streams events, Drain closes it flushing the final partial window.
 	MonitorSession = monitor.Session
 )
 

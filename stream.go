@@ -21,6 +21,16 @@ type (
 	// ObservationSource is a pull iterator over probe observations; Next
 	// returns io.EOF once the source is exhausted.
 	ObservationSource = trace.ObservationSource
+	// BatchSource is the batch-pull fast path of ObservationSource:
+	// sources implementing it feed the streaming pipeline whole columnar
+	// batches per call instead of one observation at a time. StreamCSV,
+	// SourceFromTrace and the monitor's session queues all implement it;
+	// the pipeline wraps anything else via trace.AsBatchSource.
+	BatchSource = trace.BatchSource
+	// Batch is a columnar (struct-of-arrays) block of probe observations —
+	// seq/send-time/delay columns plus a loss bitmap — the zero-copy unit
+	// of the streaming data plane. See NewBatch and BatchOfObservations.
+	Batch = trace.Batch
 	// WindowConfig shapes the sliding windows: Size (probe count) or
 	// Duration (seconds), stride, the stationarity admission gate, the
 	// per-window identification Deadline, and the Admit load-shedding
@@ -60,14 +70,29 @@ var (
 // StreamCSV returns a source reading probe observations incrementally
 // from a CSV in the trace format (as written by Trace.WriteCSV): memory
 // use is constant in the trace length, so arbitrarily long captures can
-// be analyzed without materializing them.
-func StreamCSV(r io.Reader) ObservationSource { return trace.StreamCSV(r) }
+// be analyzed without materializing them. The returned source implements
+// BatchSource, decoding whole columnar batches per pull when input is
+// promptly available.
+func StreamCSV(r io.Reader) BatchSource { return trace.StreamCSV(r) }
 
-// SourceFromTrace adapts an in-memory trace into an ObservationSource.
-func SourceFromTrace(tr *Trace) ObservationSource { return tr.Source() }
+// SourceFromTrace adapts an in-memory trace into an ObservationSource
+// (a BatchSource, in fact: the whole trace drains in bulk).
+func SourceFromTrace(tr *Trace) BatchSource { return tr.Source() }
 
 // CollectSource drains a source into a materialized Trace.
 func CollectSource(src ObservationSource) (*Trace, error) { return trace.Collect(src) }
+
+// NewBatch returns an empty columnar batch with room for capacity
+// observations.
+func NewBatch(capacity int) *Batch { return trace.NewBatch(capacity) }
+
+// BatchOfObservations converts a row-major observation slice into a
+// columnar batch, e.g. to feed MonitorSession.OfferBatch.
+func BatchOfObservations(obs []Observation) *Batch { return trace.BatchOfObservations(obs) }
+
+// AsBatchSource returns src itself when it already implements
+// BatchSource, else an adapter pulling one observation per batch.
+func AsBatchSource(src ObservationSource) BatchSource { return trace.AsBatchSource(src) }
 
 // NewWindower returns a windower identifying admitted windows on a pool
 // of the given size (workers <= 0 means GOMAXPROCS).
