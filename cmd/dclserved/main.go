@@ -12,6 +12,14 @@
 //	dclserved -addr :8844 [-window 3000] [-stride 1000] [-workers 8] [-queue 4096]
 //	          [-session-rate 5000] [-global-rate 50000] [-shed reject|drop-newest|drop-oldest]
 //	          [-window-deadline 10s] [-breaker-deadline 2s] [-breaker-trips 3] [-breaker-cooldown 5s]
+//	          [-store-dir /var/lib/dcl] [-fsync always|interval|none] [-fsync-every 100ms]
+//	          [-retain-bytes 104857600] [-retain-age 720h]
+//
+// With -store-dir, every window result and DCL transition is appended to
+// a per-path segmented WAL: results survive crashes and restarts, a
+// re-created path resumes window numbering from the persisted counter,
+// and ?since=/Last-Event-ID offsets older than the in-memory ring are
+// served from disk. Inspect a store offline with dclstore.
 //
 // API (see DESIGN.md "Monitoring service" for details):
 //
@@ -45,6 +53,7 @@ import (
 
 	"dominantlink/internal/core"
 	"dominantlink/internal/monitor"
+	"dominantlink/internal/store"
 )
 
 func main() {
@@ -67,6 +76,14 @@ func main() {
 		seed     = flag.Int64("seed", 1, "EM initialization seed")
 		drain    = flag.Duration("drain", 30*time.Second, "graceful shutdown deadline")
 		pprofOn  = flag.Bool("pprof", false, "expose /debug/pprof profiling endpoints")
+
+		// Durable result store (off unless -store-dir is set; see DESIGN.md
+		// "Durability").
+		storeDir    = flag.String("store-dir", "", "durable result store directory (empty = results are memory-only)")
+		fsync       = flag.String("fsync", "interval", "store fsync policy: always, interval or none")
+		fsyncEvery  = flag.Duration("fsync-every", 100*time.Millisecond, "flush period under -fsync interval")
+		retainBytes = flag.Int64("retain-bytes", 0, "per-path store size bound; oldest segments deleted beyond it (0 = unbounded)")
+		retainAge   = flag.Duration("retain-age", 0, "drop store segments whose newest record is older than this (0 = unbounded)")
 
 		// Overload controls (all off by default; see DESIGN.md "Overload
 		// behavior").
@@ -103,6 +120,24 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	var resultStore *store.Store
+	if *storeDir != "" {
+		policy, err := store.ParseFsyncPolicy(*fsync)
+		if err != nil {
+			log.Fatal(err)
+		}
+		resultStore, err = store.Open(store.Options{
+			Dir:         *storeDir,
+			Fsync:       policy,
+			FsyncEvery:  *fsyncEvery,
+			RetainBytes: *retainBytes,
+			RetainAge:   *retainAge,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("result store at %s (fsync=%s)", *storeDir, policy)
+	}
 
 	mon := monitor.New(monitor.Config{
 		Workers:     *workers,
@@ -111,6 +146,8 @@ func main() {
 		MaxSessions: *sessions,
 		Window:      wcfg,
 		Identify:    cfg,
+
+		Store: resultStore,
 
 		SessionRate: *sessionRate, SessionBurst: *sessionBurst,
 		GlobalRate: *globalRate, GlobalBurst: *globalBurst,
@@ -155,6 +192,14 @@ func main() {
 	defer cancel()
 	if err := mon.Close(dctx); err != nil {
 		log.Printf("drain deadline hit, aborted remaining sessions: %v", err)
+	}
+	if resultStore != nil {
+		// Close after the monitor drain: every session has appended its
+		// final windows, so this is the drain-time flush — a clean shutdown
+		// loses nothing even under -fsync none.
+		if err := resultStore.Close(); err != nil {
+			log.Printf("store close: %v", err)
+		}
 	}
 	if err := srv.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("shutdown: %v", err)

@@ -134,6 +134,14 @@
 // Ingest honors the 429 + Retry-After backpressure contract, resuming
 // from the server-reported accepted offset.
 //
+// A monitor's results are memory-only by default; attaching a durable
+// result store (MonitorConfig.Store / StoreDir, OpenResultStore, the
+// dclserved -store-dir flag) appends every window result and DCL
+// transition to a per-path segmented, CRC-checked write-ahead log —
+// results survive crashes byte-identically, a re-created path resumes
+// its window numbering, and result offsets older than the in-memory
+// ring are served from disk. cmd/dclstore inspects a store offline.
+//
 // # Overload behavior
 //
 // The monitor is designed to degrade explicitly, never silently. Three
@@ -164,7 +172,7 @@
 // under the race detector in CI.
 //
 // The cmd/ directory holds the executables (dclsim, dclidentify,
-// dcltrace, dclserved, dclbench, experiments) and examples/ holds
+// dcltrace, dclserved, dclstore, dclbench, experiments) and examples/ holds
 // runnable walkthroughs; DESIGN.md and EXPERIMENTS.md document the
 // architecture, the reproduction of every table and figure in the
 // paper's evaluation, and the performance benchmark matrix.

@@ -11,6 +11,7 @@ package bench
 import (
 	"context"
 	"fmt"
+	"os"
 	"runtime"
 	"sort"
 	"time"
@@ -20,6 +21,7 @@ import (
 	"dominantlink/internal/mmhd"
 	"dominantlink/internal/monitor"
 	"dominantlink/internal/stats"
+	"dominantlink/internal/store"
 	"dominantlink/internal/trace"
 )
 
@@ -29,6 +31,7 @@ const (
 	WorkloadMMHD      = "mmhd"
 	WorkloadStreaming = "streaming"
 	WorkloadMonitor   = "monitor"
+	WorkloadStore     = "store"
 )
 
 // Spec is one scenario of the benchmark matrix. The zero fields of the
@@ -51,6 +54,13 @@ type Spec struct {
 	WindowSize int `json:"window_size,omitempty"` // probes per window
 	Restarts   int `json:"restarts,omitempty"`    // EM restarts per window
 	Sessions   int `json:"sessions,omitempty"`    // monitor only
+
+	// Durable store. For the store workload TraceLen is the record count
+	// and Fsync the policy; for the monitor workload Store attaches a
+	// temporary result store so the append path rides inside the timed
+	// region (the restart-durability overhead the acceptance gate bounds).
+	Store bool   `json:"store,omitempty"`
+	Fsync string `json:"fsync,omitempty"` // "", "interval", "always", "none"
 }
 
 // Result is the measured outcome of one Spec. An "op" is one EM fit for
@@ -111,6 +121,10 @@ func DefaultSpecs() []Spec {
 		{Name: "mmhd/m5-perstate-T2k", Workload: WorkloadMMHD, TraceLen: 2000, LossRate: 0.03, Symbols: 5, Hidden: 2, Seed: 6, Reps: 8, PerStateLoss: true},
 		{Name: "streaming/w3000", Workload: WorkloadStreaming, TraceLen: 30000, LossRate: 0.04, Symbols: 5, Hidden: 2, Seed: 7, WindowSize: 3000, Restarts: 2},
 		{Name: "monitor/s4", Workload: WorkloadMonitor, TraceLen: 8000, LossRate: 0.04, Symbols: 5, Hidden: 2, Seed: 8, WindowSize: 2000, Restarts: 2, Sessions: 4},
+		{Name: "monitor/s4-store", Workload: WorkloadMonitor, TraceLen: 8000, LossRate: 0.04, Symbols: 5, Hidden: 2, Seed: 8, WindowSize: 2000, Restarts: 2, Sessions: 4, Store: true, Fsync: "interval"},
+		{Name: "store/append-interval", Workload: WorkloadStore, TraceLen: 20000, Symbols: 5, Seed: 9, WindowSize: 2000, Fsync: "interval"},
+		{Name: "store/append-none", Workload: WorkloadStore, TraceLen: 20000, Symbols: 5, Seed: 9, WindowSize: 2000, Fsync: "none"},
+		{Name: "store/append-always", Workload: WorkloadStore, TraceLen: 2000, Symbols: 5, Seed: 9, WindowSize: 2000, Fsync: "always"},
 	}
 }
 
@@ -122,6 +136,7 @@ func QuickSpecs() []Spec {
 		{Name: "mmhd/m5-T2k", Workload: WorkloadMMHD, TraceLen: 2000, LossRate: 0.03, Symbols: 5, Hidden: 2, Seed: 4, Reps: 7},
 		{Name: "streaming/w1500", Workload: WorkloadStreaming, TraceLen: 9000, LossRate: 0.04, Symbols: 5, Hidden: 2, Seed: 7, WindowSize: 1500, Restarts: 2},
 		{Name: "monitor/s2", Workload: WorkloadMonitor, TraceLen: 4500, LossRate: 0.04, Symbols: 5, Hidden: 2, Seed: 8, WindowSize: 1500, Restarts: 2, Sessions: 2},
+		{Name: "store/append-interval", Workload: WorkloadStore, TraceLen: 20000, Symbols: 5, Seed: 9, WindowSize: 2000, Fsync: "interval"},
 	}
 }
 
@@ -136,6 +151,8 @@ func Run(ctx context.Context, spec Spec) Result {
 		err = runStreaming(ctx, spec, &res)
 	case WorkloadMonitor:
 		err = runMonitor(ctx, spec, &res)
+	case WorkloadStore:
+		err = runStore(spec, &res)
 	default:
 		err = fmt.Errorf("unknown workload %q", spec.Workload)
 	}
@@ -339,7 +356,7 @@ func runStreaming(ctx context.Context, spec Spec, res *Result) error {
 // whole timed region, so they include ingestion and queue machinery, not
 // just the fits.
 func runMonitor(ctx context.Context, spec Spec, res *Result) error {
-	mon := monitor.New(monitor.Config{
+	mcfg := monitor.Config{
 		QueueSize: spec.TraceLen + 1, // whole trace fits: no backpressure in the timed region
 		Window: core.WindowConfig{
 			Size: spec.WindowSize, DisableGate: true, FlushPartial: true,
@@ -348,7 +365,28 @@ func runMonitor(ctx context.Context, spec Spec, res *Result) error {
 			Symbols: spec.Symbols, HiddenStates: spec.Hidden,
 			Restarts: spec.Restarts, Seed: spec.Seed,
 		},
-	})
+	}
+	if spec.Store {
+		// Attach a throwaway durable store so every window identification
+		// also pays the WAL append — the with-durability variant the
+		// overhead gate compares against the bare monitor spec.
+		policy, err := store.ParseFsyncPolicy(spec.Fsync)
+		if err != nil {
+			return err
+		}
+		dir, err := os.MkdirTemp("", "dclbench-monitor-store-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		st, err := store.Open(store.Options{Dir: dir, Fsync: policy})
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+		mcfg.Store = st
+	}
+	mon := monitor.New(mcfg)
 	// Build the per-session batches before the timed region: trace
 	// generation is workload input, not monitor cost.
 	batches := make([]*trace.Batch, spec.Sessions)

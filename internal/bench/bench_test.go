@@ -15,15 +15,18 @@ func tinySpecs() []Spec {
 		{Name: "mmhd/tiny", Workload: WorkloadMMHD, TraceLen: 300, LossRate: 0.05, Symbols: 4, Hidden: 2, Seed: 2, Reps: 2},
 		{Name: "streaming/tiny", Workload: WorkloadStreaming, TraceLen: 1200, LossRate: 0.05, Symbols: 4, Hidden: 2, Seed: 3, WindowSize: 400, Restarts: 1},
 		{Name: "monitor/tiny", Workload: WorkloadMonitor, TraceLen: 800, LossRate: 0.05, Symbols: 4, Hidden: 2, Seed: 4, WindowSize: 400, Restarts: 1, Sessions: 2},
+		{Name: "monitor/tiny-store", Workload: WorkloadMonitor, TraceLen: 800, LossRate: 0.05, Symbols: 4, Hidden: 2, Seed: 4, WindowSize: 400, Restarts: 1, Sessions: 2, Store: true, Fsync: "interval"},
+		{Name: "store/tiny", Workload: WorkloadStore, TraceLen: 500, Symbols: 4, Seed: 5, WindowSize: 400, Fsync: "none"},
 	}
 }
 
 func TestRunAllWorkloads(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
 	defer cancel()
-	results := RunAll(ctx, tinySpecs(), nil)
-	if len(results) != 4 {
-		t.Fatalf("got %d results, want 4", len(results))
+	specs := tinySpecs()
+	results := RunAll(ctx, specs, nil)
+	if len(results) != len(specs) {
+		t.Fatalf("got %d results, want %d", len(results), len(specs))
 	}
 	for _, r := range results {
 		if r.Err != "" {
@@ -35,6 +38,13 @@ func TestRunAllWorkloads(t *testing.T) {
 		}
 		if r.P99Ms < r.P50Ms {
 			t.Errorf("%s: p99 %.2f < p50 %.2f", r.Name, r.P99Ms, r.P50Ms)
+		}
+		// The store append path reuses its encode buffers, so steady-state
+		// appends are alloc-free; amortized allocs/op above 1 means the hot
+		// path started allocating (a regression the ratio gate cannot see
+		// from a zero baseline).
+		if r.Workload == WorkloadStore && r.AllocsPerOp > 1 {
+			t.Errorf("%s: %d allocs/op on the append path, want <= 1", r.Name, r.AllocsPerOp)
 		}
 	}
 }

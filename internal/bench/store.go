@@ -1,0 +1,123 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"dominantlink/internal/stats"
+	"dominantlink/internal/store"
+)
+
+// syntheticWindows builds n deterministic full-fidelity window records —
+// the shape a congested monitor session persists: every window decided
+// with a PMF of Symbols+1 cells and a summary line, one in ten carrying a
+// DCL transition. Input generation, like trace generation elsewhere, is
+// workload input, not store cost, so callers build these before the timed
+// region.
+func syntheticWindows(n int, spec Spec) []store.Record {
+	rng := stats.NewRNG(spec.Seed)
+	size := spec.WindowSize
+	if size <= 0 {
+		size = 3000
+	}
+	recs := make([]store.Record, 0, n+n/10)
+	for i := 0; i < n; i++ {
+		pmf := make([]float64, spec.Symbols+1)
+		sum := 0.0
+		for j := range pmf {
+			pmf[j] = rng.Float64()
+			sum += pmf[j]
+		}
+		for j := range pmf {
+			pmf[j] /= sum
+		}
+		w := store.Window{
+			Window: i, Start: i * size, End: (i + 1) * size,
+			StartTime: float64(i*size) * 0.010, EndTime: float64((i+1)*size) * 0.010,
+			Stationary: true, Admitted: true, Decided: true,
+			LossRate: 0.02 + 0.03*rng.Float64(),
+			HasDCL:   i%10 == 5, SDCL: i%10 == 5,
+			BoundSeconds: 0.020 * rng.Float64(),
+			LogLik:       -1200 - 300*rng.Float64(),
+			EMIterations: 20 + rng.Intn(60),
+			PMF:          pmf,
+			Summary:      fmt.Sprintf("window %d: decided (synthetic bench record)", i),
+		}
+		recs = append(recs, store.Record{Kind: store.KindWindow, Window: w})
+		if w.HasDCL {
+			tw := w
+			tw.Transition = "onset"
+			recs = append(recs, store.Record{Kind: store.KindTransition, Window: tw})
+		}
+	}
+	return recs
+}
+
+// runStore times the durability hot path in isolation: TraceLen window
+// records appended to one path log under the spec's fsync policy, then a
+// full Scan read-back that must return every appended record. An "op" is
+// one append; the scan verifies rather than counts toward ops, so
+// fits/sec here is sustained appends/sec.
+func runStore(spec Spec, res *Result) error {
+	policy, err := store.ParseFsyncPolicy(spec.Fsync)
+	if err != nil {
+		return err
+	}
+	dir, err := os.MkdirTemp("", "dclbench-store-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	st, err := store.Open(store.Options{Dir: dir, Fsync: policy})
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	l, err := st.Log("bench-path")
+	if err != nil {
+		return err
+	}
+	recs := syntheticWindows(spec.TraceLen, spec)
+
+	// Warmup: one append grows the encoder buffers and creates the first
+	// segment, costs the steady state never pays again.
+	if err := l.Append(&recs[0]); err != nil {
+		return err
+	}
+	timed := recs[1:]
+	lat := make([]time.Duration, 0, len(timed))
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := range timed {
+		t0 := time.Now()
+		if err := l.Append(&timed[i]); err != nil {
+			return err
+		}
+		lat = append(lat, time.Since(t0))
+	}
+	if err := st.SyncAll(); err != nil {
+		return err
+	}
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+
+	got := 0
+	if err := l.Scan(0, func(store.Record) error { got++; return nil }); err != nil {
+		return err
+	}
+	if got != len(recs) {
+		return fmt.Errorf("scan read back %d records, appended %d", got, len(recs))
+	}
+
+	n := int64(len(timed))
+	res.Ops = len(timed)
+	res.NsPerOp = wall.Nanoseconds() / n
+	res.AllocsPerOp = int64(after.Mallocs-before.Mallocs) / n
+	res.BytesPerOp = int64(after.TotalAlloc-before.TotalAlloc) / n
+	res.FitsPerSec = float64(n) / wall.Seconds()
+	res.P50Ms, res.P99Ms = percentilesMS(lat)
+	return nil
+}

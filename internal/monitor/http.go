@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"dominantlink/internal/core"
+	"dominantlink/internal/store"
 	"dominantlink/internal/trace"
 )
 
@@ -22,31 +23,11 @@ const maxIngestBody = 32 << 20
 // WindowJSON is the wire form of one window result, shared by the
 // results endpoint and the SSE feed. Identification fields carry full
 // fidelity (PMF, log-likelihood, iteration count), so a single-window
-// session reproduces the one-shot pipeline byte for byte.
-type WindowJSON struct {
-	Window       int       `json:"window"`
-	Start        int       `json:"start"`
-	End          int       `json:"end"`
-	StartTime    float64   `json:"start_time"`
-	EndTime      float64   `json:"end_time"`
-	Partial      bool      `json:"partial,omitempty"`
-	Stationary   bool      `json:"stationary"`
-	Admitted     bool      `json:"admitted"`
-	Shed         bool      `json:"shed,omitempty"`
-	Decided      bool      `json:"decided"`
-	NoLosses     bool      `json:"no_losses,omitempty"`
-	LossRate     float64   `json:"loss_rate,omitempty"`
-	HasDCL       bool      `json:"has_dcl"`
-	SDCL         bool      `json:"sdcl,omitempty"`
-	WDCL         bool      `json:"wdcl,omitempty"`
-	BoundSeconds float64   `json:"bound_seconds,omitempty"`
-	PMF          []float64 `json:"pmf,omitempty"`
-	LogLik       float64   `json:"loglik,omitempty"`
-	EMIterations int       `json:"em_iterations,omitempty"`
-	Summary      string    `json:"summary,omitempty"`
-	Transition   string    `json:"transition,omitempty"`
-	Error        string    `json:"error,omitempty"`
-}
+// session reproduces the one-shot pipeline byte for byte. It is an alias
+// of the durable store's record payload by design: what the store
+// persists is exactly what the API serves, which is what makes results
+// replayed from disk after a restart byte-identical to the originals.
+type WindowJSON = store.Window
 
 // windowJSON renders one pipeline result for the wire.
 func windowJSON(res core.WindowResult) WindowJSON {
@@ -110,6 +91,7 @@ type StatusJSON struct {
 	LastTransition   string  `json:"last_transition,omitempty"`
 	LastTransitionAt float64 `json:"last_transition_at,omitempty"`
 	Error            string  `json:"error,omitempty"`
+	StoreError       string  `json:"store_error,omitempty"`
 }
 
 // windowSpec is the optional JSON body of a session-creating PUT.
@@ -431,7 +413,13 @@ func (m *Monitor) handleResults(w http.ResponseWriter, r *http.Request) {
 
 // handleEvents serves the SSE feed: every window result as a "window"
 // event, DCL transitions additionally as "transition" events, and a
-// terminal "closed" event carrying the final session status.
+// terminal "closed" event carrying the final session status. Window and
+// transition events carry the absolute window index as the SSE `id:`
+// line; a reconnecting client echoes it back as Last-Event-ID and the
+// handler replays every window after it — from the in-memory ring or,
+// once the index has aged out of it, from the durable store — before
+// resuming the live feed, so a dropped connection (or even a daemon
+// restart) never loses events.
 func (m *Monitor) handleEvents(w http.ResponseWriter, r *http.Request) {
 	s, ok := m.Session(r.PathValue("id"))
 	if !ok {
@@ -443,12 +431,43 @@ func (m *Monitor) handleEvents(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, codeInternal, "response writer cannot stream")
 		return
 	}
+	backfillFrom := -1 // -1: no backfill requested
+	if lid := r.Header.Get("Last-Event-ID"); lid != "" {
+		n, err := strconv.Atoi(lid)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, codeBadRequest, "Last-Event-ID: %q is not a window index", lid)
+			return
+		}
+		backfillFrom = n + 1
+	}
+	// Subscribe before replaying so no window falls between the replay
+	// snapshot and the live feed; windows seen by the replay are filtered
+	// out of the live loop by index instead.
 	events, cancel := s.Subscribe(256)
 	defer cancel()
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
 	fmt.Fprintf(w, ": watching %s\n\n", s.ID())
+
+	emit := func(typ string, index int, data []byte) {
+		if index >= 0 {
+			fmt.Fprintf(w, "id: %d\n", index)
+		}
+		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", typ, data)
+	}
+	replayedThrough := -1
+	if backfillFrom >= 0 {
+		replay, next := s.Results(backfillFrom)
+		for _, wj := range replay {
+			data := mustJSON(eventJSON{Path: s.ID(), WindowJSON: wj})
+			emit("window", wj.Window, data)
+			if wj.Transition != "" {
+				emit("transition", wj.Window, data)
+			}
+		}
+		replayedThrough = next - 1
+	}
 	fl.Flush()
 
 	keepalive := time.NewTicker(15 * time.Second)
@@ -464,7 +483,10 @@ func (m *Monitor) handleEvents(w http.ResponseWriter, r *http.Request) {
 			if !ok {
 				return
 			}
-			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, ev.Data)
+			if ev.Index >= 0 && ev.Index <= replayedThrough {
+				continue // the backfill already delivered this window
+			}
+			emit(ev.Type, ev.Index, ev.Data)
 			fl.Flush()
 		}
 	}

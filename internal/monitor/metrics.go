@@ -6,6 +6,8 @@ import (
 	"math"
 	"net/http"
 	"time"
+
+	"dominantlink/internal/store"
 )
 
 // latencyBoundsMS are the upper edges (milliseconds) of the window
@@ -29,6 +31,7 @@ type metrics struct {
 	windowsDeadline   expvar.Int // windows cut short by the per-window deadline
 	breakerOpens      expvar.Int // circuit breaker trips
 	eventsDropped     expvar.Int // SSE events lost to slow subscribers
+	storeAppendErrors expvar.Int // window results the durable store refused
 	sessionsActive    expvar.Int // gauges, one per session state
 	sessionsDraining  expvar.Int
 	sessionsClosed    expvar.Int
@@ -62,6 +65,19 @@ func newMetrics() *metrics {
 	mp.Set("identify_latency_ms", hist)
 	m.vars = mp
 	return m
+}
+
+// attachStore publishes the durable store's counters next to the
+// monitor's own: bytes appended, current segment files, torn tails
+// recovered, fsyncs issued, plus the monitor-side append failure count.
+// The store counters are live atomics read at scrape time, so /metrics
+// needs no store lock.
+func (m *metrics) attachStore(sm *store.Metrics) {
+	m.vars.Set("store_bytes_written", expvar.Func(func() any { return sm.BytesWritten.Load() }))
+	m.vars.Set("store_segments", expvar.Func(func() any { return sm.Segments.Load() }))
+	m.vars.Set("store_recoveries", expvar.Func(func() any { return sm.Recoveries.Load() }))
+	m.vars.Set("store_fsyncs", expvar.Func(func() any { return sm.Fsyncs.Load() }))
+	m.vars.Set("store_append_errors", &m.storeAppendErrors)
 }
 
 // observeLatency records one admitted window's identification wall-clock

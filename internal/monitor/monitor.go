@@ -23,6 +23,7 @@ import (
 	"sync"
 
 	"dominantlink/internal/core"
+	"dominantlink/internal/store"
 )
 
 // Config shapes a Monitor. The zero value is serviceable: GOMAXPROCS
@@ -72,6 +73,19 @@ type Config struct {
 	// saturated EM pool.
 	Breaker BreakerConfig
 
+	// Store, when non-nil, is the durable result log: every session
+	// appends its window results and transition events there, reloads its
+	// window counter from it on re-open (a re-PUT of a known path resumes
+	// numbering instead of restarting at 0), and serves `?since=` offsets
+	// that fell out of the memory ring from disk. The caller owns the
+	// store's lifecycle; Close only flushes it.
+	Store *store.Store
+	// StoreDir, when Store is nil and this is non-empty, opens a store
+	// rooted here with default options (interval fsync, 1 MiB segments,
+	// unbounded retention) that the Monitor owns and closes. cmd/dclserved
+	// builds its own Store from flags instead.
+	StoreDir string
+
 	// EngineHook, when non-nil, runs at the front of every window
 	// identification on the shared engine. It exists for fault injection
 	// and test instrumentation (injected EM latency, forced failures);
@@ -103,6 +117,9 @@ type Monitor struct {
 	metrics    *metrics
 	breaker    *breaker     // nil when the breaker is disabled
 	globalRate *tokenBucket // nil when unlimited
+	store      *store.Store // nil when durability is off
+	ownStore   bool         // the monitor opened it (StoreDir) and closes it
+	storeErr   error        // a StoreDir that failed to open; surfaced by Open
 
 	mu       sync.Mutex
 	sessions map[string]*Session
@@ -119,7 +136,7 @@ func New(cfg Config) *Monitor {
 		engine.SetIdentifyHook(cfg.EngineHook)
 	}
 	met := newMetrics()
-	return &Monitor{
+	m := &Monitor{
 		cfg:        cfg,
 		engine:     engine,
 		metrics:    met,
@@ -127,7 +144,25 @@ func New(cfg Config) *Monitor {
 		globalRate: newTokenBucket(cfg.GlobalRate, cfg.GlobalBurst, nil),
 		sessions:   make(map[string]*Session),
 	}
+	switch {
+	case cfg.Store != nil:
+		m.store = cfg.Store
+	case cfg.StoreDir != "":
+		// New has no error return; a store that fails to open surfaces as
+		// the error of every subsequent Open, so the daemon fails loudly on
+		// the first PUT instead of silently running without durability.
+		m.store, m.storeErr = store.Open(store.Options{Dir: cfg.StoreDir})
+		m.ownStore = m.storeErr == nil
+	}
+	if m.store != nil {
+		met.attachStore(m.store.Metrics())
+	}
+	return m
 }
+
+// Store returns the monitor's durable result store, nil when durability
+// is off.
+func (m *Monitor) Store() *store.Store { return m.store }
 
 // BreakerState reports the circuit breaker's state ("closed", "open",
 // "half-open", or "disabled" when no breaker is configured).
@@ -182,6 +217,9 @@ func (m *Monitor) Open(id string, wcfg *core.WindowConfig) (s *Session, created 
 	if m.closing {
 		return nil, false, ErrShuttingDown
 	}
+	if m.storeErr != nil {
+		return nil, false, m.storeErr
+	}
 	live := 0
 	for _, s := range m.sessions {
 		if s.State() != StateClosed {
@@ -192,6 +230,19 @@ func (m *Monitor) Open(id string, wcfg *core.WindowConfig) (s *Session, created 
 		return nil, false, ErrTooManySessions
 	}
 	s = newSession(m, id, cfg)
+	if m.store != nil {
+		// Acquire the path's durable log; a re-opened path resumes window
+		// numbering where the persisted counter left off. The registry
+		// guarantees one live session per id, which is the log's
+		// single-writer contract.
+		slog, err := m.store.Log(id)
+		if err != nil {
+			return nil, false, err
+		}
+		s.slog = slog
+		s.indexBase = int(slog.NextIndex())
+		s.firstResult = s.indexBase
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s.cancel = cancel
 	m.sessions[id] = s
@@ -279,14 +330,30 @@ func (m *Monitor) Close(ctx context.Context) error {
 		m.wg.Wait()
 		close(done)
 	}()
+	// Flush (or, when the monitor opened it from StoreDir, close) the
+	// durable store once every pipeline has appended its final windows —
+	// the drain-time flush that makes a clean shutdown lose nothing even
+	// under FsyncNone.
+	flush := func() {
+		if m.store == nil {
+			return
+		}
+		if m.ownStore {
+			m.store.Close()
+		} else {
+			m.store.SyncAll()
+		}
+	}
 	select {
 	case <-done:
+		flush()
 		return nil
 	case <-ctx.Done():
 		for _, s := range ss {
 			s.Abort()
 		}
 		<-done
+		flush()
 		return ctx.Err()
 	}
 }

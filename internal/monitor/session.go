@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"dominantlink/internal/core"
+	"dominantlink/internal/store"
 	"dominantlink/internal/trace"
 )
 
@@ -53,9 +54,13 @@ func (s State) String() string {
 
 // Event is one server-sent event of a session's feed: Type names the SSE
 // event ("window", "transition", "closed"), Data is the JSON payload.
+// Index is the absolute window index for window/transition events — the
+// SSE `id:` line, which a reconnecting client echoes as Last-Event-ID to
+// resume without gaps — and -1 for events that carry no window (closed).
 type Event struct {
-	Type string
-	Data []byte
+	Type  string
+	Index int
+	Data  []byte
 }
 
 // Session is one monitored path: a bounded ingestion queue feeding the
@@ -79,6 +84,15 @@ type Session struct {
 
 	rate *tokenBucket // per-session ingestion limit; nil = unlimited
 
+	// slog is the path's durable result log (nil when the monitor has no
+	// store). indexBase is the persisted window counter at session start:
+	// the windower numbers windows from 0 per stream, so record() offsets
+	// every index by it — a re-opened path continues where the last
+	// incarnation stopped. Both are set before the pipeline starts and
+	// never change.
+	slog      *store.Log
+	indexBase int
+
 	mu               sync.Mutex
 	state            State
 	err              error // pipeline setup or source failure
@@ -97,7 +111,8 @@ type Session struct {
 	lastTransition   string
 	lastTransitionAt float64
 	results          []core.WindowResult
-	firstResult      int // absolute window index of results[0]
+	firstResult      int   // absolute window index of results[0]
+	storeErr         error // most recent durable-append failure
 	subs             map[chan Event]bool
 }
 
@@ -392,7 +407,7 @@ func (s *Session) Subscribe(buf int) (<-chan Event, func()) {
 	s.mu.Lock()
 	if s.state == StateClosed {
 		// Late subscriber: deliver the terminal event and close.
-		ch <- Event{Type: "closed", Data: s.statusJSONLocked()}
+		ch <- Event{Type: "closed", Index: -1, Data: s.statusJSONLocked()}
 		close(ch)
 		s.mu.Unlock()
 		return ch, func() {}
@@ -411,8 +426,24 @@ func (s *Session) Subscribe(buf int) (<-chan Event, func()) {
 }
 
 // record folds one window result into the session state and fans it out
-// to subscribers, in pipeline order.
+// to subscribers, in pipeline order. With a store attached it first
+// appends the result durably — the append happens outside s.mu (the log
+// has its own writer lock) and before subscribers see the event, so
+// anything a client ever received is already on disk under FsyncAlways.
 func (s *Session) record(res core.WindowResult) {
+	res.Index += s.indexBase
+	var storeErr error
+	if s.slog != nil {
+		rec := store.Record{Kind: store.KindWindow, Window: windowJSON(res)}
+		storeErr = s.slog.Append(&rec)
+		if storeErr == nil && res.Transition != core.TransitionNone {
+			trec := store.Record{Kind: store.KindTransition, Window: rec.Window}
+			storeErr = s.slog.Append(&trec)
+		}
+		if storeErr != nil {
+			s.mon.metrics.storeAppendErrors.Add(1)
+		}
+	}
 	met := s.mon.metrics
 	expired := res.Err != nil && errors.Is(res.Err, core.ErrWindowDeadline)
 	switch {
@@ -460,8 +491,11 @@ func (s *Session) record(res core.WindowResult) {
 		s.lastTransition = res.Transition.String()
 		s.lastTransitionAt = res.StartTime
 	}
-	if s.firstResult == 0 && len(s.results) == 0 {
+	if s.firstResult == 0 && len(s.results) == 0 && s.indexBase == 0 {
 		s.firstResult = res.Index
+	}
+	if storeErr != nil {
+		s.storeErr = storeErr
 	}
 	s.results = append(s.results, res)
 	if over := len(s.results) - s.mon.cfg.MaxResults; over > 0 {
@@ -470,9 +504,9 @@ func (s *Session) record(res core.WindowResult) {
 	}
 
 	data := mustJSON(eventJSON{Path: s.id, WindowJSON: windowJSON(res)})
-	s.broadcastLocked(Event{Type: "window", Data: data})
+	s.broadcastLocked(Event{Type: "window", Index: res.Index, Data: data})
 	if res.Transition != core.TransitionNone {
-		s.broadcastLocked(Event{Type: "transition", Data: data})
+		s.broadcastLocked(Event{Type: "transition", Index: res.Index, Data: data})
 	}
 }
 
@@ -492,7 +526,7 @@ func (s *Session) broadcastLocked(ev Event) {
 func (s *Session) finish() {
 	s.mu.Lock()
 	s.setStateLocked(StateClosed)
-	ev := Event{Type: "closed", Data: s.statusJSONLocked()}
+	ev := Event{Type: "closed", Index: -1, Data: s.statusJSONLocked()}
 	for ch := range s.subs {
 		select {
 		case ch <- ev:
@@ -519,21 +553,49 @@ func (s *Session) setStateLocked(st State) {
 
 // Results returns JSON-ready snapshots of the retained window results
 // with absolute index >= since, plus the index to resume polling from.
+// Indexes below the in-memory ring — trimmed by MaxResults, or produced
+// by an earlier incarnation of this path before a restart — are served
+// from the durable store when one is attached: the store's record model
+// IS the wire model, so replayed windows are byte-identical to what the
+// original process served.
 func (s *Session) Results(since int) ([]WindowJSON, int) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	start := since - s.firstResult
+	first := s.firstResult
+	start := since - first
 	if start < 0 {
 		start = 0
 	}
 	if start > len(s.results) {
 		start = len(s.results)
 	}
-	out := make([]WindowJSON, 0, len(s.results)-start)
+	mem := make([]WindowJSON, 0, len(s.results)-start)
 	for _, res := range s.results[start:] {
-		out = append(out, windowJSON(res))
+		mem = append(mem, windowJSON(res))
 	}
-	return out, s.firstResult + len(s.results)
+	next := first + len(s.results)
+	s.mu.Unlock()
+
+	if since >= first || s.slog == nil {
+		return mem, next
+	}
+	// Disk backfill for [since, first): scan stops at the memory
+	// boundary, so the store is never read past what memory already
+	// serves and no window is returned twice.
+	disk := make([]WindowJSON, 0, first-since)
+	s.slog.Scan(int64(since), func(rec store.Record) error {
+		if rec.Kind != store.KindWindow {
+			return nil
+		}
+		if rec.Window.Window >= first {
+			return store.ErrStop
+		}
+		disk = append(disk, rec.Window)
+		return nil
+	})
+	if len(disk) == 0 {
+		return mem, next
+	}
+	return append(disk, mem...), next
 }
 
 // Status returns a JSON-ready snapshot of the session.
@@ -568,6 +630,9 @@ func (s *Session) statusLocked() StatusJSON {
 	}
 	if s.err != nil {
 		st.Error = s.err.Error()
+	}
+	if s.storeErr != nil {
+		st.StoreError = s.storeErr.Error()
 	}
 	return st
 }

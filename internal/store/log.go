@@ -1,0 +1,850 @@
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Sentinel errors of the log API.
+var (
+	// ErrReadOnly: the store was opened read-only (offline tooling).
+	ErrReadOnly = errors.New("store: read-only")
+	// ErrClosed: the log (or its store) has been closed.
+	ErrClosed = errors.New("store: closed")
+	// ErrStop aborts a Scan early without error — return it from the scan
+	// callback once enough records have been seen.
+	ErrStop = errors.New("store: stop scan")
+)
+
+// segmentInfo is one sealed segment's manifest entry. Bytes counts the
+// whole file including the magic header, so retention sums match du.
+type segmentInfo struct {
+	File     string `json:"file"`
+	First    int64  `json:"first_index"`
+	Last     int64  `json:"last_index"`
+	Records  int    `json:"records"`
+	Bytes    int64  `json:"bytes"`
+	OldestNS int64  `json:"oldest_unix_ns"`
+	NewestNS int64  `json:"newest_unix_ns"`
+}
+
+// manifest is the JSON sidecar of one path's log: a human-readable index
+// of the sealed segments plus the persisted window counter. It is a cache,
+// not a source of truth — recovery rebuilds it from the segment files
+// (trusting an entry only when the file's size still matches), so a crash
+// between a segment write and a manifest write loses nothing.
+type manifest struct {
+	Schema    string        `json:"schema"` // "dclstore/1"
+	Path      string        `json:"path"`
+	NextIndex int64         `json:"next_index"`
+	Segments  []segmentInfo `json:"segments"`
+}
+
+const manifestSchema = "dclstore/1"
+const manifestFile = "manifest.json"
+
+// RecoveryEvent describes one torn tail found (and, in a writable store,
+// truncated) while opening or verifying a log.
+type RecoveryEvent struct {
+	Segment      string // segment file name
+	ValidBytes   int64  // intact prefix kept, including the magic header
+	DroppedBytes int64  // torn suffix removed
+	Reason       string
+}
+
+func (e RecoveryEvent) String() string {
+	return fmt.Sprintf("%s: kept %d bytes, dropped %d (%s)",
+		e.Segment, e.ValidBytes, e.DroppedBytes, e.Reason)
+}
+
+// Stats is a point-in-time summary of one log.
+type Stats struct {
+	Path        string `json:"path"`
+	Segments    int    `json:"segments"`
+	Records     int    `json:"records"`
+	Transitions int    `json:"transitions"`
+	Bytes       int64  `json:"bytes"`
+	FirstIndex  int64  `json:"first_index"` // oldest retained window index
+	NextIndex   int64  `json:"next_index"`  // the resume counter
+	OldestNS    int64  `json:"oldest_unix_ns,omitempty"`
+	NewestNS    int64  `json:"newest_unix_ns,omitempty"`
+}
+
+// Log is one path's segmented result log: a single writer appending
+// length-prefixed CRC-checked records to the active segment, rolling to a
+// new segment at Options.SegmentBytes, with any number of concurrent
+// scanners reading committed bytes through their own file handles. Obtain
+// one with Store.Log; all methods are safe for concurrent use.
+type Log struct {
+	store *Store
+	id    string
+	dir   string
+
+	mu            sync.Mutex // writer state: active segment, sealed set, manifest
+	closed        bool
+	failed        error // a write failure that poisoned the active segment
+	active        *os.File
+	activeName    string
+	activeSize    int64
+	activeScan    segScan // running summary of the active segment's records
+	sealed        []segmentInfo
+	nextIndex     int64
+	nextSeg       int64
+	encBuf        []byte
+	payloadBuf    []byte
+	wseq          uint64 // appends issued
+	recoveries    []RecoveryEvent
+	transitionSum int // transitions across sealed segments
+
+	committed atomic.Int64 // committed byte length of the active segment
+
+	syncMu    sync.Mutex
+	syncedSeq uint64
+	dirty     atomic.Bool // interval policy: an fsync is owed
+}
+
+// openLog opens (and, unless read-only, recovers) the log directory.
+func openLog(s *Store, id, dir string) (*Log, error) {
+	l := &Log{store: s, id: id, dir: dir, nextSeg: 1}
+	ro := s.opts.ReadOnly
+	if !ro {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+	}
+	man := l.readManifest()
+	names, err := segmentNames(dir)
+	if err != nil {
+		return nil, err
+	}
+	rebuilt := len(names) > 0 && man == nil
+	for i, name := range names {
+		last := i == len(names)-1
+		path := filepath.Join(dir, name)
+		if ent, ok := manifestEntry(man, name); ok && !last {
+			if fi, err := os.Stat(path); err == nil && fi.Size() == ent.Bytes {
+				l.sealed = append(l.sealed, ent)
+				l.bumpNext(ent.Last + 1)
+				continue
+			}
+			rebuilt = true // size drifted: rescan below
+		} else if !last {
+			rebuilt = true
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+		if err := checkMagic(raw); err != nil {
+			// An unrecognizable segment is all tail: keep nothing of it.
+			l.recover(name, path, 0, int64(len(raw)), "bad segment magic", ro)
+			raw = nil
+		}
+		sc, _ := scanBody(segBody(raw), nil)
+		if sc.torn {
+			valid := sc.validLen
+			if len(raw) > 0 {
+				valid += int64(len(segMagic))
+			}
+			l.recover(name, path, valid, int64(len(raw))-valid, sc.reason, ro)
+			rebuilt = true
+		}
+		if sc.records > 0 {
+			l.bumpNext(sc.last + 1)
+		}
+		size := int64(0)
+		if len(raw) > 0 {
+			size = int64(len(segMagic)) + sc.validLen
+		}
+		if last {
+			l.activeName = name
+			l.activeSize = size
+			l.activeScan = sc
+			l.committed.Store(size)
+			if n, ok := segNumber(name); ok {
+				l.nextSeg = n + 1
+			}
+		} else {
+			l.sealed = append(l.sealed, segmentInfo{
+				File: name, First: sc.first, Last: sc.last, Records: sc.records,
+				Bytes: size, OldestNS: sc.oldest, NewestNS: sc.newest,
+			})
+		}
+	}
+	if man != nil {
+		l.bumpNext(man.NextIndex)
+	}
+	s.metrics.Segments.Add(int64(len(names)))
+	if ro {
+		return l, nil
+	}
+	// Open (or create) the active segment for appending.
+	if l.activeName == "" {
+		if err := l.newActiveLocked(); err != nil {
+			return nil, err
+		}
+		s.metrics.Segments.Add(1)
+	} else {
+		f, err := os.OpenFile(filepath.Join(dir, l.activeName), os.O_RDWR, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+		if err := f.Truncate(l.activeSize); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("store: truncating torn tail: %w", err)
+		}
+		if _, err := f.Seek(l.activeSize, 0); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("store: %w", err)
+		}
+		if l.activeSize == 0 {
+			if _, err := f.Write([]byte(segMagic)); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("store: %w", err)
+			}
+			l.activeSize = int64(len(segMagic))
+			l.committed.Store(l.activeSize)
+		}
+		l.active = f
+	}
+	if rebuilt || len(l.recoveries) > 0 || man == nil {
+		l.writeManifestLocked()
+	}
+	return l, nil
+}
+
+// recover notes one torn tail and, in a writable store, truncates it away.
+func (l *Log) recover(name, path string, valid, dropped int64, reason string, ro bool) {
+	l.recoveries = append(l.recoveries, RecoveryEvent{
+		Segment: name, ValidBytes: valid, DroppedBytes: dropped, Reason: reason,
+	})
+	l.store.metrics.Recoveries.Add(1)
+	if !ro {
+		os.Truncate(path, valid)
+	}
+}
+
+func (l *Log) bumpNext(n int64) {
+	if n > l.nextIndex {
+		l.nextIndex = n
+	}
+}
+
+// ID returns the path identifier this log belongs to.
+func (l *Log) ID() string { return l.id }
+
+// NextIndex returns the persisted window counter: one past the largest
+// window index ever appended (0 for an empty log). A restarting session
+// resumes numbering here.
+func (l *Log) NextIndex() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextIndex
+}
+
+// Recoveries returns the torn tails found when the log was opened (already
+// truncated unless the store is read-only).
+func (l *Log) Recoveries() []RecoveryEvent {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]RecoveryEvent(nil), l.recoveries...)
+}
+
+// Append durably appends one record. A zero AppendedAt is stamped with the
+// store clock. The write lands in the active segment immediately (visible
+// to scanners before Append returns); durability follows the store's fsync
+// policy — FsyncAlways group-commits before returning, FsyncInterval leaves
+// the fsync to the store's flusher, FsyncNone leaves it to the OS.
+func (l *Log) Append(rec *Record) error {
+	if l.store.opts.ReadOnly {
+		return ErrReadOnly
+	}
+	if rec.AppendedAt == 0 {
+		rec.AppendedAt = l.store.now().UnixNano()
+	}
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	if l.failed != nil {
+		err := l.failed
+		l.mu.Unlock()
+		return err
+	}
+	l.payloadBuf = appendRecord(l.payloadBuf[:0], rec)
+	l.encBuf = appendFrame(l.encBuf[:0], l.payloadBuf)
+	frame := l.encBuf
+	prev := l.activeSize
+	if _, err := l.active.Write(frame); err != nil {
+		// A partial write leaves a torn tail in the middle of the live
+		// segment; truncate back to the last committed frame so later
+		// appends don't bury garbage, and poison the log if that fails.
+		if terr := l.active.Truncate(prev); terr != nil {
+			l.failed = fmt.Errorf("store: append failed and tail not truncated: %w", err)
+		}
+		l.mu.Unlock()
+		return fmt.Errorf("store: append: %w", err)
+	}
+	l.activeSize += int64(len(frame))
+	l.committed.Store(l.activeSize)
+	l.noteRecordLocked(rec)
+	l.store.metrics.BytesWritten.Add(int64(len(frame)))
+	l.wseq++
+	seq := l.wseq
+	roll := l.activeSize >= l.store.opts.SegmentBytes
+	l.mu.Unlock()
+
+	if roll {
+		if err := l.Roll(); err != nil {
+			return err
+		}
+	}
+	switch l.store.opts.Fsync {
+	case FsyncAlways:
+		return l.syncTo(seq)
+	case FsyncInterval:
+		l.dirty.Store(true)
+	}
+	return nil
+}
+
+// noteRecordLocked folds one appended record into the active segment's
+// running summary and the window counter.
+func (l *Log) noteRecordLocked(rec *Record) {
+	sc := &l.activeScan
+	idx := int64(rec.Window.Window)
+	if sc.records == 0 {
+		sc.first, sc.last = idx, idx
+		sc.oldest, sc.newest = rec.AppendedAt, rec.AppendedAt
+	} else {
+		if idx < sc.first {
+			sc.first = idx
+		}
+		if idx > sc.last {
+			sc.last = idx
+		}
+		if rec.AppendedAt < sc.oldest {
+			sc.oldest = rec.AppendedAt
+		}
+		if rec.AppendedAt > sc.newest {
+			sc.newest = rec.AppendedAt
+		}
+	}
+	if rec.Kind == KindTransition {
+		sc.transitioned++
+	}
+	sc.records++
+	l.bumpNext(idx + 1)
+}
+
+// syncTo fsyncs the active segment if appends up to seq are not yet known
+// durable. Concurrent appenders pile up on syncMu and the first fsync
+// covers all of them — the group commit.
+func (l *Log) syncTo(seq uint64) error {
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	if l.syncedSeq >= seq {
+		return nil
+	}
+	l.mu.Lock()
+	f := l.active
+	cur := l.wseq
+	closed := l.closed
+	l.mu.Unlock()
+	if closed || f == nil {
+		return nil
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("store: fsync: %w", err)
+	}
+	l.store.metrics.Fsyncs.Add(1)
+	l.syncedSeq = cur
+	return nil
+}
+
+// Sync flushes the active segment to stable storage regardless of policy.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	seq := l.wseq
+	l.mu.Unlock()
+	l.dirty.Store(false)
+	return l.syncTo(seq)
+}
+
+// flushIfDirty is the interval policy's periodic hook.
+func (l *Log) flushIfDirty() {
+	if l.dirty.Swap(false) {
+		l.mu.Lock()
+		seq := l.wseq
+		l.mu.Unlock()
+		l.syncTo(seq)
+	}
+}
+
+// Roll seals the active segment (fsync, close, manifest) and starts a new
+// one, then applies retention. A roll of an empty active segment is a
+// no-op. Exposed for tests and offline tooling; Append rolls automatically
+// at Options.SegmentBytes.
+func (l *Log) Roll() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed || l.store.opts.ReadOnly {
+		return nil
+	}
+	if err := l.rollLocked(); err != nil {
+		return err
+	}
+	l.applyRetentionLocked()
+	l.writeManifestLocked()
+	return nil
+}
+
+func (l *Log) rollLocked() error {
+	if l.activeScan.records == 0 {
+		return nil
+	}
+	if err := l.active.Sync(); err != nil {
+		return fmt.Errorf("store: sealing segment: %w", err)
+	}
+	l.store.metrics.Fsyncs.Add(1)
+	l.active.Close()
+	sc := l.activeScan
+	l.sealed = append(l.sealed, segmentInfo{
+		File: l.activeName, First: sc.first, Last: sc.last, Records: sc.records,
+		Bytes: l.activeSize, OldestNS: sc.oldest, NewestNS: sc.newest,
+	})
+	l.transitionSum += sc.transitioned
+	if err := l.newActiveLocked(); err != nil {
+		return err
+	}
+	l.store.metrics.Segments.Add(1)
+	return nil
+}
+
+// newActiveLocked creates the next segment file and writes its header.
+func (l *Log) newActiveLocked() error {
+	name := segName(l.nextSeg)
+	l.nextSeg++
+	f, err := os.OpenFile(filepath.Join(l.dir, name), os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := f.Write([]byte(segMagic)); err != nil {
+		f.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	l.active = f
+	l.activeName = name
+	l.activeSize = int64(len(segMagic))
+	l.activeScan = segScan{}
+	l.committed.Store(l.activeSize)
+	// The previous fsync covered the sealed file, not this one; the next
+	// append re-arms the policy.
+	return nil
+}
+
+// applyRetentionLocked deletes sealed segments, oldest first, while the
+// log exceeds Options.RetainBytes or the oldest sealed segment's newest
+// record is older than Options.RetainAge. The active segment is never
+// deleted — retention is a bound on history, not on the live tail.
+func (l *Log) applyRetentionLocked() {
+	opts := l.store.opts
+	if opts.RetainBytes <= 0 && opts.RetainAge <= 0 {
+		return
+	}
+	total := l.activeSize
+	for _, si := range l.sealed {
+		total += si.Bytes
+	}
+	cutoff := int64(0)
+	if opts.RetainAge > 0 {
+		cutoff = l.store.now().Add(-opts.RetainAge).UnixNano()
+	}
+	for len(l.sealed) > 0 {
+		oldest := l.sealed[0]
+		overBytes := opts.RetainBytes > 0 && total > opts.RetainBytes
+		overAge := cutoff > 0 && oldest.NewestNS < cutoff
+		if !overBytes && !overAge {
+			break
+		}
+		os.Remove(filepath.Join(l.dir, oldest.File))
+		total -= oldest.Bytes
+		l.sealed = l.sealed[1:]
+		l.store.metrics.Segments.Add(-1)
+	}
+}
+
+// Compact applies retention, then merges runs of adjacent small sealed
+// segments into single files (raw frame concatenation — record bytes are
+// preserved verbatim), bounding segment-count growth after retention has
+// nibbled the tail. The active segment is untouched.
+func (l *Log) Compact() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.store.opts.ReadOnly {
+		return ErrReadOnly
+	}
+	if l.closed {
+		return ErrClosed
+	}
+	l.applyRetentionLocked()
+	limit := l.store.opts.SegmentBytes
+	out := l.sealed[:0]
+	for i := 0; i < len(l.sealed); {
+		// Greedily take the longest run starting at i whose merged size
+		// stays under the roll threshold.
+		run := 1
+		size := l.sealed[i].Bytes
+		for i+run < len(l.sealed) {
+			next := l.sealed[i+run].Bytes - int64(len(segMagic))
+			if size+next > limit {
+				break
+			}
+			size += next
+			run++
+		}
+		if run == 1 {
+			out = append(out, l.sealed[i])
+			i++
+			continue
+		}
+		merged, err := l.mergeLocked(l.sealed[i : i+run])
+		if err != nil {
+			// Keep the unmerged originals; compaction is best-effort.
+			out = append(out, l.sealed[i])
+			i++
+			continue
+		}
+		out = append(out, merged)
+		l.store.metrics.Segments.Add(-int64(run - 1))
+		i += run
+	}
+	l.sealed = append([]segmentInfo(nil), out...)
+	l.writeManifestLocked()
+	return nil
+}
+
+// mergeLocked rewrites a run of sealed segments as one file named after
+// the first of the run: write to a temp file, fsync, rename over the first
+// name (atomic on POSIX), then unlink the rest. A crash mid-merge leaves
+// either the originals or the merged file plus stale later originals whose
+// records duplicate the merged ones — the next open's scan tolerates both,
+// since indexes only ever repeat across, never within, a segment.
+func (l *Log) mergeLocked(run []segmentInfo) (segmentInfo, error) {
+	var mi segmentInfo
+	body := []byte(segMagic)
+	for i, si := range run {
+		raw, err := os.ReadFile(filepath.Join(l.dir, si.File))
+		if err != nil {
+			return mi, err
+		}
+		if err := checkMagic(raw); err != nil {
+			return mi, err
+		}
+		body = append(body, segBody(raw)...)
+		if i == 0 {
+			mi = si
+		} else {
+			if si.First < mi.First {
+				mi.First = si.First
+			}
+			if si.Last > mi.Last {
+				mi.Last = si.Last
+			}
+			if si.OldestNS < mi.OldestNS {
+				mi.OldestNS = si.OldestNS
+			}
+			if si.NewestNS > mi.NewestNS {
+				mi.NewestNS = si.NewestNS
+			}
+			mi.Records += si.Records
+		}
+	}
+	mi.Bytes = int64(len(body))
+	tmp := filepath.Join(l.dir, run[0].File+".tmp")
+	if err := os.WriteFile(tmp, body, 0o644); err != nil {
+		return mi, err
+	}
+	if f, err := os.Open(tmp); err == nil {
+		f.Sync()
+		f.Close()
+	}
+	if err := os.Rename(tmp, filepath.Join(l.dir, run[0].File)); err != nil {
+		os.Remove(tmp)
+		return mi, err
+	}
+	for _, si := range run[1:] {
+		os.Remove(filepath.Join(l.dir, si.File))
+	}
+	return mi, nil
+}
+
+// Scan replays intact records with window index >= since, in append order,
+// until fn returns an error (ErrStop aborts cleanly). It reads sealed
+// segments through their own file handles and the active segment up to its
+// committed length, so any number of scans run concurrently with the
+// writer. Segments whose whole index range is below since are skipped
+// without being read — the offset-addressed part of the contract.
+func (l *Log) Scan(since int64, fn func(Record) error) error {
+	l.mu.Lock()
+	segs := append([]segmentInfo(nil), l.sealed...)
+	activeName := l.activeName
+	committed := l.committed.Load()
+	l.mu.Unlock()
+
+	filtered := func(rec Record) error {
+		if int64(rec.Window.Window) < since {
+			return nil
+		}
+		return fn(rec)
+	}
+	for _, si := range segs {
+		if si.Last < since {
+			continue
+		}
+		raw, err := os.ReadFile(filepath.Join(l.dir, si.File))
+		if err != nil {
+			continue // retention or compaction raced the scan
+		}
+		if checkMagic(raw) != nil {
+			continue
+		}
+		if _, err := scanBody(segBody(raw), filtered); err != nil {
+			return scanErr(err)
+		}
+	}
+	if activeName == "" || committed <= int64(len(segMagic)) {
+		return nil
+	}
+	raw, err := readPrefix(filepath.Join(l.dir, activeName), committed)
+	if err != nil {
+		return nil
+	}
+	if checkMagic(raw) != nil {
+		return nil
+	}
+	if _, err := scanBody(segBody(raw), filtered); err != nil {
+		return scanErr(err)
+	}
+	return nil
+}
+
+func scanErr(err error) error {
+	if errors.Is(err, ErrStop) {
+		return nil
+	}
+	return err
+}
+
+// readPrefix reads the first n bytes of a file — the committed prefix of
+// the active segment, which the writer may be extending concurrently.
+func readPrefix(path string, n int64) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	buf := make([]byte, n)
+	got, err := f.ReadAt(buf, 0)
+	if int64(got) < n && err != nil {
+		return nil, err
+	}
+	return buf[:got], nil
+}
+
+// Verify re-reads every segment, sealed and active, checking frames and
+// CRCs, and reports any torn or corrupt regions without modifying the log.
+func (l *Log) Verify() ([]RecoveryEvent, error) {
+	l.mu.Lock()
+	segs := append([]segmentInfo(nil), l.sealed...)
+	activeName := l.activeName
+	committed := l.committed.Load()
+	l.mu.Unlock()
+
+	var events []RecoveryEvent
+	check := func(name string, raw []byte) {
+		if err := checkMagic(raw); err != nil {
+			events = append(events, RecoveryEvent{Segment: name,
+				DroppedBytes: int64(len(raw)), Reason: "bad segment magic"})
+			return
+		}
+		sc, _ := scanBody(segBody(raw), nil)
+		if sc.torn {
+			valid := sc.validLen
+			if len(raw) > 0 {
+				valid += int64(len(segMagic))
+			}
+			events = append(events, RecoveryEvent{Segment: name, ValidBytes: valid,
+				DroppedBytes: int64(len(raw)) - valid, Reason: sc.reason})
+		}
+	}
+	for _, si := range segs {
+		raw, err := os.ReadFile(filepath.Join(l.dir, si.File))
+		if err != nil {
+			continue
+		}
+		check(si.File, raw)
+	}
+	if activeName != "" {
+		raw, err := readPrefix(filepath.Join(l.dir, activeName), committed)
+		if err == nil {
+			check(activeName, raw)
+		}
+	}
+	return events, nil
+}
+
+// Stats summarizes the log: segment and record counts, byte size, index
+// range, and append-time range. Transition counts cover what open-time and
+// append-time bookkeeping saw (manifest-trusted sealed segments count 0).
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st := Stats{
+		Path:      l.id,
+		NextIndex: l.nextIndex,
+		Bytes:     l.activeSize,
+		Records:   l.activeScan.records,
+	}
+	if l.activeName != "" {
+		st.Segments = 1
+	}
+	first := int64(-1)
+	if l.activeScan.records > 0 {
+		first = l.activeScan.first
+		st.OldestNS, st.NewestNS = l.activeScan.oldest, l.activeScan.newest
+		st.Transitions = l.activeScan.transitioned
+	}
+	st.Transitions += l.transitionSum
+	for _, si := range l.sealed {
+		st.Segments++
+		st.Records += si.Records
+		st.Bytes += si.Bytes
+		if first < 0 || si.First < first {
+			first = si.First
+		}
+		if st.OldestNS == 0 || (si.OldestNS > 0 && si.OldestNS < st.OldestNS) {
+			st.OldestNS = si.OldestNS
+		}
+		if si.NewestNS > st.NewestNS {
+			st.NewestNS = si.NewestNS
+		}
+	}
+	if first < 0 {
+		first = l.nextIndex
+	}
+	st.FirstIndex = first
+	return st
+}
+
+// Close seals the log handle: syncs the active segment (unless read-only),
+// rewrites the manifest, and releases the file. Further Appends fail with
+// ErrClosed. Store.Close calls it for every open log.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	var err error
+	if l.active != nil && !l.store.opts.ReadOnly {
+		if serr := l.active.Sync(); serr != nil {
+			err = serr
+		} else {
+			l.store.metrics.Fsyncs.Add(1)
+		}
+		l.writeManifestLocked()
+		l.active.Close()
+	}
+	l.closed = true
+	l.active = nil
+	l.mu.Unlock()
+	return err
+}
+
+// writeManifestLocked atomically rewrites the manifest sidecar.
+func (l *Log) writeManifestLocked() {
+	if l.store.opts.ReadOnly {
+		return
+	}
+	man := manifest{
+		Schema:    manifestSchema,
+		Path:      l.id,
+		NextIndex: l.nextIndex,
+		Segments:  l.sealed,
+	}
+	data, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		return
+	}
+	tmp := filepath.Join(l.dir, manifestFile+".tmp")
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return
+	}
+	os.Rename(tmp, filepath.Join(l.dir, manifestFile))
+}
+
+// readManifest loads the sidecar, returning nil when absent or malformed
+// (recovery then rebuilds it from the segments).
+func (l *Log) readManifest() *manifest {
+	data, err := os.ReadFile(filepath.Join(l.dir, manifestFile))
+	if err != nil {
+		return nil
+	}
+	var man manifest
+	if json.Unmarshal(data, &man) != nil || man.Schema != manifestSchema {
+		return nil
+	}
+	return &man
+}
+
+func manifestEntry(man *manifest, file string) (segmentInfo, bool) {
+	if man == nil {
+		return segmentInfo{}, false
+	}
+	for _, si := range man.Segments {
+		if si.File == file {
+			return si, true
+		}
+	}
+	return segmentInfo{}, false
+}
+
+// segName formats segment file n; zero-padded so lexical order is creation
+// order.
+func segName(n int64) string { return fmt.Sprintf("%016d.wal", n) }
+
+// segNumber parses a segment file name back to its sequence number.
+func segNumber(name string) (int64, bool) {
+	var n int64
+	if _, err := fmt.Sscanf(name, "%d.wal", &n); err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// segmentNames lists the segment files of a log directory in order.
+func segmentNames(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	var names []string
+	for _, e := range ents {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".wal" {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}

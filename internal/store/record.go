@@ -1,0 +1,291 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Kind distinguishes the two record types of a result log.
+type Kind uint8
+
+const (
+	// KindWindow is one window verdict: every result the session pipeline
+	// produced (decided, gate-rejected, shed, deadline-expired) in window
+	// order. The window index is the record's address.
+	KindWindow Kind = 1
+	// KindTransition is one DCL transition event (onset/cleared/
+	// bound-changed): a copy of the window record that carried it, so the
+	// transition history of a path reads without scanning every window.
+	KindTransition Kind = 2
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindWindow:
+		return "window"
+	case KindTransition:
+		return "transition"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Window is the durable form of one window result — and, by design, the
+// monitor's JSON wire form (monitor.WindowJSON is an alias of this type):
+// what the store persists is exactly what GET /results serves, so results
+// recovered from disk after a restart are byte-identical to the JSON the
+// original process produced. Identification fields carry full fidelity
+// (PMF, log-likelihood, iteration count). The struct has no wall-clock
+// fields; the append timestamp lives on Record, outside the replayed
+// payload.
+type Window struct {
+	Window       int       `json:"window"`
+	Start        int       `json:"start"`
+	End          int       `json:"end"`
+	StartTime    float64   `json:"start_time"`
+	EndTime      float64   `json:"end_time"`
+	Partial      bool      `json:"partial,omitempty"`
+	Stationary   bool      `json:"stationary"`
+	Admitted     bool      `json:"admitted"`
+	Shed         bool      `json:"shed,omitempty"`
+	Decided      bool      `json:"decided"`
+	NoLosses     bool      `json:"no_losses,omitempty"`
+	LossRate     float64   `json:"loss_rate,omitempty"`
+	HasDCL       bool      `json:"has_dcl"`
+	SDCL         bool      `json:"sdcl,omitempty"`
+	WDCL         bool      `json:"wdcl,omitempty"`
+	BoundSeconds float64   `json:"bound_seconds,omitempty"`
+	PMF          []float64 `json:"pmf,omitempty"`
+	LogLik       float64   `json:"loglik,omitempty"`
+	EMIterations int       `json:"em_iterations,omitempty"`
+	Summary      string    `json:"summary,omitempty"`
+	Transition   string    `json:"transition,omitempty"`
+	Error        string    `json:"error,omitempty"`
+}
+
+// Record is one entry of a result log: a kind, the wall-clock append time
+// (stamped by Append when zero; the only wall-clock field, used by
+// age-based retention and excluded from replay identity), and the window
+// payload.
+type Record struct {
+	Kind       Kind   `json:"kind"`
+	AppendedAt int64  `json:"appended_unix_ns"`
+	Window     Window `json:"window"`
+}
+
+// recordVersion is the payload encoding version; bump it when the binary
+// layout below changes (decoders reject unknown versions, so recovery
+// treats a future-versioned tail as torn rather than misreading it).
+const recordVersion = 1
+
+// Window flag bits of the encoded form.
+const (
+	flagPartial = 1 << iota
+	flagStationary
+	flagAdmitted
+	flagShed
+	flagDecided
+	flagNoLosses
+	flagHasDCL
+	flagSDCL
+	flagWDCL
+)
+
+// appendRecord appends the versioned binary encoding of rec to dst:
+//
+//	u8 version | u8 kind | i64le appended-at
+//	uvarint window, start, end
+//	f64le start-time, end-time
+//	u16le flags | f64le loss-rate, bound, loglik
+//	uvarint em-iterations
+//	uvarint pmf-len, f64le each
+//	uvarint-prefixed summary, transition, error
+//
+// Integers that are semantically non-negative (indexes, counts, lengths)
+// travel as uvarints; floats as IEEE-754 bits, so decode round-trips them
+// exactly.
+func appendRecord(dst []byte, rec *Record) []byte {
+	w := &rec.Window
+	dst = append(dst, recordVersion, byte(rec.Kind))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(rec.AppendedAt))
+	dst = binary.AppendUvarint(dst, uint64(w.Window))
+	dst = binary.AppendUvarint(dst, uint64(w.Start))
+	dst = binary.AppendUvarint(dst, uint64(w.End))
+	dst = appendF64(dst, w.StartTime)
+	dst = appendF64(dst, w.EndTime)
+	var flags uint16
+	for _, f := range []struct {
+		on  bool
+		bit uint16
+	}{
+		{w.Partial, flagPartial}, {w.Stationary, flagStationary},
+		{w.Admitted, flagAdmitted}, {w.Shed, flagShed},
+		{w.Decided, flagDecided}, {w.NoLosses, flagNoLosses},
+		{w.HasDCL, flagHasDCL}, {w.SDCL, flagSDCL}, {w.WDCL, flagWDCL},
+	} {
+		if f.on {
+			flags |= f.bit
+		}
+	}
+	dst = binary.LittleEndian.AppendUint16(dst, flags)
+	dst = appendF64(dst, w.LossRate)
+	dst = appendF64(dst, w.BoundSeconds)
+	dst = appendF64(dst, w.LogLik)
+	dst = binary.AppendUvarint(dst, uint64(w.EMIterations))
+	dst = binary.AppendUvarint(dst, uint64(len(w.PMF)))
+	for _, p := range w.PMF {
+		dst = appendF64(dst, p)
+	}
+	dst = appendString(dst, w.Summary)
+	dst = appendString(dst, w.Transition)
+	dst = appendString(dst, w.Error)
+	return dst
+}
+
+func appendF64(dst []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// decodeRecord decodes one record payload. It never panics on corrupt
+// input: every read is bounds-checked and every variable-length field is
+// validated against the bytes actually remaining before allocation, so a
+// hostile length prefix cannot force a huge allocation. Trailing garbage
+// after a well-formed record is an error too — a frame is exactly one
+// record.
+func decodeRecord(payload []byte) (Record, error) {
+	var rec Record
+	d := decoder{b: payload}
+	if v := d.u8(); v != recordVersion {
+		return rec, fmt.Errorf("store: record version %d (want %d)", v, recordVersion)
+	}
+	rec.Kind = Kind(d.u8())
+	if rec.Kind != KindWindow && rec.Kind != KindTransition {
+		return rec, fmt.Errorf("store: unknown record kind %d", rec.Kind)
+	}
+	rec.AppendedAt = int64(d.u64())
+	w := &rec.Window
+	w.Window = d.count()
+	w.Start = d.count()
+	w.End = d.count()
+	w.StartTime = d.f64()
+	w.EndTime = d.f64()
+	flags := d.u16()
+	w.Partial = flags&flagPartial != 0
+	w.Stationary = flags&flagStationary != 0
+	w.Admitted = flags&flagAdmitted != 0
+	w.Shed = flags&flagShed != 0
+	w.Decided = flags&flagDecided != 0
+	w.NoLosses = flags&flagNoLosses != 0
+	w.HasDCL = flags&flagHasDCL != 0
+	w.SDCL = flags&flagSDCL != 0
+	w.WDCL = flags&flagWDCL != 0
+	w.LossRate = d.f64()
+	w.BoundSeconds = d.f64()
+	w.LogLik = d.f64()
+	w.EMIterations = d.count()
+	if n := d.count(); d.err == nil && n > 0 {
+		if n > d.remaining()/8 {
+			return rec, fmt.Errorf("store: pmf length %d exceeds record", n)
+		}
+		w.PMF = make([]float64, n)
+		for i := range w.PMF {
+			w.PMF[i] = d.f64()
+		}
+	}
+	w.Summary = d.str()
+	w.Transition = d.str()
+	w.Error = d.str()
+	if d.err != nil {
+		return rec, d.err
+	}
+	if d.off != len(d.b) {
+		return rec, fmt.Errorf("store: %d trailing bytes after record", len(d.b)-d.off)
+	}
+	return rec, nil
+}
+
+// decoder is a bounds-checked cursor over a record payload; the first
+// failed read latches err and every later read returns zero values.
+type decoder struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *decoder) fail() {
+	if d.err == nil {
+		d.err = fmt.Errorf("store: truncated record payload at byte %d", d.off)
+	}
+}
+
+func (d *decoder) remaining() int { return len(d.b) - d.off }
+
+func (d *decoder) u8() byte {
+	if d.err != nil || d.off >= len(d.b) {
+		d.fail()
+		return 0
+	}
+	v := d.b[d.off]
+	d.off++
+	return v
+}
+
+func (d *decoder) u16() uint16 {
+	if d.err != nil || d.remaining() < 2 {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(d.b[d.off:])
+	d.off += 2
+	return v
+}
+
+func (d *decoder) u64() uint64 {
+	if d.err != nil || d.remaining() < 8 {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.b[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *decoder) f64() float64 { return math.Float64frombits(d.u64()) }
+
+// count reads a uvarint that must fit a non-negative int.
+func (d *decoder) count() int {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 || v > math.MaxInt64 {
+		d.fail()
+		return 0
+	}
+	d.off += n
+	if v > math.MaxInt32 { // indexes and counts never approach this
+		d.fail()
+		return 0
+	}
+	return int(v)
+}
+
+func (d *decoder) str() string {
+	n := d.count()
+	if d.err != nil {
+		return ""
+	}
+	if n > d.remaining() {
+		d.fail()
+		return ""
+	}
+	s := string(d.b[d.off : d.off+n])
+	d.off += n
+	return s
+}

@@ -1,0 +1,139 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// Segment file layout: an 8-byte magic header followed by frames, each
+//
+//	u32le payload-length | u32le crc32c(payload) | payload
+//
+// The CRC is Castagnoli (the polynomial with hardware support on amd64 and
+// arm64), computed over the payload only; the length field is validated by
+// range and by whether a whole frame fits in the file. Anything that fails
+// these checks — a short header, an absurd length, a CRC mismatch, an
+// undecodable payload — marks the segment torn at the frame's start:
+// recovery keeps every frame before that point and truncates the rest. A
+// frame is exactly one record, so "every intact record survives, nothing
+// after the first torn byte does" is the whole recovery invariant.
+const (
+	segMagic    = "DCLWAL1\n"
+	frameHeader = 8 // length + crc
+	// maxRecordBytes bounds one record frame; real records are a few
+	// hundred bytes (the PMF has one entry per delay symbol), so a length
+	// beyond this is corruption, not data.
+	maxRecordBytes = 1 << 20
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// appendFrame appends the framed payload to dst.
+func appendFrame(dst, payload []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = binary.LittleEndian.AppendUint32(dst, crc32.Checksum(payload, crcTable))
+	return append(dst, payload...)
+}
+
+// segScan is what one pass over a segment body found.
+type segScan struct {
+	records      int
+	first, last  int64 // window index range (valid when records > 0)
+	oldest       int64 // append-time range, unix nanos
+	newest       int64
+	validLen     int64 // bytes of intact frames, counted from the body start
+	torn         bool  // a torn or corrupt tail was found past validLen
+	reason       string
+	transitioned int // KindTransition records among records
+}
+
+// scanBody walks the frames of a segment body (the file after the magic
+// header), calling fn for each intact record. It stops at the first torn
+// frame — everything after an undecodable point is unreliable — and
+// reports how far the intact prefix ran. fn may be nil (pure validation);
+// a non-nil fn error aborts the scan and is returned as-is.
+func scanBody(body []byte, fn func(Record) error) (segScan, error) {
+	var sc segScan
+	off := 0
+	tear := func(reason string) {
+		sc.torn = true
+		sc.reason = fmt.Sprintf("%s at byte %d", reason, off+len(segMagic))
+	}
+	for off < len(body) {
+		if len(body)-off < frameHeader {
+			tear("short frame header")
+			break
+		}
+		n := int(binary.LittleEndian.Uint32(body[off:]))
+		sum := binary.LittleEndian.Uint32(body[off+4:])
+		if n == 0 || n > maxRecordBytes {
+			tear(fmt.Sprintf("implausible frame length %d", n))
+			break
+		}
+		if len(body)-off-frameHeader < n {
+			tear("short frame payload")
+			break
+		}
+		payload := body[off+frameHeader : off+frameHeader+n]
+		if crc32.Checksum(payload, crcTable) != sum {
+			tear("crc mismatch")
+			break
+		}
+		rec, err := decodeRecord(payload)
+		if err != nil {
+			tear(err.Error())
+			break
+		}
+		idx := int64(rec.Window.Window)
+		if sc.records == 0 {
+			sc.first, sc.last = idx, idx
+			sc.oldest, sc.newest = rec.AppendedAt, rec.AppendedAt
+		} else {
+			if idx < sc.first {
+				sc.first = idx
+			}
+			if idx > sc.last {
+				sc.last = idx
+			}
+			if rec.AppendedAt < sc.oldest {
+				sc.oldest = rec.AppendedAt
+			}
+			if rec.AppendedAt > sc.newest {
+				sc.newest = rec.AppendedAt
+			}
+		}
+		if rec.Kind == KindTransition {
+			sc.transitioned++
+		}
+		sc.records++
+		off += frameHeader + n
+		sc.validLen = int64(off)
+		if fn != nil {
+			if err := fn(rec); err != nil {
+				return sc, err
+			}
+		}
+	}
+	return sc, nil
+}
+
+// checkMagic validates a segment file's header, tolerating an empty file
+// (a crash between create and first append).
+func checkMagic(b []byte) error {
+	if len(b) == 0 {
+		return nil
+	}
+	if len(b) < len(segMagic) || string(b[:len(segMagic)]) != segMagic {
+		return fmt.Errorf("store: bad segment magic")
+	}
+	return nil
+}
+
+// segBody returns the frame region of a raw segment file.
+func segBody(b []byte) []byte {
+	if len(b) < len(segMagic) {
+		return nil
+	}
+	return b[len(segMagic):]
+}

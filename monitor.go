@@ -2,6 +2,7 @@ package dominantlink
 
 import (
 	"dominantlink/internal/monitor"
+	"dominantlink/internal/store"
 )
 
 // Multi-path monitoring: where IdentifyStream watches one observation
@@ -66,6 +67,40 @@ var (
 // ParseShedPolicy reads a shed policy name ("reject", "drop-newest",
 // "drop-oldest"), as used by the dclserved -shed flag.
 func ParseShedPolicy(s string) (ShedPolicy, error) { return monitor.ParseShedPolicy(s) }
+
+// Durable result store: the monitor's per-path archive of window results
+// and DCL transitions, a segmented CRC-checked write-ahead log that
+// survives crashes (torn tails are truncated on reopen, everything
+// earlier is intact) and lets a restarted monitor resume window numbering
+// and serve pre-crash results. Attach one via MonitorConfig.Store (caller
+// owns it) or MonitorConfig.StoreDir (the monitor owns it); inspect one
+// offline with cmd/dclstore.
+type (
+	// ResultStore is a directory of per-path result logs; open with
+	// OpenResultStore.
+	ResultStore = store.Store
+	// ResultStoreOptions configures a ResultStore: directory, fsync
+	// policy, segment size, retention bounds.
+	ResultStoreOptions = store.Options
+	// FsyncPolicy selects when appends reach stable storage: every append
+	// (FsyncAlways), periodically (FsyncInterval, the default), or never
+	// explicitly (FsyncNone).
+	FsyncPolicy = store.FsyncPolicy
+)
+
+// Fsync policies for ResultStoreOptions.Fsync.
+const (
+	FsyncAlways   = store.FsyncAlways
+	FsyncInterval = store.FsyncInterval
+	FsyncNone     = store.FsyncNone
+)
+
+// OpenResultStore opens (creating if needed) a durable result store.
+func OpenResultStore(opts ResultStoreOptions) (*ResultStore, error) { return store.Open(opts) }
+
+// ParseFsyncPolicy reads an fsync policy name ("always", "interval",
+// "none"), as used by the dclserved -fsync flag.
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) { return store.ParseFsyncPolicy(s) }
 
 // NewMonitor returns an embeddable monitoring service core. The zero
 // config is serviceable: GOMAXPROCS identification workers, 4096-probe
