@@ -10,7 +10,10 @@
 // With -baseline, the run is additionally gated: if any workload's
 // fits/sec falls more than -tolerance below the baseline report, or its
 // allocs/op grows more than bench.AllocTolerance (20%) above it, dclbench
-// prints the regressions and exits 1 (the CI contract).
+// prints the regressions and exits 1 (the CI contract). Every run also
+// self-gates observability overhead: the logging-on monitor specs
+// ("monitor/s4-obs") must stay within bench.ObsOverheadTolerance (5%) of
+// their bare twins from the same run.
 //
 // Regenerate the published numbers with:
 //
@@ -86,6 +89,15 @@ func main() {
 	}
 	if failed > 0 {
 		log.Fatalf("%d workload(s) failed", failed)
+	}
+	// Observability overhead is gated within this run: logging-on monitor
+	// specs ("monitor/s4-obs") must stay within bench.ObsOverheadTolerance
+	// of their bare twins. Same-run pairing, so no baseline file is needed.
+	if regs := bench.CompareObsOverhead(rep); len(regs) > 0 {
+		for _, reg := range regs {
+			log.Printf("REGRESSION %s", reg)
+		}
+		os.Exit(1)
 	}
 	if *baseline != "" {
 		base, err := bench.LoadReport(*baseline)

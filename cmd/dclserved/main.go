@@ -14,6 +14,7 @@
 //	          [-window-deadline 10s] [-breaker-deadline 2s] [-breaker-trips 3] [-breaker-cooldown 5s]
 //	          [-store-dir /var/lib/dcl] [-fsync always|interval|none] [-fsync-every 100ms]
 //	          [-retain-bytes 104857600] [-retain-age 720h]
+//	          [-log-level info] [-log-format text|json] [-trace-sample 0.1] [-trace-ring 64]
 //
 // With -store-dir, every window result and DCL transition is appended to
 // a per-path segmented WAL: results survive crashes and restarts, a
@@ -30,7 +31,15 @@
 //	DELETE /v1/paths/{id}                 drain the session, flushing its final partial window
 //	GET    /v1/paths                      session registry
 //	GET    /healthz, /metrics             liveness and counters
+//	GET    /debug/traces                  slowest recent window traces (JSON)
 //	GET    /debug/pprof/...               profiling (only with -pprof)
+//
+// Structured logging is always on (stderr, -log-level info by default):
+// every window emits a lifecycle log line with span timings (sampled per
+// -trace-sample; abnormal windows always logged), plus discrete events for
+// transitions, sheds, breaker trips, rate-limit rejections and store
+// recoveries. -log-format json makes the stream machine-parseable; see
+// docs/OPERATIONS.md for the event vocabulary and what to grep when.
 //
 // On SIGINT/SIGTERM the daemon drains: sessions finish their queued
 // backlog and flush final partial windows under the -drain deadline, then
@@ -53,6 +62,7 @@ import (
 
 	"dominantlink/internal/core"
 	"dominantlink/internal/monitor"
+	"dominantlink/internal/obs"
 	"dominantlink/internal/store"
 )
 
@@ -76,6 +86,12 @@ func main() {
 		seed     = flag.Int64("seed", 1, "EM initialization seed")
 		drain    = flag.Duration("drain", 30*time.Second, "graceful shutdown deadline")
 		pprofOn  = flag.Bool("pprof", false, "expose /debug/pprof profiling endpoints")
+
+		// Observability (see docs/OPERATIONS.md for the event vocabulary).
+		logLevel    = flag.String("log-level", "info", "log level: debug, info, warn or error")
+		logFormat   = flag.String("log-format", "text", "log format: text or json (one object per line)")
+		traceSample = flag.Float64("trace-sample", 0, "fraction of routine window_done log lines emitted (0 or 1 = all; abnormal windows always logged)")
+		traceRing   = flag.Int("trace-ring", 0, "slowest-window trace ring size behind /debug/traces (0 = default 64, <0 disables)")
 
 		// Durable result store (off unless -store-dir is set; see DESIGN.md
 		// "Durability").
@@ -111,6 +127,15 @@ func main() {
 	default:
 		log.Fatalf("unknown model %q", *model)
 	}
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	logger, err := obs.NewLogger(os.Stderr, level, *logFormat)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	wcfg, err := windowConfig(*window, *stride, *gate)
 	if err != nil {
 		log.Fatal(err)
@@ -132,6 +157,7 @@ func main() {
 			FsyncEvery:  *fsyncEvery,
 			RetainBytes: *retainBytes,
 			RetainAge:   *retainAge,
+			Logger:      logger,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -157,6 +183,10 @@ func main() {
 			Trips:    *breakerTrips,
 			Cooldown: *breakerCool,
 		},
+
+		Logger:      logger,
+		TraceSample: *traceSample,
+		TraceRing:   *traceRing,
 	})
 	var handler http.Handler = mon.Handler()
 	if *pprofOn {

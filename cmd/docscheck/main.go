@@ -1,0 +1,192 @@
+// Command docscheck keeps the prose honest: it walks the repo's markdown
+// files and fails when documentation has drifted from something a machine
+// can check.
+//
+// Usage:
+//
+//	docscheck [-root DIR] [FILE ...]
+//
+// With no FILE arguments it checks every .md file at the root of -root
+// (default ".") plus docs/. Two checks run on each file:
+//
+//   - Every fenced ```go block must be syntactically valid Go: blocks
+//     carrying a package clause are parsed as files, statement fragments
+//     are parsed wrapped in a function body, and declaration fragments
+//     wrapped in a file. A README example that no longer parses fails
+//     the check. (Blocks tagged `go ignore` are skipped — for deliberate
+//     pseudo-code.)
+//   - Every relative markdown link target ([text](path), stripped of any
+//     #fragment) must exist on disk, resolved against the file's
+//     directory. External links (http, https, mailto) and pure-fragment
+//     links are not touched — no network, ever.
+//
+// docscheck exits 1 if any check fails, printing one FILE:LINE: finding
+// per problem. CI runs it as a non-blocking docs job.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"log"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("docscheck: ")
+	root := flag.String("root", ".", "repository root to resolve default files and links against")
+	flag.Parse()
+
+	files := flag.Args()
+	if len(files) == 0 {
+		var err error
+		if files, err = defaultFiles(*root); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	problems := 0
+	for _, path := range files {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, p := range checkFile(path, string(data)) {
+			fmt.Println(p)
+			problems++
+		}
+	}
+	if problems > 0 {
+		log.Fatalf("%d problem(s)", problems)
+	}
+	fmt.Printf("docscheck: %d file(s) clean\n", len(files))
+}
+
+// defaultFiles lists the checked set: *.md at the repo root plus
+// everything under docs/.
+func defaultFiles(root string) ([]string, error) {
+	files, err := filepath.Glob(filepath.Join(root, "*.md"))
+	if err != nil {
+		return nil, err
+	}
+	docs, err := filepath.Glob(filepath.Join(root, "docs", "*.md"))
+	if err != nil {
+		return nil, err
+	}
+	return append(files, docs...), nil
+}
+
+// checkFile runs both checks and returns one "path:line: message" string
+// per problem.
+func checkFile(path, content string) []string {
+	var out []string
+	for _, b := range goBlocks(content) {
+		if err := parseGo(b.code); err != nil {
+			out = append(out, fmt.Sprintf("%s:%d: go block does not parse: %v", path, b.line, err))
+		}
+	}
+	for _, l := range relativeLinks(content) {
+		target := filepath.Join(filepath.Dir(path), filepath.FromSlash(l.target))
+		if _, err := os.Stat(target); err != nil {
+			out = append(out, fmt.Sprintf("%s:%d: dead link (%s): %s does not exist", path, l.line, l.target, target))
+		}
+	}
+	return out
+}
+
+// block is one fenced code block, with the 1-based line of its opening
+// fence.
+type block struct {
+	line int
+	code string
+}
+
+// goBlocks extracts fenced blocks whose info string is exactly "go".
+// Blocks tagged with anything more ("go ignore") are skipped.
+func goBlocks(content string) []block {
+	var out []block
+	lines := strings.Split(content, "\n")
+	for i := 0; i < len(lines); i++ {
+		trimmed := strings.TrimSpace(lines[i])
+		if trimmed != "```go" {
+			continue
+		}
+		indent := lines[i][:strings.Index(lines[i], "```")]
+		var code []string
+		for i++; i < len(lines); i++ {
+			if strings.TrimSpace(lines[i]) == "```" {
+				break
+			}
+			code = append(code, strings.TrimPrefix(lines[i], indent))
+		}
+		out = append(out, block{line: i - len(code), code: strings.Join(code, "\n")})
+	}
+	return out
+}
+
+// parseGo accepts a block that parses as a whole file, as a set of
+// top-level declarations, or as a function body — the three shapes doc
+// examples take.
+func parseGo(code string) error {
+	fset := token.NewFileSet()
+	if strings.HasPrefix(strings.TrimSpace(code), "package ") {
+		_, err := parser.ParseFile(fset, "block.go", code, parser.SkipObjectResolution)
+		return err
+	}
+	// Declarations (func/type/var at top level)?
+	if _, err := parser.ParseFile(fset, "block.go", "package p\n"+code, parser.SkipObjectResolution); err == nil {
+		return nil
+	}
+	// Statements, as inside a function body.
+	_, err := parser.ParseFile(fset, "block.go",
+		"package p\nfunc _() {\n"+code+"\n}", parser.SkipObjectResolution)
+	return err
+}
+
+// link is one relative markdown link target with its 1-based line.
+type link struct {
+	line   int
+	target string
+}
+
+// linkRE matches inline markdown links. Good enough for this repo's
+// hand-written docs; it does not try to be a full CommonMark parser.
+var linkRE = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+
+// relativeLinks returns the link targets that should resolve to files on
+// disk: not absolute URLs, not pure fragments. A #fragment suffix is
+// stripped. Fenced code blocks are skipped — bracket-paren sequences in
+// code are not links.
+func relativeLinks(content string) []link {
+	var out []link
+	inFence := false
+	for i, line := range strings.Split(content, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		for _, m := range linkRE.FindAllStringSubmatch(line, -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "#") ||
+				strings.HasPrefix(target, "mailto:") {
+				continue
+			}
+			if at := strings.IndexByte(target, '#'); at >= 0 {
+				target = target[:at]
+			}
+			if target == "" {
+				continue
+			}
+			out = append(out, link{line: i + 1, target: target})
+		}
+	}
+	return out
+}

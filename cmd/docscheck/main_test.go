@@ -1,0 +1,65 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestGoBlocks(t *testing.T) {
+	md := "intro\n```go\nx := 1\n```\ntext\n```sh\nls\n```\n```go ignore\nnot go\n```\n"
+	blocks := goBlocks(md)
+	if len(blocks) != 1 || blocks[0].code != "x := 1" || blocks[0].line != 2 {
+		t.Fatalf("goBlocks = %+v, want one block 'x := 1' at line 2", blocks)
+	}
+}
+
+func TestParseGoShapes(t *testing.T) {
+	for _, code := range []string{
+		"package main\nfunc main() {}",            // whole file
+		"func f() int { return 1 }",               // declaration
+		"x := compute()\nif x > 0 {\n\tuse(x)\n}", // statements
+	} {
+		if err := parseGo(code); err != nil {
+			t.Errorf("valid block rejected: %v\n%s", err, code)
+		}
+	}
+	if err := parseGo("if err != nil {"); err == nil {
+		t.Error("unbalanced block accepted")
+	}
+}
+
+func TestCheckFile(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "exists.md"), []byte("hi"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	md := strings.Join([]string{
+		"see [good](exists.md) and [anchor](exists.md#sec) and [web](https://example.com)",
+		"and [bad](missing.md).",
+		"```go",
+		"var broken = ",
+		"```",
+		"```go",
+		"ok := true",
+		"_ = ok",
+		"```",
+	}, "\n")
+	path := filepath.Join(dir, "doc.md")
+	if err := os.WriteFile(path, []byte(md), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	problems := checkFile(path, md)
+	if len(problems) != 2 {
+		t.Fatalf("problems = %v, want exactly a parse failure and a dead link", problems)
+	}
+	var parseFail, deadLink bool
+	for _, p := range problems {
+		parseFail = parseFail || strings.Contains(p, "does not parse")
+		deadLink = deadLink || strings.Contains(p, "missing.md")
+	}
+	if !parseFail || !deadLink {
+		t.Fatalf("problems = %v, want one parse failure and one dead link", problems)
+	}
+}

@@ -171,11 +171,30 @@
 // stalls, injected EM latency and failures) that soaks these guarantees
 // under the race detector in CI.
 //
+// # Observability
+//
+// Where /metrics counts, the observability layer explains: setting
+// MonitorConfig.Logger (built with NewLogger / ParseLogLevel; the
+// dclserved -log-level and -log-format flags) threads a structured
+// log/slog logger through the monitor. Every window then carries a
+// lifecycle trace (WindowTrace) — span timestamps from the arrival of
+// the data, through the cut, the stationarity gate and the EM fit, to
+// the durable append — emitted as one log line per window. Routine
+// windows are sampled deterministically (MonitorConfig.TraceSample, the
+// -trace-sample flag); shed, deadline-expired and errored windows are
+// always logged, as are DCL transitions, breaker state changes,
+// rate-limit rejections, store recoveries and session lifecycle events.
+// The slowest recent window traces are served at GET /debug/traces, and
+// every HTTP request is access-logged with an X-Request-Id the response
+// echoes. With Logger nil the whole layer is off and adds zero
+// allocations to the window path. docs/OPERATIONS.md is the operator's
+// runbook: failure signature -> log events to grep -> flag to turn.
+//
 // The cmd/ directory holds the executables (dclsim, dclidentify,
-// dcltrace, dclserved, dclstore, dclbench, experiments) and examples/ holds
-// runnable walkthroughs; DESIGN.md and EXPERIMENTS.md document the
-// architecture, the reproduction of every table and figure in the
-// paper's evaluation, and the performance benchmark matrix.
+// dcltrace, dclserved, dclstore, dclbench, docscheck, experiments) and
+// examples/ holds runnable walkthroughs; DESIGN.md and EXPERIMENTS.md
+// document the architecture, the reproduction of every table and figure
+// in the paper's evaluation, and the performance benchmark matrix.
 package dominantlink
 
 import (

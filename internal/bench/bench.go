@@ -11,6 +11,8 @@ package bench
 import (
 	"context"
 	"fmt"
+	"io"
+	"log/slog"
 	"os"
 	"runtime"
 	"sort"
@@ -20,6 +22,7 @@ import (
 	"dominantlink/internal/hmm"
 	"dominantlink/internal/mmhd"
 	"dominantlink/internal/monitor"
+	"dominantlink/internal/obs"
 	"dominantlink/internal/stats"
 	"dominantlink/internal/store"
 	"dominantlink/internal/trace"
@@ -61,6 +64,13 @@ type Spec struct {
 	// region (the restart-durability overhead the acceptance gate bounds).
 	Store bool   `json:"store,omitempty"`
 	Fsync string `json:"fsync,omitempty"` // "", "interval", "always", "none"
+
+	// Obs turns the observability layer on for the monitor workload: a
+	// JSON logger at info into io.Discard, so the timed region pays the
+	// full trace-collection and log-formatting cost without any I/O
+	// noise. Name the spec "<bare>-obs" and CompareObsOverhead gates the
+	// throughput delta against the bare spec.
+	Obs bool `json:"obs,omitempty"`
 }
 
 // Result is the measured outcome of one Spec. An "op" is one EM fit for
@@ -122,6 +132,7 @@ func DefaultSpecs() []Spec {
 		{Name: "streaming/w3000", Workload: WorkloadStreaming, TraceLen: 30000, LossRate: 0.04, Symbols: 5, Hidden: 2, Seed: 7, WindowSize: 3000, Restarts: 2},
 		{Name: "monitor/s4", Workload: WorkloadMonitor, TraceLen: 8000, LossRate: 0.04, Symbols: 5, Hidden: 2, Seed: 8, WindowSize: 2000, Restarts: 2, Sessions: 4},
 		{Name: "monitor/s4-store", Workload: WorkloadMonitor, TraceLen: 8000, LossRate: 0.04, Symbols: 5, Hidden: 2, Seed: 8, WindowSize: 2000, Restarts: 2, Sessions: 4, Store: true, Fsync: "interval"},
+		{Name: "monitor/s4-obs", Workload: WorkloadMonitor, TraceLen: 8000, LossRate: 0.04, Symbols: 5, Hidden: 2, Seed: 8, WindowSize: 2000, Restarts: 2, Sessions: 4, Obs: true},
 		{Name: "store/append-interval", Workload: WorkloadStore, TraceLen: 20000, Symbols: 5, Seed: 9, WindowSize: 2000, Fsync: "interval"},
 		{Name: "store/append-none", Workload: WorkloadStore, TraceLen: 20000, Symbols: 5, Seed: 9, WindowSize: 2000, Fsync: "none"},
 		{Name: "store/append-always", Workload: WorkloadStore, TraceLen: 2000, Symbols: 5, Seed: 9, WindowSize: 2000, Fsync: "always"},
@@ -136,6 +147,7 @@ func QuickSpecs() []Spec {
 		{Name: "mmhd/m5-T2k", Workload: WorkloadMMHD, TraceLen: 2000, LossRate: 0.03, Symbols: 5, Hidden: 2, Seed: 4, Reps: 7},
 		{Name: "streaming/w1500", Workload: WorkloadStreaming, TraceLen: 9000, LossRate: 0.04, Symbols: 5, Hidden: 2, Seed: 7, WindowSize: 1500, Restarts: 2},
 		{Name: "monitor/s2", Workload: WorkloadMonitor, TraceLen: 4500, LossRate: 0.04, Symbols: 5, Hidden: 2, Seed: 8, WindowSize: 1500, Restarts: 2, Sessions: 2},
+		{Name: "monitor/s2-obs", Workload: WorkloadMonitor, TraceLen: 4500, LossRate: 0.04, Symbols: 5, Hidden: 2, Seed: 8, WindowSize: 1500, Restarts: 2, Sessions: 2, Obs: true},
 		{Name: "store/append-interval", Workload: WorkloadStore, TraceLen: 20000, Symbols: 5, Seed: 9, WindowSize: 2000, Fsync: "interval"},
 	}
 }
@@ -385,6 +397,13 @@ func runMonitor(ctx context.Context, spec Spec, res *Result) error {
 		}
 		defer st.Close()
 		mcfg.Store = st
+	}
+	if spec.Obs {
+		logger, err := obs.NewLogger(io.Discard, slog.LevelInfo, "json")
+		if err != nil {
+			return err
+		}
+		mcfg.Logger = logger
 	}
 	mon := monitor.New(mcfg)
 	// Build the per-session batches before the timed region: trace

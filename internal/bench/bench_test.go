@@ -16,6 +16,7 @@ func tinySpecs() []Spec {
 		{Name: "streaming/tiny", Workload: WorkloadStreaming, TraceLen: 1200, LossRate: 0.05, Symbols: 4, Hidden: 2, Seed: 3, WindowSize: 400, Restarts: 1},
 		{Name: "monitor/tiny", Workload: WorkloadMonitor, TraceLen: 800, LossRate: 0.05, Symbols: 4, Hidden: 2, Seed: 4, WindowSize: 400, Restarts: 1, Sessions: 2},
 		{Name: "monitor/tiny-store", Workload: WorkloadMonitor, TraceLen: 800, LossRate: 0.05, Symbols: 4, Hidden: 2, Seed: 4, WindowSize: 400, Restarts: 1, Sessions: 2, Store: true, Fsync: "interval"},
+		{Name: "monitor/tiny-obs", Workload: WorkloadMonitor, TraceLen: 800, LossRate: 0.05, Symbols: 4, Hidden: 2, Seed: 4, WindowSize: 400, Restarts: 1, Sessions: 2, Obs: true},
 		{Name: "store/tiny", Workload: WorkloadStore, TraceLen: 500, Symbols: 4, Seed: 5, WindowSize: 400, Fsync: "none"},
 	}
 }
@@ -98,6 +99,25 @@ func TestCompareFlagsRegressions(t *testing.T) {
 	regs := Compare(base, cur, 0.2)
 	if len(regs) != 1 || regs[0].Name != "b" {
 		t.Fatalf("got regressions %+v, want exactly [b]", regs)
+	}
+}
+
+func TestCompareObsOverhead(t *testing.T) {
+	rep := NewReport(time.Unix(0, 0), []Result{
+		{Name: "monitor/s4", FitsPerSec: 100},
+		{Name: "monitor/s4-obs", FitsPerSec: 96}, // within 5%
+		{Name: "monitor/s2", FitsPerSec: 100},
+		{Name: "monitor/s2-obs", FitsPerSec: 90}, // over the gate
+		{Name: "orphan-obs", FitsPerSec: 1},      // no bare twin: ignored
+		{Name: "monitor/err", FitsPerSec: 100},
+		{Name: "monitor/err-obs", Err: "boom"}, // failed side: ignored
+	})
+	regs := CompareObsOverhead(rep)
+	if len(regs) != 1 || regs[0].Name != "monitor/s2-obs" {
+		t.Fatalf("got regressions %+v, want exactly [monitor/s2-obs]", regs)
+	}
+	if regs[0].Ratio >= 1-ObsOverheadTolerance {
+		t.Fatalf("flagged ratio %.2f is above the gate", regs[0].Ratio)
 	}
 }
 

@@ -73,6 +73,47 @@ func Compare(baseline, current *Report, tolerance float64) []Regression {
 	return regs
 }
 
+// ObsOverheadTolerance is how much of a workload's throughput the
+// observability layer may cost when it is ON: an "<name>-obs" spec must
+// stay within 5% of its bare "<name>" twin's fits/sec. (The logger-OFF
+// cost is gated separately, by the cross-report Compare against the
+// pre-observability baseline.)
+const ObsOverheadTolerance = 0.05
+
+// CompareObsOverhead gates observability overhead within one report:
+// every result named "<base>-obs" is paired with the result named
+// "<base>" from the same run, and flagged if its fits/sec fell below
+// (1 - ObsOverheadTolerance) of the bare twin. Pairs with a missing or
+// failed side are skipped — same-run pairing, so machine noise cancels.
+func CompareObsOverhead(rep *Report) []Regression {
+	byName := make(map[string]Result, len(rep.Results))
+	for _, r := range rep.Results {
+		if r.Err == "" {
+			byName[r.Name] = r
+		}
+	}
+	var regs []Regression
+	floor := 1 - ObsOverheadTolerance
+	for _, cur := range rep.Results {
+		const suffix = "-obs"
+		if cur.Err != "" || len(cur.Name) <= len(suffix) || cur.Name[len(cur.Name)-len(suffix):] != suffix {
+			continue
+		}
+		bare, ok := byName[cur.Name[:len(cur.Name)-len(suffix)]]
+		if !ok || bare.FitsPerSec <= 0 {
+			continue
+		}
+		if ratio := cur.FitsPerSec / bare.FitsPerSec; ratio < floor {
+			regs = append(regs, Regression{
+				Name: cur.Name, Metric: "fits/sec (obs overhead)",
+				Baseline: bare.FitsPerSec, Current: cur.FitsPerSec,
+				Ratio: ratio, Threshold: floor,
+			})
+		}
+	}
+	return regs
+}
+
 // LoadReport reads a dclbench JSON report.
 func LoadReport(path string) (*Report, error) {
 	data, err := os.ReadFile(path)

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dominantlink/internal/obs"
 	"dominantlink/internal/trace"
 )
 
@@ -92,6 +93,15 @@ type WindowConfig struct {
 	// the session behind it. Zero means no deadline.
 	Deadline time.Duration
 
+	// CollectTrace attaches a lifecycle trace (obs.WindowTrace) to every
+	// WindowResult: span timestamps from the arrival of the observation
+	// that completed the window, through the cut and the stationarity
+	// gate, to the EM fit. Off by default — the steady-state window path
+	// allocates nothing extra when unset. The monitoring service turns it
+	// on whenever a logger is configured and stamps the remaining fields
+	// (path id, absolute index, durable-append time).
+	CollectTrace bool
+
 	// Admit, when non-nil, is consulted for each window after the
 	// stationarity gate and before identification. A non-nil return sheds
 	// the window: no identification runs and the result has Shed set with
@@ -160,6 +170,13 @@ type WindowResult struct {
 	Elapsed time.Duration
 
 	Transition Transition
+
+	// Trace is the window's lifecycle trace, attached only when
+	// WindowConfig.CollectTrace is set (nil otherwise). The windower fills
+	// the span timestamps and outcome; session-oriented consumers stamp
+	// the path id, absolute window index and durable-append time before
+	// handing it to their observability layer.
+	Trace *obs.WindowTrace
 }
 
 // Probes returns the number of observations in the window.
@@ -225,6 +242,9 @@ func (w *Windower) Stream(ctx context.Context, src trace.ObservationSource, cfg 
 		for slot := range order {
 			res := <-slot
 			st.apply(&res)
+			if res.Trace != nil && res.Transition != TransitionNone {
+				res.Trace.Transition = res.Transition.String()
+			}
 			select {
 			case out <- res:
 			case <-ctx.Done():
@@ -342,6 +362,7 @@ func (w *Windower) cutWindows(ctx context.Context, src trace.ObservationSource, 
 		t0        float64
 		t0set     bool
 		index     int
+		arriveAt  time.Time // tracing: when the latest batch was appended
 	)
 	defer func() { chunk.release() }()
 	total := func() int { return chunkBase + chunk.batch.Len() }
@@ -367,6 +388,14 @@ func (w *Windower) cutWindows(ctx context.Context, src trace.ObservationSource, 
 		ch := chunk
 		res := WindowResult{Index: index, Start: start, End: end, Partial: partial,
 			StartTime: view.SendTime(0), EndTime: view.SendTime(view.Len() - 1)}
+		if wcfg.CollectTrace {
+			// EnqueuedAt is when the batch holding this window's last
+			// observation arrived; the gap to CutAt is producer backlog.
+			res.Trace = &obs.WindowTrace{
+				Window: index, Probes: end - start, Partial: partial,
+				EnqueuedAt: arriveAt, CutAt: time.Now(),
+			}
+		}
 		index++
 		go func() {
 			defer func() { <-sem }()
@@ -438,6 +467,9 @@ func (w *Windower) cutWindows(ctx context.Context, src trace.ObservationSource, 
 			}
 			chunk.batch.AppendBatch(r.b)
 			transferPool.Put(r.b)
+			if wcfg.CollectTrace {
+				arriveAt = time.Now()
+			}
 		case <-ctx.Done():
 			return
 		}
@@ -492,7 +524,11 @@ func (w *Windower) identifyWindow(ctx context.Context, res WindowResult, b *trac
 	sc.gather(b)
 	res.Stationarity = stationarityCheckBatch(b, w.cfg.Gate, sc)
 	res.Admitted = w.cfg.DisableGate || res.Stationarity.Stationary
+	if res.Trace != nil {
+		res.Trace.GateAt = time.Now()
+	}
 	if !res.Admitted {
+		res.finishTrace()
 		return res
 	}
 	if w.cfg.Admit != nil {
@@ -500,6 +536,7 @@ func (w *Windower) identifyWindow(ctx context.Context, res WindowResult, b *trac
 			res.Admitted = false
 			res.Shed = true
 			res.Err = fmt.Errorf("%w: %w", ErrWindowShed, err)
+			res.finishTrace()
 			return res
 		}
 	}
@@ -515,6 +552,9 @@ func (w *Windower) identifyWindow(ctx context.Context, res WindowResult, b *trac
 		defer cancel()
 	}
 	start := time.Now()
+	if res.Trace != nil {
+		res.Trace.FitStartAt = start
+	}
 	res.ID, res.Err = w.engine.identifyBatchOne(ictx, b, cfg, sc)
 	res.Elapsed = time.Since(start)
 	// A deadline expiry of THIS window (and not a cancellation of the whole
@@ -523,7 +563,42 @@ func (w *Windower) identifyWindow(ctx context.Context, res WindowResult, b *trac
 		res.Err = fmt.Errorf("%w after %v (deadline %v)", ErrWindowDeadline,
 			res.Elapsed.Round(time.Millisecond), w.cfg.Deadline)
 	}
+	if res.Trace != nil {
+		res.Trace.FitDoneAt = start.Add(res.Elapsed)
+		if res.Trace.Restarts = cfg.Restarts; res.Trace.Restarts <= 0 {
+			res.Trace.Restarts = DefaultConfig().Restarts
+		}
+		if res.ID != nil {
+			res.Trace.Iterations = res.ID.EMIterations
+		}
+	}
+	res.finishTrace()
 	return res
+}
+
+// finishTrace classifies the window's final outcome onto its trace, if one
+// is attached. The loss-free verdict counts as done: it is a decision, not
+// a failure.
+func (r *WindowResult) finishTrace() {
+	t := r.Trace
+	if t == nil {
+		return
+	}
+	switch {
+	case r.Shed:
+		t.Outcome = obs.OutcomeShed
+	case !r.Admitted:
+		t.Outcome = obs.OutcomeRejected
+	case r.Err == nil || errors.Is(r.Err, ErrNoLosses):
+		t.Outcome = obs.OutcomeDone
+	case errors.Is(r.Err, ErrWindowDeadline):
+		t.Outcome = obs.OutcomeDeadline
+	default:
+		t.Outcome = obs.OutcomeError
+	}
+	if r.Err != nil {
+		t.Error = r.Err.Error()
+	}
 }
 
 // transitionState tracks the last decided window's verdict to classify

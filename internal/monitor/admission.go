@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"dominantlink/internal/core"
+	"dominantlink/internal/obs"
 )
 
 // Admission control: the monitor's defenses against overload. Three
@@ -224,6 +225,7 @@ type breaker struct {
 	cfg BreakerConfig
 	now func() time.Time
 	met *metrics
+	obs *obs.Observer // nil-safe no-op when observability is off
 
 	mu       sync.Mutex
 	state    breakerState
@@ -234,7 +236,7 @@ type breaker struct {
 
 // newBreaker returns the breaker for cfg, or nil when cfg disables it
 // (Deadline == 0). now == nil uses time.Now.
-func newBreaker(cfg BreakerConfig, now func() time.Time, met *metrics) *breaker {
+func newBreaker(cfg BreakerConfig, now func() time.Time, met *metrics, o *obs.Observer) *breaker {
 	if cfg.Deadline <= 0 {
 		return nil
 	}
@@ -242,7 +244,7 @@ func newBreaker(cfg BreakerConfig, now func() time.Time, met *metrics) *breaker 
 	if now == nil {
 		now = time.Now
 	}
-	return &breaker{cfg: cfg, now: now, met: met}
+	return &breaker{cfg: cfg, now: now, met: met, obs: o}
 }
 
 // admit is the windower Admit callback: it decides whether this window
@@ -261,6 +263,7 @@ func (b *breaker) admit(_ *core.WindowResult) error {
 		// Cooldown over: this window is the half-open probe.
 		b.state = breakerHalfOpen
 		b.probing = true
+		b.obs.BreakerState("open", "half-open", "cooldown elapsed; admitting probe window")
 		return nil
 	default: // half-open
 		if b.probing {
@@ -295,6 +298,7 @@ func (b *breaker) observe(elapsed time.Duration, expired bool) {
 		} else {
 			b.state = breakerClosed
 			b.slow = 0
+			b.obs.BreakerState("half-open", "closed", "probe window under deadline")
 		}
 	case breakerOpen:
 		// A straggler finishing after the breaker opened carries no new
@@ -304,11 +308,17 @@ func (b *breaker) observe(elapsed time.Duration, expired bool) {
 
 // openLocked trips the breaker. Caller holds b.mu.
 func (b *breaker) openLocked() {
+	from := b.state.String()
+	cause := fmt.Sprintf("%d consecutive windows over the %v identification deadline", b.cfg.Trips, b.cfg.Deadline)
+	if b.state == breakerHalfOpen {
+		cause = "probe window over deadline"
+	}
 	b.state = breakerOpen
 	b.openedAt = b.now()
 	b.slow = 0
 	b.probing = false
 	b.met.breakerOpens.Add(1)
+	b.obs.BreakerState(from, "open", cause)
 }
 
 // State reports the breaker's current state name ("closed", "open",

@@ -108,7 +108,7 @@ func TestRateLimitedErrorIs(t *testing.T) {
 func TestBreakerStateMachine(t *testing.T) {
 	clk := &fakeClock{t: time.Unix(1000, 0)}
 	b := newBreaker(BreakerConfig{Deadline: 100 * time.Millisecond, Trips: 2, Cooldown: time.Second},
-		clk.now, newMetrics())
+		clk.now, newMetrics(), nil)
 	res := &core.WindowResult{}
 
 	// Closed: fast windows keep it closed; the slow streak must be consecutive.
@@ -167,7 +167,7 @@ func TestBreakerStateMachine(t *testing.T) {
 }
 
 func TestBreakerDisabled(t *testing.T) {
-	if b := newBreaker(BreakerConfig{}, nil, newMetrics()); b != nil {
+	if b := newBreaker(BreakerConfig{}, nil, newMetrics(), nil); b != nil {
 		t.Fatal("zero BreakerConfig should disable the breaker")
 	}
 	var b *breaker

@@ -10,9 +10,11 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"dominantlink/internal/core"
+	"dominantlink/internal/obs"
 	"dominantlink/internal/store"
 	"dominantlink/internal/trace"
 )
@@ -141,9 +143,15 @@ type obsJSON struct {
 //	POST   /v1/paths/{id}/observations    ingest a JSON or CSV batch (429 = back off)
 //	GET    /v1/paths/{id}/results         decided windows as JSON (?since=N)
 //	GET    /v1/paths/{id}/events          SSE feed (window/transition/closed events)
+//	GET    /debug/traces                  slowest recent window traces (JSON)
 //
 // GET /v1/paths/{id}/results with "Accept: text/event-stream" serves the
 // SSE feed too, so one URL works for both polling and streaming clients.
+//
+// With observability configured (Config.Logger), every request is wrapped
+// in access logging: an X-Request-Id response header carrying a
+// process-unique id, and one http_request log line (debug for success,
+// warn for 5xx) stamped with the same id.
 func (m *Monitor) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", m.handleHealth)
@@ -155,7 +163,65 @@ func (m *Monitor) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/paths/{id}/observations", m.handleIngest)
 	mux.HandleFunc("GET /v1/paths/{id}/results", m.handleResults)
 	mux.HandleFunc("GET /v1/paths/{id}/events", m.handleEvents)
-	return mux
+	mux.Handle("GET /debug/traces", m.obs.Ring()) // nil ring serves an empty list
+	if !m.obs.Enabled() {
+		return mux
+	}
+	return &loggingHandler{next: mux, obs: m.obs}
+}
+
+// loggingHandler is the access-log middleware: it assigns each request a
+// process-unique id (echoed in X-Request-Id so a client error report can
+// be matched to its log line), captures the response status and size, and
+// emits one http_request event after the handler returns.
+type loggingHandler struct {
+	next  http.Handler
+	obs   *obs.Observer
+	reqID atomic.Uint64
+}
+
+func (h *loggingHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	id := h.reqID.Add(1)
+	w.Header().Set("X-Request-Id", strconv.FormatUint(id, 10))
+	sw := &statusWriter{ResponseWriter: w}
+	start := time.Now()
+	h.next.ServeHTTP(sw, r)
+	status := sw.status
+	if status == 0 {
+		status = http.StatusOK // handler wrote nothing: net/http's implied 200
+	}
+	h.obs.HTTPRequest(id, r.Method, r.URL.Path, status, sw.bytes, time.Since(start))
+}
+
+// statusWriter records the status code and body size of a response. It
+// forwards Flush so the SSE handler's streaming still works through the
+// middleware.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

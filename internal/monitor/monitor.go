@@ -18,11 +18,13 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"sort"
 	"strings"
 	"sync"
 
 	"dominantlink/internal/core"
+	"dominantlink/internal/obs"
 	"dominantlink/internal/store"
 )
 
@@ -91,6 +93,21 @@ type Config struct {
 	// and test instrumentation (injected EM latency, forced failures);
 	// leave it nil in production.
 	EngineHook func(ctx context.Context) error
+
+	// Logger turns the observability layer on: every session's windows get
+	// lifecycle traces (window config CollectTrace is forced on), emitted
+	// as structured log lines along with session/admission/store/HTTP
+	// events (package obs documents the event vocabulary), and the slowest
+	// window traces are served at GET /debug/traces. Nil (the default)
+	// disables all of it at zero cost on the window path.
+	Logger *slog.Logger
+	// TraceSample is the fraction of routine window_done log lines emitted
+	// (deterministic per (path, window); <= 0 or >= 1 logs every window).
+	// Shed, deadline-expired and errored windows are always logged.
+	TraceSample float64
+	// TraceRing bounds the slowest-trace ring behind GET /debug/traces
+	// (0 = obs.DefaultRingSize, < 0 disables the ring).
+	TraceRing int
 }
 
 func (c *Config) defaults() {
@@ -115,11 +132,12 @@ type Monitor struct {
 	cfg        Config
 	engine     *core.Engine
 	metrics    *metrics
-	breaker    *breaker     // nil when the breaker is disabled
-	globalRate *tokenBucket // nil when unlimited
-	store      *store.Store // nil when durability is off
-	ownStore   bool         // the monitor opened it (StoreDir) and closes it
-	storeErr   error        // a StoreDir that failed to open; surfaced by Open
+	obs        *obs.Observer // nil when no Logger is configured (a valid no-op)
+	breaker    *breaker      // nil when the breaker is disabled
+	globalRate *tokenBucket  // nil when unlimited
+	store      *store.Store  // nil when durability is off
+	ownStore   bool          // the monitor opened it (StoreDir) and closes it
+	storeErr   error         // a StoreDir that failed to open; surfaced by Open
 
 	mu       sync.Mutex
 	sessions map[string]*Session
@@ -136,11 +154,15 @@ func New(cfg Config) *Monitor {
 		engine.SetIdentifyHook(cfg.EngineHook)
 	}
 	met := newMetrics()
+	observer := obs.New(obs.Options{
+		Logger: cfg.Logger, Sample: cfg.TraceSample, RingSize: cfg.TraceRing,
+	})
 	m := &Monitor{
 		cfg:        cfg,
 		engine:     engine,
 		metrics:    met,
-		breaker:    newBreaker(cfg.Breaker, nil, met),
+		obs:        observer,
+		breaker:    newBreaker(cfg.Breaker, nil, met, observer),
 		globalRate: newTokenBucket(cfg.GlobalRate, cfg.GlobalBurst, nil),
 		sessions:   make(map[string]*Session),
 	}
@@ -151,7 +173,7 @@ func New(cfg Config) *Monitor {
 		// New has no error return; a store that fails to open surfaces as
 		// the error of every subsequent Open, so the daemon fails loudly on
 		// the first PUT instead of silently running without durability.
-		m.store, m.storeErr = store.Open(store.Options{Dir: cfg.StoreDir})
+		m.store, m.storeErr = store.Open(store.Options{Dir: cfg.StoreDir, Logger: cfg.Logger})
 		m.ownStore = m.storeErr == nil
 	}
 	if m.store != nil {
@@ -167,6 +189,10 @@ func (m *Monitor) Store() *store.Store { return m.store }
 // BreakerState reports the circuit breaker's state ("closed", "open",
 // "half-open", or "disabled" when no breaker is configured).
 func (m *Monitor) BreakerState() string { return m.breaker.State() }
+
+// Observer returns the monitor's observability sink (nil — a valid no-op —
+// when no Logger was configured).
+func (m *Monitor) Observer() *obs.Observer { return m.obs }
 
 // validateID keeps path identifiers printable, short, and slash-free so
 // they embed cleanly in URLs and logs.
@@ -196,6 +222,9 @@ func (m *Monitor) Open(id string, wcfg *core.WindowConfig) (s *Session, created 
 	if err := cfg.Validate(); err != nil {
 		return nil, false, err
 	}
+	// With observability on, every window carries a lifecycle trace: the
+	// windower stamps the spans, record() the path and append time.
+	cfg.CollectTrace = cfg.CollectTrace || m.obs.Enabled()
 	if m.breaker != nil {
 		// The breaker decides admission after any caller-provided policy,
 		// so a custom Admit cannot accidentally bypass overload protection.
@@ -252,6 +281,7 @@ func (m *Monitor) Open(id string, wcfg *core.WindowConfig) (s *Session, created 
 		defer m.wg.Done()
 		s.run(ctx)
 	}()
+	m.obs.SessionOpen(id, s.indexBase)
 	return s, true, nil
 }
 

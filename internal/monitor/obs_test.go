@@ -1,0 +1,313 @@
+package monitor
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"dominantlink/internal/core"
+	"dominantlink/internal/obs"
+)
+
+// syncBuffer is an io.Writer safe for the concurrent session goroutines
+// that share one test log stream.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) Bytes() []byte {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]byte(nil), b.buf.Bytes()...)
+}
+
+// jsonEvents decodes a JSON log stream (one object per line) and returns
+// the lines carrying an "event" attribute.
+func jsonEvents(t *testing.T, raw []byte) []map[string]any {
+	t.Helper()
+	var out []map[string]any
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	for dec.More() {
+		var line map[string]any
+		if err := dec.Decode(&line); err != nil {
+			t.Fatalf("log stream is not one JSON object per line: %v", err)
+		}
+		if _, ok := line["event"]; ok {
+			out = append(out, line)
+		}
+	}
+	return out
+}
+
+func eventsNamed(events []map[string]any, name string) []map[string]any {
+	var out []map[string]any
+	for _, e := range events {
+		if e["event"] == name {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func mustLogger(t *testing.T, w io.Writer, level slog.Level) *slog.Logger {
+	t.Helper()
+	l, err := obs.NewLogger(w, level, "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// TestWindowLifecycleGolden drives exactly one window through a logging
+// monitor and asserts the golden contract of the observability layer: one
+// window produces exactly one window_done event whose span durations are
+// non-negative and consistent, bracketed by the session lifecycle events.
+func TestWindowLifecycleGolden(t *testing.T) {
+	buf := &syncBuffer{}
+	m := New(Config{
+		Workers: 1, Logger: mustLogger(t, buf, slog.LevelDebug),
+		Window: core.WindowConfig{Size: 50, DisableGate: true},
+	})
+	s, _, err := m.Open("p", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Offer(healthyObs(50)); err != nil {
+		t.Fatal(err)
+	}
+	s.Drain()
+	if err := s.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	events := jsonEvents(t, buf.Bytes())
+	done := eventsNamed(events, obs.EventWindowDone)
+	if len(done) != 1 {
+		t.Fatalf("one window logged %d window_done events, want exactly 1:\n%s", len(done), buf.Bytes())
+	}
+	w := done[0]
+	if w["path"] != "p" || w["window"] != float64(0) || w["probes"] != float64(50) {
+		t.Errorf("window_done = path %v window %v probes %v, want p/0/50", w["path"], w["window"], w["probes"])
+	}
+	if w["outcome"] != string(obs.OutcomeDone) {
+		t.Errorf("outcome = %v, want done", w["outcome"])
+	}
+	var total float64
+	for _, span := range []string{"enqueue_wait_ms", "dispatch_ms", "fit_ms", "total_ms"} {
+		v, ok := w[span].(float64)
+		if !ok || v < 0 {
+			t.Errorf("span %s = %v, want a non-negative number", span, w[span])
+		}
+		if span == "total_ms" {
+			total = v
+		}
+	}
+	if fit := w["fit_ms"].(float64); total < fit {
+		t.Errorf("total_ms %v < fit_ms %v: spans are not monotone", total, fit)
+	}
+	if _, ok := w["em_restarts"].(float64); !ok {
+		t.Errorf("window_done missing em_restarts: %v", w)
+	}
+
+	for _, name := range []string{obs.EventSessionOpen, obs.EventSessionDrain, obs.EventSessionClosed} {
+		if got := eventsNamed(events, name); len(got) != 1 || got[0]["path"] != "p" {
+			t.Errorf("session lifecycle event %s: got %v, want exactly one for path p", name, got)
+		}
+	}
+	if closed := eventsNamed(events, obs.EventSessionClosed)[0]; closed["windows"] != float64(1) {
+		t.Errorf("session_closed windows = %v, want 1", closed["windows"])
+	}
+}
+
+// sampledWindows runs the same 60-window workload through a monitor
+// sampling half the routine window_done events, and returns which window
+// indexes were logged.
+func sampledWindows(t *testing.T) map[int]bool {
+	t.Helper()
+	buf := &syncBuffer{}
+	m := New(Config{
+		Workers: 1, QueueSize: 4096,
+		Logger:      mustLogger(t, buf, slog.LevelInfo),
+		TraceSample: 0.5,
+		Window:      core.WindowConfig{Size: 50, DisableGate: true},
+	})
+	s, _, err := m.Open("p", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 60; i++ {
+		if _, err := s.Offer(healthyObs(50)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Drain()
+	if err := s.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	m.Close(context.Background())
+
+	logged := map[int]bool{}
+	for _, e := range eventsNamed(jsonEvents(t, buf.Bytes()), obs.EventWindowDone) {
+		logged[int(e["window"].(float64))] = true
+	}
+	return logged
+}
+
+// TestTraceSamplingDeterministic: sampling decisions hash (path, window),
+// so two runs of the same workload log exactly the same windows — "why is
+// window 41 missing" always has the same answer.
+func TestTraceSamplingDeterministic(t *testing.T) {
+	first := sampledWindows(t)
+	second := sampledWindows(t)
+	if len(first) == 0 || len(first) == 60 {
+		t.Fatalf("sample rate 0.5 logged %d of 60 windows; sampling is not happening", len(first))
+	}
+	if len(first) != len(second) {
+		t.Fatalf("two identical runs logged %d vs %d windows", len(first), len(second))
+	}
+	for w := range first {
+		if !second[w] {
+			t.Fatalf("window %d logged in the first run but not the second", w)
+		}
+	}
+}
+
+// TestDebugTracesEndpoint exercises GET /debug/traces end to end with
+// concurrent sessions feeding the ring, plus the disabled-observer shape.
+func TestDebugTracesEndpoint(t *testing.T) {
+	m := New(Config{
+		Workers: 2, QueueSize: 4096,
+		Logger: obs.NopLogger(), TraceRing: 8,
+		Window: core.WindowConfig{Size: 50, DisableGate: true},
+	})
+	var wg sync.WaitGroup
+	for p := 0; p < 2; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			id := fmt.Sprintf("path-%d", p)
+			s, _, err := m.Open(id, nil)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i := 0; i < 10; i++ {
+				if _, err := s.Offer(healthyObs(50)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			s.Drain()
+			if err := s.Wait(context.Background()); err != nil {
+				t.Error(err)
+			}
+		}(p)
+	}
+	wg.Wait()
+	defer m.Close(context.Background())
+
+	srv := httptest.NewServer(m.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.Header.Get("X-Request-Id") == "" {
+		t.Error("logging monitor response missing X-Request-Id")
+	}
+	var body struct {
+		Capacity int `json:"capacity"`
+		Traces   []struct {
+			Path    string `json:"path"`
+			Outcome string `json:"outcome"`
+			Spans   struct {
+				Total float64 `json:"total_ms"`
+			} `json:"spans"`
+		} `json:"traces"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("/debug/traces: %v", err)
+	}
+	if body.Capacity != 8 || len(body.Traces) != 8 {
+		t.Fatalf("/debug/traces = capacity %d, %d traces; want 8 of 8 (20 windows ran)", body.Capacity, len(body.Traces))
+	}
+	paths := map[string]bool{}
+	for _, tr := range body.Traces {
+		paths[tr.Path] = true
+		if tr.Outcome == "" || tr.Spans.Total < 0 {
+			t.Errorf("trace %+v missing outcome or has negative total span", tr)
+		}
+	}
+	if len(paths) != 2 {
+		t.Errorf("ring holds traces from %d paths, want both", len(paths))
+	}
+
+	// Observability off: the endpoint keeps its shape (empty list), and no
+	// access-log middleware stamps request ids.
+	off := New(Config{})
+	defer off.Close(context.Background())
+	srvOff := httptest.NewServer(off.Handler())
+	defer srvOff.Close()
+	resp, err = srvOff.Client().Get(srvOff.URL + "/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.Header.Get("X-Request-Id") != "" {
+		t.Error("disabled-observer response carries X-Request-Id")
+	}
+	var offBody struct {
+		Capacity int               `json:"capacity"`
+		Traces   []json.RawMessage `json:"traces"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&offBody); err != nil {
+		t.Fatalf("/debug/traces disabled: %v", err)
+	}
+	if offBody.Capacity != 0 || len(offBody.Traces) != 0 {
+		t.Errorf("disabled /debug/traces = capacity %d, %d traces; want empty", offBody.Capacity, len(offBody.Traces))
+	}
+}
+
+// TestTraceCollectionFollowsLogger: the monitor turns window tracing on
+// exactly when a logger is configured, so the logger-off steady state
+// allocates no traces at all.
+func TestTraceCollectionFollowsLogger(t *testing.T) {
+	off := New(Config{})
+	defer off.Close(context.Background())
+	s, _, err := off.Open("p", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.wcfg.CollectTrace {
+		t.Error("logger-off session collects traces")
+	}
+	if off.obs.Enabled() {
+		t.Error("logger-off monitor has an enabled observer")
+	}
+
+	on := New(Config{Logger: obs.NopLogger()})
+	defer on.Close(context.Background())
+	if s, _, err = on.Open("p", nil); err != nil {
+		t.Fatal(err)
+	}
+	if !s.wcfg.CollectTrace {
+		t.Error("logging session does not collect traces")
+	}
+}

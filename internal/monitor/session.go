@@ -6,6 +6,7 @@ import (
 	"io"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dominantlink/internal/core"
 	"dominantlink/internal/store"
@@ -100,6 +101,7 @@ type Session struct {
 	dropped          uint64
 	evicted          uint64 // accepted, then evicted by ShedDropOldest
 	rateLimited      uint64 // refused by a rate limit (subset of dropped)
+	rejections       uint64 // OfferBatch calls that refused something (log sampling key)
 	windows          uint64
 	admitted         uint64
 	rejected         uint64
@@ -236,6 +238,7 @@ func (s *Session) run(ctx context.Context) {
 		s.mu.Lock()
 		s.err = err
 		s.mu.Unlock()
+		s.mon.obs.SessionError(s.id, s.indexBase, err)
 		return
 	}
 	for res := range ch {
@@ -265,6 +268,21 @@ func (s *Session) Offer(obs []trace.Observation) (int, error) {
 // acquisition and at most one channel send per call, however many probes
 // the batch carries.
 func (s *Session) OfferBatch(b *trace.Batch) (int, error) {
+	// Rejection events are emitted through this defer, which — being
+	// registered before the lock's — runs AFTER s.mu is released, keeping
+	// the logger (and its io.Writer) out of the admission critical section.
+	var rejRate, rejQueue int
+	var rejSeq uint64
+	if s.mon.obs.Enabled() {
+		defer func() {
+			if rejRate > 0 {
+				s.mon.obs.IngestReject(s.id, "rate_limited", rejRate, rejSeq)
+			}
+			if rejQueue > 0 {
+				s.mon.obs.IngestReject(s.id, "queue_full", rejQueue, rejSeq)
+			}
+		}()
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.state != StateActive {
@@ -287,6 +305,7 @@ func (s *Session) OfferBatch(b *trace.Batch) (int, error) {
 		s.dropped += uint64(limited)
 		met.rateLimited.Add(int64(limited))
 		met.dropped.Add(int64(limited))
+		rejRate = limited
 	}
 
 	// The queue bound is counted in observations (s.queued); Offer under
@@ -351,6 +370,11 @@ func (s *Session) OfferBatch(b *trace.Batch) (int, error) {
 	if over := granted - accepted; over > 0 {
 		s.dropped += uint64(over)
 		met.dropped.Add(int64(over))
+		rejQueue = over
+	}
+	if rejRate > 0 || rejQueue > 0 {
+		s.rejections++
+		rejSeq = s.rejections
 	}
 	// The queue verdict outranks the rate-limit one: it concerns earlier
 	// offsets, and the client resumes from `accepted` either way.
@@ -368,12 +392,15 @@ func (s *Session) OfferBatch(b *trace.Batch) (int, error) {
 // for it), and the session transitions to closed. Idempotent.
 func (s *Session) Drain() {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.state != StateActive {
+		s.mu.Unlock()
 		return
 	}
 	s.setStateLocked(StateDraining)
 	close(s.queue)
+	queued := int(s.queued.Load())
+	s.mu.Unlock()
+	s.mon.obs.SessionDrain(s.id, queued)
 }
 
 // Abort drains and additionally cancels the pipeline, abandoning the
@@ -432,6 +459,13 @@ func (s *Session) Subscribe(buf int) (<-chan Event, func()) {
 // anything a client ever received is already on disk under FsyncAlways.
 func (s *Session) record(res core.WindowResult) {
 	res.Index += s.indexBase
+	if res.Trace != nil {
+		// The windower numbered the trace stream-relatively and could not
+		// know the path; finish it here so logs and /debug/traces carry
+		// absolute, greppable coordinates.
+		res.Trace.Path = s.id
+		res.Trace.Window = res.Index
+	}
 	var storeErr error
 	if s.slog != nil {
 		rec := store.Record{Kind: store.KindWindow, Window: windowJSON(res)}
@@ -442,7 +476,32 @@ func (s *Session) record(res core.WindowResult) {
 		}
 		if storeErr != nil {
 			s.mon.metrics.storeAppendErrors.Add(1)
+			s.mon.obs.StoreAppendError(s.id, res.Index, storeErr)
+		} else if res.Trace != nil {
+			res.Trace.AppendedAt = time.Now()
 		}
+	}
+	// Observability events go out after s.mu is released (defers run in
+	// reverse order, so this one fires after the unlock below): the window
+	// lifecycle line, the transition event, and — for the terminal source
+	// failure that previously surfaced only as a bare string in session
+	// state — a window_error event with path and window index.
+	if s.mon.obs.Enabled() {
+		terminal := res.Err != nil && !res.Shed && !res.Admitted &&
+			!errors.Is(res.Err, core.ErrNoLosses)
+		defer func() {
+			s.mon.obs.Window(res.Trace)
+			if res.Transition != core.TransitionNone {
+				var bound float64
+				if res.ID != nil {
+					bound = res.ID.BoundSeconds
+				}
+				s.mon.obs.Transition(s.id, res.Index, res.Transition.String(), bound)
+			}
+			if terminal {
+				s.mon.obs.SessionError(s.id, res.Index, res.Err)
+			}
+		}()
 	}
 	met := s.mon.metrics
 	expired := res.Err != nil && errors.Is(res.Err, core.ErrWindowDeadline)
@@ -536,7 +595,13 @@ func (s *Session) finish() {
 		delete(s.subs, ch)
 		close(ch)
 	}
+	windows, ingested, dropped := s.windows, s.ingested, s.dropped
+	errStr := ""
+	if s.err != nil {
+		errStr = s.err.Error()
+	}
 	s.mu.Unlock()
+	s.mon.obs.SessionClosed(s.id, windows, ingested, dropped, errStr)
 	close(s.done)
 }
 

@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// Logger construction for the daemon and the bench harness: one place
+// that parses the -log-level / -log-format flag vocabulary and builds the
+// slog handler, so every binary spells levels and formats identically.
+
+// ParseLevel reads a log level name: debug, info, warn or error.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info", "":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	default:
+		return 0, fmt.Errorf("obs: unknown log level %q (want debug, info, warn or error)", s)
+	}
+}
+
+// NewLogger builds a logger writing to w: format "text" (the default) for
+// humans at a terminal, "json" for log pipelines (one JSON object per
+// line; the chaos-reconstruction tests parse exactly this).
+func NewLogger(w io.Writer, level slog.Level, format string) (*slog.Logger, error) {
+	opts := &slog.HandlerOptions{Level: level}
+	switch strings.ToLower(strings.TrimSpace(format)) {
+	case "text", "":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("obs: unknown log format %q (want text or json)", format)
+	}
+}
+
+// nopHandler drops everything (go.mod predates slog.DiscardHandler).
+type nopHandler struct{}
+
+func (nopHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (nopHandler) Handle(context.Context, slog.Record) error { return nil }
+func (nopHandler) WithAttrs([]slog.Attr) slog.Handler        { return nopHandler{} }
+func (nopHandler) WithGroup(string) slog.Handler             { return nopHandler{} }
+
+// NopLogger returns a logger that discards everything, for callers that
+// want a never-nil *slog.Logger without branching (the store uses it when
+// no logger is configured; all its events are off the hot path).
+func NopLogger() *slog.Logger { return slog.New(nopHandler{}) }

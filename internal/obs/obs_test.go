@@ -1,0 +1,277 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSamplerDeterminism(t *testing.T) {
+	a := NewSampler(0.5, 42)
+	b := NewSampler(0.5, 42)
+	if a == nil || b == nil {
+		t.Fatal("rate 0.5 should return a real sampler")
+	}
+	for n := uint64(0); n < 1000; n++ {
+		if a.Sample("path-7", n) != b.Sample("path-7", n) {
+			t.Fatalf("two samplers with the same seed disagree at n=%d", n)
+		}
+	}
+	// A different seed must not make the same decisions everywhere.
+	c := NewSampler(0.5, 43)
+	same := 0
+	for n := uint64(0); n < 1000; n++ {
+		if a.Sample("path-7", n) == c.Sample("path-7", n) {
+			same++
+		}
+	}
+	if same == 1000 {
+		t.Error("different seeds made identical decisions on 1000 keys")
+	}
+}
+
+func TestSamplerRate(t *testing.T) {
+	for _, rate := range []float64{0.1, 0.5, 0.9} {
+		s := NewSampler(rate, 0)
+		kept := 0
+		const trials = 20000
+		for n := uint64(0); n < trials; n++ {
+			if s.Sample("p", n) {
+				kept++
+			}
+		}
+		got := float64(kept) / trials
+		if math.Abs(got-rate) > 0.02 {
+			t.Errorf("rate %.1f kept %.3f of events, want within 0.02", rate, got)
+		}
+	}
+}
+
+func TestSamplerKeepAll(t *testing.T) {
+	for _, rate := range []float64{0, -1, 1, 2} {
+		s := NewSampler(rate, 7)
+		if s != nil {
+			t.Fatalf("rate %v should return a nil (keep-all) sampler", rate)
+		}
+		if !s.Sample("p", 3) {
+			t.Fatalf("nil sampler dropped an event at rate %v", rate)
+		}
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]slog.Level{
+		"debug": slog.LevelDebug, "info": slog.LevelInfo, "": slog.LevelInfo,
+		"warn": slog.LevelWarn, "warning": slog.LevelWarn, "ERROR": slog.LevelError,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = (%v, %v), want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel accepted an unknown level")
+	}
+}
+
+func TestNewLogger(t *testing.T) {
+	var buf bytes.Buffer
+	for _, format := range []string{"text", "", "json", "JSON"} {
+		l, err := NewLogger(&buf, slog.LevelInfo, format)
+		if err != nil || l == nil {
+			t.Fatalf("NewLogger(%q): %v", format, err)
+		}
+	}
+	if _, err := NewLogger(&buf, slog.LevelInfo, "xml"); err == nil {
+		t.Error("NewLogger accepted an unknown format")
+	}
+
+	buf.Reset()
+	l, _ := NewLogger(&buf, slog.LevelWarn, "json")
+	l.Info("quiet")
+	l.Warn("loud", "k", "v")
+	if strings.Contains(buf.String(), "quiet") {
+		t.Error("info line emitted under a warn-level logger")
+	}
+	var line map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &line); err != nil {
+		t.Fatalf("json handler did not emit one JSON object per line: %v", err)
+	}
+	if line["msg"] != "loud" || line["k"] != "v" {
+		t.Errorf("json line = %v, want msg=loud k=v", line)
+	}
+}
+
+func TestNopLogger(t *testing.T) {
+	l := NopLogger()
+	if l.Enabled(nil, slog.LevelError) { //nolint:staticcheck // nil ctx is fine for slog
+		t.Error("NopLogger reports enabled")
+	}
+	l.Error("dropped") // must not panic
+}
+
+// tr builds a trace whose fit took the given duration.
+func tr(path string, window int, fit time.Duration) *WindowTrace {
+	base := time.Unix(1000, 0)
+	return &WindowTrace{
+		Path: path, Window: window, Probes: 100, Outcome: OutcomeDone,
+		EnqueuedAt: base, CutAt: base.Add(time.Millisecond),
+		GateAt: base.Add(2 * time.Millisecond), FitStartAt: base.Add(2 * time.Millisecond),
+		FitDoneAt: base.Add(2*time.Millisecond + fit),
+	}
+}
+
+func TestRingKeepsSlowest(t *testing.T) {
+	r := NewRing(3)
+	for i := 0; i < 10; i++ {
+		r.Add(tr("p", i, time.Duration(i+1)*time.Millisecond))
+	}
+	snap := r.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("ring holds %d traces, want 3", len(snap))
+	}
+	// Slowest first: windows 9, 8, 7.
+	for i, want := range []int{9, 8, 7} {
+		if snap[i].Window != want {
+			t.Errorf("snapshot[%d] = window %d, want %d", i, snap[i].Window, want)
+		}
+	}
+	// A fast trace must not displace a slower one.
+	r.Add(tr("p", 99, time.Microsecond))
+	if snap = r.Snapshot(); snap[len(snap)-1].Window == 99 {
+		t.Error("fast trace displaced a slower entry from a full ring")
+	}
+}
+
+func TestRingAgesOutStaleEntries(t *testing.T) {
+	r := NewRing(2)
+	r.Add(tr("p", 0, time.Hour)) // pathologically slow
+	// recencyFactor*cap fast traces later, the stall must be gone.
+	for i := 1; i <= recencyFactor*2+1; i++ {
+		r.Add(tr("p", i, time.Millisecond))
+	}
+	for _, e := range r.Snapshot() {
+		if e.Window == 0 {
+			t.Fatal("stale slow trace survived past the recency horizon")
+		}
+	}
+}
+
+func TestRingServeHTTP(t *testing.T) {
+	var nilRing *Ring
+	rec := httptest.NewRecorder()
+	nilRing.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces", nil))
+	var body struct {
+		Capacity int               `json:"capacity"`
+		Traces   []json.RawMessage `json:"traces"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("nil ring response: %v", err)
+	}
+	if body.Capacity != 0 || len(body.Traces) != 0 {
+		t.Fatalf("nil ring = cap %d, %d traces; want empty", body.Capacity, len(body.Traces))
+	}
+
+	r := NewRing(4)
+	r.Add(tr("p", 3, 5*time.Millisecond))
+	rec = httptest.NewRecorder()
+	r.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces", nil))
+	var full struct {
+		Capacity int `json:"capacity"`
+		Traces   []struct {
+			Path   string `json:"path"`
+			Window int    `json:"window"`
+			Spans  Spans  `json:"spans"`
+		} `json:"traces"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &full); err != nil {
+		t.Fatalf("ring response: %v", err)
+	}
+	if full.Capacity != 4 || len(full.Traces) != 1 {
+		t.Fatalf("ring response = cap %d, %d traces; want 4, 1", full.Capacity, len(full.Traces))
+	}
+	if got := full.Traces[0]; got.Path != "p" || got.Window != 3 || got.Spans.Fit != 5 {
+		t.Errorf("trace = %+v, want path p window 3 fit 5ms", got)
+	}
+}
+
+func TestSpansMonotoneAndZeroSafe(t *testing.T) {
+	w := tr("p", 0, 10*time.Millisecond)
+	sp := w.SpansMS()
+	if sp.EnqueueWait != 1 || sp.Dispatch != 1 || sp.Fit != 10 || sp.Total != 12 {
+		t.Errorf("spans = %+v, want 1/1/10 total 12", sp)
+	}
+	// A trace whose later stages were never reached derives zero spans,
+	// not negatives.
+	partial := &WindowTrace{EnqueuedAt: time.Unix(1000, 0), CutAt: time.Unix(1001, 0)}
+	sp = partial.SpansMS()
+	if sp.Fit != 0 || sp.Append != 0 || sp.Total != 1000 {
+		t.Errorf("partial-trace spans = %+v, want fit/append 0, total 1000", sp)
+	}
+}
+
+func TestObserverAlwaysEmitsAbnormalWindows(t *testing.T) {
+	var buf bytes.Buffer
+	logger, _ := NewLogger(&buf, slog.LevelDebug, "json")
+	// Sample rate so low that routine windows are (almost surely) dropped.
+	o := New(Options{Logger: logger, Sample: 0.0001, RingSize: -1})
+
+	for i := 0; i < 100; i++ {
+		o.Window(tr("p", i, time.Millisecond))
+	}
+	routineLines := strings.Count(buf.String(), EventWindowDone)
+	if routineLines > 10 {
+		t.Errorf("%d routine windows logged at sample rate 0.0001, want ~0", routineLines)
+	}
+
+	buf.Reset()
+	for i, outcome := range []Outcome{OutcomeShed, OutcomeDeadline, OutcomeError} {
+		w := tr("p", 1000+i, time.Millisecond)
+		w.Outcome = outcome
+		o.Window(w)
+	}
+	for _, event := range []string{EventWindowShed, EventWindowDeadline, EventWindowError} {
+		if !strings.Contains(buf.String(), event) {
+			t.Errorf("abnormal outcome %s not logged despite the sample rate", event)
+		}
+	}
+}
+
+func TestObserverNilIsFree(t *testing.T) {
+	var o *Observer
+	if o.Enabled() || o.Logger() != nil || o.Ring() != nil {
+		t.Fatal("nil observer should report disabled with nil logger and ring")
+	}
+	w := tr("p", 0, time.Millisecond)
+	allocs := testing.AllocsPerRun(100, func() {
+		o.Window(w)
+		o.Transition("p", 1, "dcl-onset", 0.1)
+		o.SessionOpen("p", 0)
+		o.SessionDrain("p", 3)
+		o.SessionClosed("p", 1, 2, 3, "")
+		o.IngestReject("p", "queue_full", 5, 1)
+		o.BreakerState("closed", "open", "slow")
+		o.HTTPRequest(1, "GET", "/v1/paths", 200, 10, time.Millisecond)
+	})
+	if allocs != 0 {
+		t.Errorf("nil observer allocated %.1f per run, want 0", allocs)
+	}
+}
+
+func TestNewObserverRequiresLogger(t *testing.T) {
+	if New(Options{}) != nil {
+		t.Fatal("New without a logger should return nil")
+	}
+	o := New(Options{Logger: NopLogger()})
+	if !o.Enabled() || o.Ring() == nil {
+		t.Fatal("New with a logger should enable the default ring")
+	}
+	if o := New(Options{Logger: NopLogger(), RingSize: -1}); o.Ring() != nil {
+		t.Fatal("RingSize < 0 should disable the ring")
+	}
+}

@@ -1,0 +1,59 @@
+package obs
+
+import "math"
+
+// Sampler makes deterministic keep/drop decisions for routine events: an
+// event keyed (key, n) is kept when a seeded FNV-1a hash of the key falls
+// under the rate threshold. Determinism is the point — two runs of the
+// same workload with the same seed log the same windows, so a "why is
+// window 4117 missing from the log" question always has the same answer —
+// and the sampler is stateless, so it costs no lock and no allocation on
+// the hot path. A nil *Sampler keeps everything.
+type Sampler struct {
+	seed      uint64
+	threshold uint64 // keep when hash < threshold
+}
+
+// NewSampler returns a sampler keeping the given fraction of events
+// (rate <= 0 or >= 1 returns nil: keep everything).
+func NewSampler(rate float64, seed uint64) *Sampler {
+	if rate <= 0 || rate >= 1 {
+		return nil
+	}
+	return &Sampler{
+		seed:      seed,
+		threshold: uint64(math.Round(rate * float64(math.MaxUint64))),
+	}
+}
+
+// Sample reports whether the event keyed (key, n) is kept.
+func (s *Sampler) Sample(key string, n uint64) bool {
+	if s == nil {
+		return true
+	}
+	return hash64(s.seed, key, n) < s.threshold
+}
+
+// hash64 is FNV-1a over (seed, key, n) with a final avalanche mix
+// (splitmix64's finalizer), so consecutive window indexes decorrelate.
+func hash64(seed uint64, key string, n uint64) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset) ^ seed
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime
+	}
+	for i := 0; i < 8; i++ {
+		h ^= n >> (8 * i) & 0xff
+		h *= prime
+	}
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}

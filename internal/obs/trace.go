@@ -1,0 +1,254 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Outcome classifies how one window's lifecycle ended.
+type Outcome string
+
+const (
+	// OutcomeDone: the window was admitted and identified (including the
+	// definite no-DCL verdict of a loss-free window).
+	OutcomeDone Outcome = "done"
+	// OutcomeRejected: the stationarity gate kept the window out; no
+	// identification ran.
+	OutcomeRejected Outcome = "rejected"
+	// OutcomeShed: admission control (circuit breaker / Admit policy)
+	// refused the window.
+	OutcomeShed Outcome = "shed"
+	// OutcomeDeadline: the per-window deadline cut the EM fit short.
+	OutcomeDeadline Outcome = "deadline"
+	// OutcomeError: identification failed, or the source died at this
+	// point in the stream.
+	OutcomeError Outcome = "error"
+)
+
+// WindowTrace is one window's lifecycle record: span timestamps from the
+// arrival of the observation that completed the window, through the cut,
+// the stationarity gate, and the EM fit, to the durable append. The
+// windower fills the core spans when WindowConfig.CollectTrace is set;
+// the monitor stamps Path, AppendedAt, Outcome and Transition. All
+// timestamps come from time.Now and carry the monotonic clock, so span
+// differences are wall-clock-adjustment-proof.
+//
+// Span semantics (each >= the previous; a zero time means the stage was
+// never reached):
+//
+//	EnqueuedAt  the windower appended the batch containing this window's
+//	            last observation to its ring — "the data was all here"
+//	CutAt       the window was cut and dispatched to a worker slot; the
+//	            gap from EnqueuedAt is producer backlog (slot starvation)
+//	GateAt      the stationarity check finished
+//	FitStartAt  the EM fit began (equals GateAt for rejected/shed windows,
+//	            which never fit)
+//	FitDoneAt   the fit returned (or expired); FitDoneAt-FitStartAt is the
+//	            same wall-clock WindowResult.Elapsed reports
+//	AppendedAt  the durable store append finished (zero without a store)
+type WindowTrace struct {
+	Path    string
+	Window  int // absolute window index
+	Probes  int
+	Partial bool
+
+	Outcome    Outcome
+	Transition string // "" when none
+	Error      string // "" when none
+
+	EnqueuedAt time.Time
+	CutAt      time.Time
+	GateAt     time.Time
+	FitStartAt time.Time
+	FitDoneAt  time.Time
+	AppendedAt time.Time
+
+	Restarts   int // configured EM restarts
+	Iterations int // EM iterations of the winning restart
+}
+
+// Spans are the derived per-stage durations of a trace, in milliseconds.
+// Stages never reached contribute zero.
+type Spans struct {
+	EnqueueWait float64 `json:"enqueue_wait_ms"` // data complete -> window cut
+	Dispatch    float64 `json:"dispatch_ms"`     // cut -> gate done (incl. worker scheduling)
+	Gate        float64 `json:"gate_ms"`         // part of Dispatch: reserved, reported as Dispatch tail
+	Fit         float64 `json:"fit_ms"`          // EM fit wall-clock
+	Append      float64 `json:"append_ms"`       // fit done -> durable append done
+	Total       float64 `json:"total_ms"`        // enqueued -> last stamped stage
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// span returns b-a in ms when both ends were stamped, else 0.
+func span(a, b time.Time) float64 {
+	if a.IsZero() || b.IsZero() || b.Before(a) {
+		return 0
+	}
+	return ms(b.Sub(a))
+}
+
+// SpansMS derives the stage durations from the stamped timestamps.
+func (t *WindowTrace) SpansMS() Spans {
+	sp := Spans{
+		EnqueueWait: span(t.EnqueuedAt, t.CutAt),
+		Dispatch:    span(t.CutAt, t.GateAt),
+		Gate:        span(t.CutAt, t.GateAt),
+		Fit:         span(t.FitStartAt, t.FitDoneAt),
+		Append:      span(t.FitDoneAt, t.AppendedAt),
+	}
+	sp.Total = span(t.EnqueuedAt, t.last())
+	return sp
+}
+
+// last returns the latest stamped timestamp of the trace.
+func (t *WindowTrace) last() time.Time {
+	out := t.EnqueuedAt
+	for _, ts := range []time.Time{t.CutAt, t.GateAt, t.FitStartAt, t.FitDoneAt, t.AppendedAt} {
+		if ts.After(out) {
+			out = ts
+		}
+	}
+	return out
+}
+
+// FitElapsed is the EM fit wall-clock — the ranking key of the slowest
+// ring (zero for windows that never fit).
+func (t *WindowTrace) FitElapsed() time.Duration {
+	if t.FitStartAt.IsZero() || t.FitDoneAt.IsZero() {
+		return 0
+	}
+	return t.FitDoneAt.Sub(t.FitStartAt)
+}
+
+// traceJSON is the wire form one /debug/traces entry renders to.
+type traceJSON struct {
+	Path       string  `json:"path"`
+	Window     int     `json:"window"`
+	Probes     int     `json:"probes"`
+	Partial    bool    `json:"partial,omitempty"`
+	Outcome    Outcome `json:"outcome"`
+	Transition string  `json:"transition,omitempty"`
+	Error      string  `json:"error,omitempty"`
+	Restarts   int     `json:"em_restarts,omitempty"`
+	Iterations int     `json:"em_iterations,omitempty"`
+	CutUnixNS  int64   `json:"cut_unix_ns"`
+	Spans      Spans   `json:"spans"`
+}
+
+// MarshalJSON renders the trace with derived span durations instead of
+// raw timestamps (the absolute cut time rides along for correlation with
+// the log stream).
+func (t *WindowTrace) MarshalJSON() ([]byte, error) {
+	return json.Marshal(traceJSON{
+		Path: t.Path, Window: t.Window, Probes: t.Probes, Partial: t.Partial,
+		Outcome: t.Outcome, Transition: t.Transition, Error: t.Error,
+		Restarts: t.Restarts, Iterations: t.Iterations,
+		CutUnixNS: t.CutAt.UnixNano(), Spans: t.SpansMS(),
+	})
+}
+
+// DefaultRingSize is the slowest-trace ring capacity when Options leaves
+// it zero.
+const DefaultRingSize = 64
+
+// recencyFactor bounds how stale a "slowest" trace may get: an entry is
+// evicted once recencyFactor*capacity newer traces have been recorded
+// after it, however slow it was. The ring therefore holds the N slowest
+// of (roughly) the last recencyFactor*N windows — slow outliers stick
+// around long enough to be inspected, but a one-off stall from yesterday
+// cannot squat in the ring forever.
+const recencyFactor = 64
+
+// Ring is the bounded in-memory collection of the slowest recent window
+// traces, served at GET /debug/traces. Entries are ranked by FitElapsed
+// and aged out by insertion count (see recencyFactor). Safe for
+// concurrent use.
+type Ring struct {
+	mu      sync.Mutex
+	cap     int
+	seq     uint64
+	entries []ringEntry
+}
+
+type ringEntry struct {
+	t   WindowTrace // copied: the ring never retains caller memory
+	seq uint64
+}
+
+// NewRing returns a ring keeping the cap slowest recent traces (cap >= 1).
+func NewRing(cap int) *Ring {
+	if cap < 1 {
+		cap = 1
+	}
+	return &Ring{cap: cap}
+}
+
+// Add offers one trace to the ring. The trace is copied; the caller may
+// reuse it.
+func (r *Ring) Add(t *WindowTrace) {
+	elapsed := t.FitElapsed()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seq++
+	// Age out entries recorded more than recencyFactor*cap insertions ago.
+	if horizon := uint64(recencyFactor * r.cap); r.seq > horizon {
+		cut := r.seq - horizon
+		keep := r.entries[:0]
+		for _, e := range r.entries {
+			if e.seq >= cut {
+				keep = append(keep, e)
+			}
+		}
+		r.entries = keep
+	}
+	if len(r.entries) < r.cap {
+		r.entries = append(r.entries, ringEntry{t: *t, seq: r.seq})
+		return
+	}
+	// Full: replace the fastest entry if this one is slower.
+	min, minAt := time.Duration(-1), -1
+	for i, e := range r.entries {
+		if d := e.t.FitElapsed(); minAt < 0 || d < min {
+			min, minAt = d, i
+		}
+	}
+	if elapsed > min {
+		r.entries[minAt] = ringEntry{t: *t, seq: r.seq}
+	}
+}
+
+// Snapshot returns the retained traces, slowest fit first.
+func (r *Ring) Snapshot() []WindowTrace {
+	r.mu.Lock()
+	out := make([]WindowTrace, len(r.entries))
+	for i, e := range r.entries {
+		out[i] = e.t
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].FitElapsed() > out[j].FitElapsed() })
+	return out
+}
+
+// Len reports how many traces the ring currently holds.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.entries)
+}
+
+// ServeHTTP renders the ring as JSON: {"capacity": N, "traces": [...]},
+// slowest fit first — the GET /debug/traces endpoint. A nil ring (tracing
+// disabled) serves an empty list, so the endpoint shape is stable.
+func (r *Ring) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	capacity, traces := 0, []WindowTrace{}
+	if r != nil {
+		capacity, traces = r.cap, r.Snapshot()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.Encode(map[string]any{"capacity": capacity, "traces": traces})
+}

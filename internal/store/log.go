@@ -1,14 +1,18 @@
 package store
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"dominantlink/internal/obs"
 )
 
 // Sentinel errors of the log API.
@@ -225,10 +229,23 @@ func (l *Log) recover(name, path string, valid, dropped int64, reason string, ro
 		Segment: name, ValidBytes: valid, DroppedBytes: dropped, Reason: reason,
 	})
 	l.store.metrics.Recoveries.Add(1)
+	l.logw().LogAttrs(context.Background(), slog.LevelWarn, "store",
+		slog.String("event", obs.EventStoreRecovery),
+		slog.String("path", l.id),
+		slog.String("segment", name),
+		slog.Int64("valid_bytes", valid),
+		slog.Int64("dropped_bytes", dropped),
+		slog.Bool("truncated", !ro),
+		slog.String("reason", reason),
+	)
 	if !ro {
 		os.Truncate(path, valid)
 	}
 }
+
+// logw returns the store's structured logger (never nil; defaults to a
+// discard logger). Every call site is off the append fast path.
+func (l *Log) logw() *slog.Logger { return l.store.opts.Logger }
 
 func (l *Log) bumpNext(n int64) {
 	if n > l.nextIndex {
@@ -362,6 +379,11 @@ func (l *Log) syncTo(seq uint64) error {
 		return nil
 	}
 	if err := f.Sync(); err != nil {
+		l.logw().LogAttrs(context.Background(), slog.LevelError, "store",
+			slog.String("event", obs.EventStoreFsyncError),
+			slog.String("path", l.id),
+			slog.String("error", err.Error()),
+		)
 		return fmt.Errorf("store: fsync: %w", err)
 	}
 	l.store.metrics.Fsyncs.Add(1)
@@ -411,6 +433,12 @@ func (l *Log) rollLocked() error {
 		return nil
 	}
 	if err := l.active.Sync(); err != nil {
+		l.logw().LogAttrs(context.Background(), slog.LevelError, "store",
+			slog.String("event", obs.EventStoreFsyncError),
+			slog.String("path", l.id),
+			slog.String("segment", l.activeName),
+			slog.String("error", err.Error()),
+		)
 		return fmt.Errorf("store: sealing segment: %w", err)
 	}
 	l.store.metrics.Fsyncs.Add(1)
@@ -421,6 +449,13 @@ func (l *Log) rollLocked() error {
 		Bytes: l.activeSize, OldestNS: sc.oldest, NewestNS: sc.newest,
 	})
 	l.transitionSum += sc.transitioned
+	l.logw().LogAttrs(context.Background(), slog.LevelDebug, "store",
+		slog.String("event", obs.EventStoreSegmentRoll),
+		slog.String("path", l.id),
+		slog.String("segment", l.activeName),
+		slog.Int("records", sc.records),
+		slog.Int64("bytes", l.activeSize),
+	)
 	if err := l.newActiveLocked(); err != nil {
 		return err
 	}
@@ -474,10 +509,22 @@ func (l *Log) applyRetentionLocked() {
 		if !overBytes && !overAge {
 			break
 		}
+		reason := "age"
+		if overBytes {
+			reason = "bytes"
+		}
 		os.Remove(filepath.Join(l.dir, oldest.File))
 		total -= oldest.Bytes
 		l.sealed = l.sealed[1:]
 		l.store.metrics.Segments.Add(-1)
+		l.logw().LogAttrs(context.Background(), slog.LevelInfo, "store",
+			slog.String("event", obs.EventStoreRetention),
+			slog.String("path", l.id),
+			slog.String("segment", oldest.File),
+			slog.Int64("bytes", oldest.Bytes),
+			slog.Int64("last_index", oldest.Last),
+			slog.String("reason", reason),
+		)
 	}
 }
 
@@ -524,6 +571,13 @@ func (l *Log) Compact() error {
 		}
 		out = append(out, merged)
 		l.store.metrics.Segments.Add(-int64(run - 1))
+		l.logw().LogAttrs(context.Background(), slog.LevelDebug, "store",
+			slog.String("event", obs.EventStoreCompact),
+			slog.String("path", l.id),
+			slog.String("segment", merged.File),
+			slog.Int("merged", run),
+			slog.Int64("bytes", merged.Bytes),
+		)
 		i += run
 	}
 	l.sealed = append([]segmentInfo(nil), out...)

@@ -13,6 +13,7 @@ package store
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
@@ -20,6 +21,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"dominantlink/internal/obs"
 )
 
 // FsyncPolicy selects when appends are forced to stable storage.
@@ -90,6 +93,11 @@ type Options struct {
 	ReadOnly bool
 	// Now overrides the wall clock (tests); defaults to time.Now.
 	Now func() time.Time
+	// Logger receives the store's structured events — crash recoveries,
+	// fsync failures, segment rolls, retention drops, compactions (see the
+	// obs.EventStore* names). Nil discards them. Every emission site is a
+	// cold path; the append fast path never logs.
+	Logger *slog.Logger
 }
 
 func (o *Options) withDefaults() Options {
@@ -102,6 +110,9 @@ func (o *Options) withDefaults() Options {
 	}
 	if opts.Now == nil {
 		opts.Now = time.Now
+	}
+	if opts.Logger == nil {
+		opts.Logger = obs.NopLogger()
 	}
 	return opts
 }

@@ -1,7 +1,11 @@
 package dominantlink
 
 import (
+	"io"
+	"log/slog"
+
 	"dominantlink/internal/monitor"
+	"dominantlink/internal/obs"
 	"dominantlink/internal/store"
 )
 
@@ -21,7 +25,9 @@ type (
 	Monitor = monitor.Monitor
 	// MonitorConfig shapes a Monitor: shared pool size, per-session queue
 	// and history bounds, default window shape, identification config,
-	// and the overload controls (rate limits, shed policy, breaker).
+	// the overload controls (rate limits, shed policy, breaker), and the
+	// observability settings (Logger turns on structured logging and
+	// window-lifecycle tracing; TraceSample and TraceRing tune it).
 	MonitorConfig = monitor.Config
 	// MonitorSession is one monitored path: Offer (or the zero-copy
 	// OfferBatch, taking a columnar Batch) ingests observations, Subscribe
@@ -67,6 +73,36 @@ var (
 // ParseShedPolicy reads a shed policy name ("reject", "drop-newest",
 // "drop-oldest"), as used by the dclserved -shed flag.
 func ParseShedPolicy(s string) (ShedPolicy, error) { return monitor.ParseShedPolicy(s) }
+
+// Observability: setting MonitorConfig.Logger threads a structured
+// (log/slog) logger through the whole monitoring stack — one lifecycle
+// log line per window with span timings (ingest wait, dispatch, gate, EM
+// fit, durable append), discrete events for DCL transitions, shed
+// windows, deadline expiries, breaker state changes, rate-limit
+// rejections, store recoveries and session lifecycle, and a /debug/traces
+// endpoint serving the slowest recent window traces. With Logger nil all
+// of it is off and costs nothing. docs/OPERATIONS.md maps the event
+// vocabulary to failure signatures and the daemon flags that tune them.
+type (
+	// WindowTrace is one window's lifecycle trace, attached to results as
+	// WindowResult.Trace when tracing is on (WindowConfig.CollectTrace;
+	// the monitor turns it on whenever MonitorConfig.Logger is set).
+	WindowTrace = obs.WindowTrace
+	// TraceSpans are a trace's derived per-stage durations in
+	// milliseconds, as rendered by /debug/traces.
+	TraceSpans = obs.Spans
+)
+
+// ParseLogLevel reads a log level name ("debug", "info", "warn",
+// "error"), as used by the dclserved -log-level flag.
+func ParseLogLevel(s string) (slog.Level, error) { return obs.ParseLevel(s) }
+
+// NewLogger builds a structured logger writing to w in the given format
+// ("text" or "json"), as used by the dclserved -log-format flag. Pass the
+// result to MonitorConfig.Logger or ResultStoreOptions.Logger.
+func NewLogger(w io.Writer, level slog.Level, format string) (*slog.Logger, error) {
+	return obs.NewLogger(w, level, format)
+}
 
 // Durable result store: the monitor's per-path archive of window results
 // and DCL transitions, a segmented CRC-checked write-ahead log that
