@@ -14,13 +14,26 @@
 //	          [-window-deadline 10s] [-breaker-deadline 2s] [-breaker-trips 3] [-breaker-cooldown 5s]
 //	          [-store-dir /var/lib/dcl] [-fsync always|interval|none] [-fsync-every 100ms]
 //	          [-retain-bytes 104857600] [-retain-age 720h]
+//	          [-restarts 5] [-restart-window 1m] [-restart-backoff 100ms] [-watchdog 0]
 //	          [-log-level info] [-log-format text|json] [-trace-sample 0.1] [-trace-ring 64]
 //
 // With -store-dir, every window result and DCL transition is appended to
 // a per-path segmented WAL: results survive crashes and restarts, a
 // re-created path resumes window numbering from the persisted counter,
 // and ?since=/Last-Event-ID offsets older than the in-memory ring are
-// served from disk. Inspect a store offline with dclstore.
+// served from disk. Inspect a store offline with dclstore. A disk fault
+// (ENOSPC, EIO) degrades the store to a bounded in-memory buffer instead
+// of failing ingestion; it drains back to disk automatically once the
+// disk answers again (watch store_degraded/store_recovered and /readyz).
+//
+// The daemon self-heals: a session whose pipeline dies (source failure,
+// contained panic) is restarted with backoff and resumes window numbering
+// with no gaps; after -restarts failures within -restart-window the path
+// is parked as "failed" with its error in the registry (DELETE + re-PUT
+// to retry). -watchdog flags sessions with a backlog but no emitted
+// window past the deadline. /livez answers 200 whenever the process
+// serves; /readyz reports per-component health and 503s only while
+// draining (see docs/OPERATIONS.md "Health model").
 //
 // API (see DESIGN.md "Monitoring service" for details):
 //
@@ -30,7 +43,7 @@
 //	GET    /v1/paths/{id}/events          SSE: window / transition / closed events
 //	DELETE /v1/paths/{id}                 drain the session, flushing its final partial window
 //	GET    /v1/paths                      session registry
-//	GET    /healthz, /metrics             liveness and counters
+//	GET    /livez, /readyz, /metrics      liveness, readiness and counters (/healthz = /readyz)
 //	GET    /debug/traces                  slowest recent window traces (JSON)
 //	GET    /debug/pprof/...               profiling (only with -pprof)
 //
@@ -112,6 +125,13 @@ func main() {
 		breakerDL    = flag.Duration("breaker-deadline", 0, "identification latency that counts as pathological; 0 disables the circuit breaker")
 		breakerTrips = flag.Int("breaker-trips", 3, "consecutive slow windows that open the breaker")
 		breakerCool  = flag.Duration("breaker-cooldown", 5*time.Second, "how long an open breaker sheds before probing")
+
+		// Self-healing (see docs/OPERATIONS.md "Self-healing").
+		restarts       = flag.Int("restarts", 5, "session restart budget within -restart-window before parking it as failed (0 = default)")
+		restartWindow  = flag.Duration("restart-window", time.Minute, "sliding window the restart budget counts crashes in")
+		restartBackoff = flag.Duration("restart-backoff", 100*time.Millisecond, "initial restart backoff (doubles per crash, jittered)")
+		noRestart      = flag.Bool("no-restart", false, "disable session supervision: a crashed pipeline closes its session")
+		watchdog       = flag.Duration("watchdog", 0, "flag sessions with a backlog but no emitted window for this long (0 = off)")
 	)
 	flag.Parse()
 
@@ -183,6 +203,13 @@ func main() {
 			Trips:    *breakerTrips,
 			Cooldown: *breakerCool,
 		},
+		Supervise: monitor.SupervisorConfig{
+			Disable:     *noRestart,
+			MaxRestarts: *restarts,
+			Window:      *restartWindow,
+			Backoff:     *restartBackoff,
+		},
+		Watchdog: *watchdog,
 
 		Logger:      logger,
 		TraceSample: *traceSample,
@@ -220,19 +247,34 @@ func main() {
 	log.Printf("draining sessions (deadline %s)", *drain)
 	dctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
+	// A shutdown that lost data exits non-zero so supervisors and CI
+	// notice: the drain deadline expiring abandons queued backlog, and a
+	// failed final store flush (a store still degraded at shutdown) drops
+	// its pending buffer.
+	lossy := false
 	if err := mon.Close(dctx); err != nil {
-		log.Printf("drain deadline hit, aborted remaining sessions: %v", err)
+		lossy = true
+		if errors.Is(err, context.DeadlineExceeded) {
+			log.Printf("drain deadline exceeded: remaining sessions aborted, queued backlog abandoned: %v", err)
+		} else {
+			log.Printf("final store flush failed: %v", err)
+		}
 	}
 	if resultStore != nil {
 		// Close after the monitor drain: every session has appended its
 		// final windows, so this is the drain-time flush — a clean shutdown
 		// loses nothing even under -fsync none.
 		if err := resultStore.Close(); err != nil {
-			log.Printf("store close: %v", err)
+			lossy = true
+			log.Printf("store close failed, pending results dropped: %v", err)
 		}
 	}
 	if err := srv.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("shutdown: %v", err)
+	}
+	if lossy {
+		log.Print("shutdown was lossy; exiting non-zero")
+		os.Exit(1)
 	}
 	log.Print("bye")
 }

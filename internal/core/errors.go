@@ -33,4 +33,13 @@ var (
 	// sentinel, so consumers can tell deliberate load shedding from
 	// identification failures.
 	ErrWindowShed = errors.New("core: window shed by admission control")
+
+	// ErrPipelinePanic reports a panic recovered inside a streaming
+	// pipeline goroutine — a panicking observation source or a fault in
+	// the window path outside the engine (which contains its own panics).
+	// It surfaces as a WindowResult error, terminal when the source itself
+	// panicked, so a supervising layer can tell "the pipeline blew up and
+	// was contained" from an ordinary identification failure and decide to
+	// restart the stream.
+	ErrPipelinePanic = errors.New("core: pipeline panic recovered")
 )

@@ -214,9 +214,14 @@ func NewWindower(engine *Engine, cfg WindowConfig) *Windower {
 // IdentifyContext call on its observations would be, so a single window
 // spanning the whole trace reproduces Identify byte for byte. A trailing
 // partial window is not emitted: a window is only decided once complete.
-// A source failure surfaces as a final result carrying the error. The
-// channel closes when the source is exhausted or ctx is canceled; the
-// caller must consume it (or cancel ctx) to avoid stalling the pipeline.
+// A source failure surfaces as a final result carrying the error; a
+// panicking source is contained the same way, as a final result wrapping
+// ErrPipelinePanic — Stream never lets a source or window-path panic
+// escape to the caller's process, so a supervising layer can treat "the
+// channel closed with a terminal error" as the one restartable failure
+// shape. The channel closes when the source is exhausted or ctx is
+// canceled; the caller must consume it (or cancel ctx) to avoid stalling
+// the pipeline.
 func (w *Windower) Stream(ctx context.Context, src trace.ObservationSource, cfg IdentifyConfig) (<-chan WindowResult, error) {
 	wcfg := w.cfg
 	if err := wcfg.defaults(); err != nil {
@@ -325,13 +330,30 @@ type batchRead struct {
 // returns each received batch to the transfer pool once appended.
 func readBatches(ctx context.Context, src trace.BatchSource) <-chan batchRead {
 	reads := make(chan batchRead)
+	// next pulls one batch with panic containment: a panicking source
+	// becomes a terminal ErrPipelinePanic read instead of killing the
+	// process, so a supervising layer (the monitor's session supervisor)
+	// can observe the failure and restart the stream.
+	next := func(b *trace.Batch) (n int, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				n, err = 0, fmt.Errorf("%w: observation source panicked: %v", ErrPipelinePanic, r)
+			}
+		}()
+		return src.NextBatch(b, transferChunk)
+	}
 	go func() {
 		for {
 			b := transferPool.Get().(*trace.Batch)
 			b.Reset()
-			n, err := src.NextBatch(b, transferChunk)
+			n, err := next(b)
 			if n == 0 {
-				transferPool.Put(b)
+				if errors.Is(err, ErrPipelinePanic) {
+					// The panic may have left b mid-append; let the GC take
+					// it rather than recycling an inconsistent buffer.
+				} else {
+					transferPool.Put(b)
+				}
 				if err == nil {
 					continue // defensive: the contract promises n>0 or err
 				}
@@ -400,6 +422,16 @@ func (w *Windower) cutWindows(ctx context.Context, src trace.ObservationSource, 
 		go func() {
 			defer func() { <-sem }()
 			defer ch.release()
+			// Contain panics on the window path outside the engine (the
+			// gate, the admission callback): the window fails with
+			// ErrPipelinePanic, the stream lives on.
+			defer func() {
+				if r := recover(); r != nil {
+					res.Admitted, res.Shed, res.ID = false, false, nil
+					res.Err = fmt.Errorf("%w: window %d: %v", ErrPipelinePanic, res.Index, r)
+					slot <- res
+				}
+			}()
 			slot <- w.identifyWindow(ctx, res, view, cfg)
 		}()
 		return true

@@ -7,13 +7,13 @@ import (
 	"fmt"
 	"io"
 	"net/http/httptest"
-	"runtime"
 	"sync"
 	"testing"
 	"time"
 
 	"dominantlink/internal/core"
 	"dominantlink/internal/faultinject"
+	"dominantlink/internal/testutil"
 	"dominantlink/internal/trace"
 )
 
@@ -34,7 +34,7 @@ func TestChaosSoak(t *testing.T) {
 	if testing.Short() {
 		t.Skip("soak test; skipped with -short")
 	}
-	baseline := runtime.NumGoroutine()
+	baseline := testutil.GoroutineBaseline()
 
 	faults := &faultinject.EngineFaults{
 		Latency:      5 * time.Millisecond,
@@ -219,18 +219,7 @@ func TestChaosSoak(t *testing.T) {
 
 	// Goroutine hygiene: back to baseline (with slack for the runtime's
 	// own pool) once everything is drained and closed.
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		if g := runtime.NumGoroutine(); g <= baseline+3 {
-			break
-		}
-		if time.Now().After(deadline) {
-			buf := make([]byte, 1<<16)
-			t.Fatalf("goroutine leak: %d now vs %d at baseline\n%s",
-				runtime.NumGoroutine(), baseline, buf[:runtime.Stack(buf, true)])
-		}
-		time.Sleep(20 * time.Millisecond)
-	}
+	testutil.WaitGoroutines(t, baseline)
 }
 
 // TestChaosSourceFailureTerminatesSession: a source that dies mid-stream

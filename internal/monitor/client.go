@@ -27,6 +27,8 @@ type Client struct {
 	retries int
 	backoff time.Duration
 	maxWait time.Duration
+	jitter  float64
+	seed    uint64
 	sleep   func(ctx context.Context, d time.Duration) error
 }
 
@@ -46,6 +48,16 @@ type ClientConfig struct {
 	Backoff time.Duration
 	// MaxBackoff caps any single wait (default 5s).
 	MaxBackoff time.Duration
+	// Jitter spreads every retry wait (server-hinted or local) down into
+	// [d*(1-Jitter), d], so a fleet of agents backed off by the same 429
+	// wave does not retry in lockstep and re-trigger it. The spread is
+	// deterministic per (JitterSeed, path, attempt) — no global RNG, and
+	// a failing run replays exactly. 0 means the default 0.5; negative
+	// disables jitter (full, exact waits — tests rely on this).
+	Jitter float64
+	// JitterSeed feeds the jitter hash; give each agent its own seed
+	// (e.g. a host hash) so their spreads differ.
+	JitterSeed uint64
 }
 
 // NewClient returns a client for the monitor daemon at cfg.BaseURL.
@@ -63,6 +75,16 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 		retries: cfg.MaxRetries,
 		backoff: cfg.Backoff,
 		maxWait: cfg.MaxBackoff,
+		jitter:  cfg.Jitter,
+		seed:    cfg.JitterSeed,
+	}
+	switch {
+	case c.jitter == 0:
+		c.jitter = 0.5
+	case c.jitter < 0:
+		c.jitter = 0
+	case c.jitter > 1:
+		c.jitter = 1
 	}
 	if c.hc == nil {
 		c.hc = http.DefaultClient
@@ -302,6 +324,12 @@ func (c *Client) Ingest(ctx context.Context, path string, obs []trace.Observatio
 			}
 			if d > c.maxWait {
 				d = c.maxWait
+			}
+			if c.jitter > 0 {
+				// Spread the wait down into [d*(1-jitter), d]: every agent
+				// still respects the server's hint as a ceiling, but a
+				// synchronized fleet fans out instead of stampeding back.
+				d = time.Duration(float64(d) * (1 - c.jitter*hash01(c.seed, path, uint64(attempt))))
 			}
 			if err := c.sleep(ctx, d); err != nil {
 				return stats, err

@@ -58,7 +58,8 @@ func TestClientIngestRetriesWithRetryAfter(t *testing.T) {
 	}))
 	defer srv.Close()
 
-	c, err := NewClient(ClientConfig{BaseURL: srv.URL, Backoff: 10 * time.Millisecond})
+	// Jitter: -1 disables the spread so the exact waits are assertable.
+	c, err := NewClient(ClientConfig{BaseURL: srv.URL, Backoff: 10 * time.Millisecond, Jitter: -1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,6 +89,55 @@ func TestClientIngestRetriesWithRetryAfter(t *testing.T) {
 	// to the client's own backoff, which doubles every round.
 	if len(waits) != 2 || waits[0] != 2*time.Second || waits[1] != 20*time.Millisecond {
 		t.Fatalf("waits = %v, want [2s (server hint), 20ms (doubled own backoff)]", waits)
+	}
+}
+
+// TestClientIngestJitterSpread: with the default jitter, a fleet of
+// agents told "Retry-After: 2" by the same 429 wave must spread their
+// retries across (1s, 2s] instead of stampeding back together — and the
+// spread must be a pure function of (seed, path, attempt), so a failing
+// run replays wait for wait.
+func TestClientIngestJitterSpread(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "2")
+		writeJSON(w, http.StatusTooManyRequests, map[string]any{
+			"accepted": 0, "dropped": 0,
+			"error": map[string]string{"code": codeQueueFull, "message": "queue full"},
+		})
+	}))
+	defer srv.Close()
+
+	firstWait := func(seed uint64) time.Duration {
+		c, err := NewClient(ClientConfig{BaseURL: srv.URL, MaxRetries: 1, JitterSeed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var waits []time.Duration
+		c.sleep = func(_ context.Context, d time.Duration) error {
+			waits = append(waits, d)
+			return nil
+		}
+		c.Ingest(context.Background(), "p", healthyObs(3))
+		if len(waits) == 0 {
+			t.Fatal("client never slept")
+		}
+		return waits[0]
+	}
+
+	const fleet = 16
+	seen := map[time.Duration]bool{}
+	for seed := uint64(0); seed < fleet; seed++ {
+		d := firstWait(seed)
+		if d <= time.Second || d > 2*time.Second {
+			t.Fatalf("seed %d: wait %v outside the jitter band (1s, 2s]", seed, d)
+		}
+		if again := firstWait(seed); again != d {
+			t.Fatalf("seed %d: wait not deterministic: %v then %v", seed, d, again)
+		}
+		seen[d] = true
+	}
+	if len(seen) < fleet/2 {
+		t.Fatalf("fleet of %d spread over only %d distinct waits — jitter is not spreading", fleet, len(seen))
 	}
 }
 

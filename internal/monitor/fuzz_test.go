@@ -1,0 +1,44 @@
+package monitor
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"testing"
+)
+
+// FuzzObservationsJSON drives the ingestion decoder (the JSON body of
+// POST /v1/paths/{id}/observations) with arbitrary bytes: whatever
+// arrives, decodeBatch must either return a clean error or a batch whose
+// every observation satisfies the invariant the handler promises the
+// pipeline — no delivered probe with a negative delay — and it must
+// never panic. Run with `go test -fuzz=FuzzObservationsJSON`.
+func FuzzObservationsJSON(f *testing.F) {
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`[{"seq":1,"send_time":0.5,"delay":0.05,"lost":false}]`))
+	f.Add([]byte(`[{"seq":2,"lost":true}]`))
+	f.Add([]byte(`{"observations":[{"seq":3,"send_time":1,"delay":0.1}]}`))
+	f.Add([]byte(`{"observations":null}`))
+	f.Add([]byte(`[{"seq":4,"delay":-1}]`))
+	f.Add([]byte(`[{"seq":9e99,"send_time":-1e308,"delay":1e308}]`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(``))
+	f.Add([]byte(`"a string"`))
+	f.Add([]byte(`[{"seq":"not a number"}]`))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req := httptest.NewRequest("POST", "/v1/paths/p/observations", bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		batch, err := decodeBatch(req)
+		if err != nil {
+			return
+		}
+		if batch == nil {
+			t.Fatal("decodeBatch returned neither a batch nor an error")
+		}
+		for i := 0; i < batch.Len(); i++ {
+			o := batch.At(i)
+			if !o.Lost && o.Delay < 0 {
+				t.Fatalf("observation %d: delivered probe with negative delay %v slipped through", i, o.Delay)
+			}
+		}
+	})
+}

@@ -92,6 +92,9 @@ type StatusJSON struct {
 	BoundSeconds     float64 `json:"bound_seconds,omitempty"`
 	LastTransition   string  `json:"last_transition,omitempty"`
 	LastTransitionAt float64 `json:"last_transition_at,omitempty"`
+	Restarts         uint64  `json:"restarts,omitempty"`
+	Lost             uint64  `json:"observations_lost,omitempty"`
+	Stalled          bool    `json:"stalled,omitempty"`
 	Error            string  `json:"error,omitempty"`
 	StoreError       string  `json:"store_error,omitempty"`
 }
@@ -134,7 +137,9 @@ type obsJSON struct {
 
 // Handler returns the monitor's HTTP API:
 //
-//	GET    /healthz                       liveness (503 while draining)
+//	GET    /livez                         liveness: 200 while the process serves at all
+//	GET    /readyz                        readiness: per-component health (503 while draining)
+//	GET    /healthz                       compat alias of /readyz
 //	GET    /metrics                       expvar counter set as JSON
 //	GET    /v1/paths                      session registry
 //	PUT    /v1/paths/{id}                 create a session (optional window spec)
@@ -154,7 +159,9 @@ type obsJSON struct {
 // warn for 5xx) stamped with the same id.
 func (m *Monitor) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", m.handleHealth)
+	mux.HandleFunc("GET /livez", m.handleLive)
+	mux.HandleFunc("GET /readyz", m.handleReady)
+	mux.HandleFunc("GET /healthz", m.handleReady)
 	mux.HandleFunc("GET /metrics", m.metrics.serveHTTP)
 	mux.HandleFunc("GET /v1/paths", m.handleList)
 	mux.HandleFunc("PUT /v1/paths/{id}", m.handlePut)
@@ -285,12 +292,93 @@ func retryAfterSeconds(d time.Duration) string {
 	return strconv.Itoa(secs)
 }
 
-func (m *Monitor) handleHealth(w http.ResponseWriter, _ *http.Request) {
+// handleLive is the liveness probe: 200 whenever the process can answer
+// HTTP at all, even while draining — restarting a pod because it is
+// shutting down cleanly would be counterproductive. Orchestrators should
+// restart on liveness failure and unroute on readiness failure.
+func (m *Monitor) handleLive(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// healthJSON is the /readyz body: one overall status plus the state of
+// every component an operator would otherwise assemble from /metrics,
+// the session registry, and the store.
+type healthJSON struct {
+	// Status is "ok", "degraded" (serving, but the store is buffering in
+	// memory or a session is failed/stalled), or "draining" (shutting
+	// down; the only status served with a 503).
+	Status   string             `json:"status"`
+	Breaker  string             `json:"breaker"`
+	Store    *storeHealthJSON   `json:"store,omitempty"`
+	Sessions sessionsHealthJSON `json:"sessions"`
+}
+
+type storeHealthJSON struct {
+	// Mode is "durable", or "degraded" when at least one path log is
+	// buffering appends in memory behind a disk fault.
+	Mode          string   `json:"mode"`
+	DegradedPaths []string `json:"degraded_paths,omitempty"`
+	// PendingRecords and DroppedRecords are the in-memory buffer gauge
+	// and the lifetime overflow/shutdown drop count across all logs.
+	PendingRecords int64 `json:"pending_records"`
+	DroppedRecords int64 `json:"dropped_records"`
+}
+
+type sessionsHealthJSON struct {
+	Active   int `json:"active"`
+	Draining int `json:"draining"`
+	Closed   int `json:"closed"`
+	Failed   int `json:"failed"`
+	Stalled  int `json:"stalled"`
+	// Queued is the total observation backlog across session queues.
+	Queued int64 `json:"queued_observations"`
+}
+
+// handleReady is the readiness probe: 503 only while draining (stop
+// routing new work here), otherwise 200 with per-component detail. A
+// degraded store or a failed/stalled session keeps the daemon ready —
+// it is still the best server of its paths — but flips Status to
+// "degraded" so dashboards and alerts see the transition the moment it
+// happens.
+func (m *Monitor) handleReady(w http.ResponseWriter, _ *http.Request) {
+	h := healthJSON{Status: "ok", Breaker: m.breaker.State()}
+	if st := m.store; st != nil {
+		sh := &storeHealthJSON{
+			Mode:           "durable",
+			DegradedPaths:  st.DegradedPaths(),
+			PendingRecords: st.Metrics().RecordsPending.Load(),
+			DroppedRecords: st.Metrics().RecordsDropped.Load(),
+		}
+		if len(sh.DegradedPaths) > 0 {
+			sh.Mode = "degraded"
+			h.Status = "degraded"
+		}
+		h.Store = sh
+	}
+	for _, s := range m.Statuses() {
+		switch s.State {
+		case "active":
+			h.Sessions.Active++
+		case "draining":
+			h.Sessions.Draining++
+		case "failed":
+			h.Sessions.Failed++
+			h.Status = "degraded"
+		default:
+			h.Sessions.Closed++
+		}
+		if s.Stalled {
+			h.Sessions.Stalled++
+			h.Status = "degraded"
+		}
+		h.Sessions.Queued += int64(s.QueueLen)
+	}
 	if m.Closing() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		h.Status = "draining"
+		writeJSON(w, http.StatusServiceUnavailable, h)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	writeJSON(w, http.StatusOK, h)
 }
 
 func (m *Monitor) handleList(w http.ResponseWriter, _ *http.Request) {
@@ -343,7 +431,7 @@ func (m *Monitor) handleDelete(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, codeNotFound, "unknown path %q", id)
 		return
 	}
-	if s.State() == StateClosed {
+	if st := s.State(); st == StateClosed || st == StateFailed {
 		m.Remove(id)
 		writeJSON(w, http.StatusOK, s.Status())
 		return

@@ -32,9 +32,13 @@ type metrics struct {
 	breakerOpens      expvar.Int // circuit breaker trips
 	eventsDropped     expvar.Int // SSE events lost to slow subscribers
 	storeAppendErrors expvar.Int // window results the durable store refused
+	sessionRestarts   expvar.Int // supervised pipeline restarts
+	watchdogStalls    expvar.Int // watchdog stall flags tripped
+	observationsLost  expvar.Int // consumed by crashed pipelines, never windowed
 	sessionsActive    expvar.Int // gauges, one per session state
 	sessionsDraining  expvar.Int
 	sessionsClosed    expvar.Int
+	sessionsFailed    expvar.Int
 	latency           [len(latencyBoundsMS) + 1]expvar.Int
 	identifySeconds   expvar.Float // total identification wall-clock
 	vars              *expvar.Map
@@ -53,9 +57,13 @@ func newMetrics() *metrics {
 	mp.Set("windows_deadline_expired", &m.windowsDeadline)
 	mp.Set("breaker_opens", &m.breakerOpens)
 	mp.Set("events_dropped", &m.eventsDropped)
+	mp.Set("session_restarts", &m.sessionRestarts)
+	mp.Set("watchdog_stalls", &m.watchdogStalls)
+	mp.Set("observations_lost", &m.observationsLost)
 	mp.Set("sessions_active", &m.sessionsActive)
 	mp.Set("sessions_draining", &m.sessionsDraining)
 	mp.Set("sessions_closed", &m.sessionsClosed)
+	mp.Set("sessions_failed", &m.sessionsFailed)
 	mp.Set("identify_seconds_total", &m.identifySeconds)
 	hist := new(expvar.Map).Init()
 	for i, b := range latencyBoundsMS {
@@ -78,6 +86,10 @@ func (m *metrics) attachStore(sm *store.Metrics) {
 	m.vars.Set("store_recoveries", expvar.Func(func() any { return sm.Recoveries.Load() }))
 	m.vars.Set("store_fsyncs", expvar.Func(func() any { return sm.Fsyncs.Load() }))
 	m.vars.Set("store_append_errors", &m.storeAppendErrors)
+	m.vars.Set("store_degraded", expvar.Func(func() any { return sm.Degraded.Load() }))
+	m.vars.Set("store_recovered", expvar.Func(func() any { return sm.Recovered.Load() }))
+	m.vars.Set("store_records_pending", expvar.Func(func() any { return sm.RecordsPending.Load() }))
+	m.vars.Set("store_records_dropped", expvar.Func(func() any { return sm.RecordsDropped.Load() }))
 }
 
 // observeLatency records one admitted window's identification wall-clock
@@ -150,6 +162,8 @@ func (m *metrics) gauge(st State) *expvar.Int {
 		return &m.sessionsActive
 	case StateDraining:
 		return &m.sessionsDraining
+	case StateFailed:
+		return &m.sessionsFailed
 	default:
 		return &m.sessionsClosed
 	}

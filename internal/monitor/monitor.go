@@ -22,10 +22,12 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"dominantlink/internal/core"
 	"dominantlink/internal/obs"
 	"dominantlink/internal/store"
+	"dominantlink/internal/trace"
 )
 
 // Config shapes a Monitor. The zero value is serviceable: GOMAXPROCS
@@ -94,6 +96,26 @@ type Config struct {
 	// leave it nil in production.
 	EngineHook func(ctx context.Context) error
 
+	// Supervise shapes the per-session restart policy (see
+	// SupervisorConfig). The zero value supervises with defaults; set
+	// Supervise.Disable for the pre-supervision behavior where an
+	// abnormal pipeline death closes the session.
+	Supervise SupervisorConfig
+	// SourceWrap, when non-nil, wraps each pipeline incarnation's
+	// observation source (the session queue) before the windower reads
+	// it; attempt counts incarnations from 0. It exists for fault
+	// injection — a wrapper that errors or panics exercises the
+	// supervisor exactly where a real source failure would; leave it nil
+	// in production.
+	SourceWrap func(path string, attempt int, src trace.ObservationSource) trace.ObservationSource
+	// Watchdog, when > 0, flags sessions that have queued observations
+	// but emit no window for this long (a wedged source or a stuck fit;
+	// pick a deadline comfortably above the expected window fill time).
+	// The flag surfaces in session status, /readyz, the watchdog_stalls
+	// counter, and a watchdog_stall event; it clears on the next emitted
+	// window. 0 disables the watchdog.
+	Watchdog time.Duration
+
 	// Logger turns the observability layer on: every session's windows get
 	// lifecycle traces (window config CollectTrace is forced on), emitted
 	// as structured log lines along with session/admission/store/HTTP
@@ -123,6 +145,7 @@ func (c *Config) defaults() {
 	if c.Window.Size <= 0 && c.Window.Duration <= 0 {
 		c.Window = core.WindowConfig{Size: 3000, FlushPartial: true}
 	}
+	c.Supervise.defaults()
 }
 
 // Monitor is the session registry plus the shared identification engine
@@ -143,6 +166,14 @@ type Monitor struct {
 	sessions map[string]*Session
 	closing  bool
 	wg       sync.WaitGroup
+
+	// Progress watchdog (Config.Watchdog > 0): one goroutine, started
+	// with the first session, stopped by Close. watchOn guards the start
+	// (under mu); watchStopOnce guards the stop.
+	watchOn       bool
+	watchStop     chan struct{}
+	watchDone     chan struct{}
+	watchStopOnce sync.Once
 }
 
 // New returns a ready Monitor. It allocates no goroutines until the
@@ -251,7 +282,9 @@ func (m *Monitor) Open(id string, wcfg *core.WindowConfig) (s *Session, created 
 	}
 	live := 0
 	for _, s := range m.sessions {
-		if s.State() != StateClosed {
+		// Closed and failed sessions hold no pipeline; they stay in the
+		// registry for inspection but do not count against the cap.
+		if st := s.State(); st != StateClosed && st != StateFailed {
 			live++
 		}
 	}
@@ -276,6 +309,12 @@ func (m *Monitor) Open(id string, wcfg *core.WindowConfig) (s *Session, created 
 	s.cancel = cancel
 	m.sessions[id] = s
 	m.metrics.gauge(StateActive).Add(1)
+	if m.cfg.Watchdog > 0 && !m.watchOn {
+		m.watchOn = true
+		m.watchStop = make(chan struct{})
+		m.watchDone = make(chan struct{})
+		go m.watchLoop(m.cfg.Watchdog)
+	}
 	m.wg.Add(1)
 	go func() {
 		defer m.wg.Done()
@@ -293,17 +332,23 @@ func (m *Monitor) Session(id string) (*Session, bool) {
 	return s, ok
 }
 
-// Remove deletes a closed session from the registry, freeing its retained
-// results. It refuses to remove a live session (drain it first).
+// Remove deletes a closed or failed session from the registry, freeing
+// its retained results. It refuses to remove a live session (drain it
+// first). Removing a failed path is how an operator clears it for a
+// fresh PUT — the new session resumes numbering from the durable log.
 func (m *Monitor) Remove(id string) bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	s := m.sessions[id]
-	if s == nil || s.State() != StateClosed {
+	if s == nil {
+		return false
+	}
+	st := s.State()
+	if st != StateClosed && st != StateFailed {
 		return false
 	}
 	delete(m.sessions, id)
-	m.metrics.gauge(StateClosed).Add(-1)
+	m.metrics.gauge(st).Add(-1)
 	return true
 }
 
@@ -342,7 +387,10 @@ func (m *Monitor) Closing() bool {
 // every session's queue is closed, and Close waits for all pipelines to
 // finish their backlog (flushing final partial windows). If ctx expires
 // first, the remaining sessions are aborted — their queued backlog is
-// abandoned — and ctx's error is returned once they have stopped.
+// abandoned — and ctx's error is returned once they have stopped. A
+// failed final store flush (a store still degraded at shutdown drops its
+// pending buffer) is returned too, so callers can exit non-zero on a
+// lossy shutdown.
 func (m *Monitor) Close(ctx context.Context) error {
 	m.mu.Lock()
 	m.closing = true
@@ -350,8 +398,13 @@ func (m *Monitor) Close(ctx context.Context) error {
 	for _, s := range m.sessions {
 		ss = append(ss, s)
 	}
+	watchOn := m.watchOn
 	m.mu.Unlock()
 
+	if watchOn {
+		m.watchStopOnce.Do(func() { close(m.watchStop) })
+		<-m.watchDone
+	}
 	for _, s := range ss {
 		s.Drain()
 	}
@@ -364,20 +417,18 @@ func (m *Monitor) Close(ctx context.Context) error {
 	// durable store once every pipeline has appended its final windows —
 	// the drain-time flush that makes a clean shutdown lose nothing even
 	// under FsyncNone.
-	flush := func() {
+	flush := func() error {
 		if m.store == nil {
-			return
+			return nil
 		}
 		if m.ownStore {
-			m.store.Close()
-		} else {
-			m.store.SyncAll()
+			return m.store.Close()
 		}
+		return m.store.SyncAll()
 	}
 	select {
 	case <-done:
-		flush()
-		return nil
+		return flush()
 	case <-ctx.Done():
 		for _, s := range ss {
 			s.Abort()

@@ -1,0 +1,273 @@
+package monitor
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"dominantlink/internal/core"
+	"dominantlink/internal/faultinject"
+	"dominantlink/internal/store"
+	"dominantlink/internal/testutil"
+	"dominantlink/internal/trace"
+)
+
+// TestSelfHealingChaosSoak is the acceptance soak of the self-healing
+// design, run under the race detector in CI: one daemon with engine
+// panics, a crashing source, a stalling source, and a mid-run ENOSPC all
+// active at once. It asserts the four properties the supervisor, the
+// degraded store, and the health model promise together:
+//
+//  1. the daemon serves every path continuously — sessions crash and
+//     restart, but the registry entries answer throughout;
+//  2. restarted sessions resume window numbering with no gaps or
+//     duplicates, in memory and in the durable log;
+//  3. the store survives a disk-full episode with its accounting
+//     invariant intact and zero acknowledged windows lost: after heal
+//     and recovery a reopened store serves the identical records;
+//  4. /readyz reflects each transition (degraded store, stalled
+//     session) as it happens.
+func TestSelfHealingChaosSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test; skipped with -short")
+	}
+	baseline := testutil.GoroutineBaseline()
+
+	ffs := faultinject.NewFS(nil, faultinject.FSConfig{})
+	dir := t.TempDir()
+	st, err := store.Open(store.Options{
+		Dir: dir, Fsync: store.FsyncNone, FS: ffs,
+		RetryEvery: 10 * time.Millisecond, // fast auto-recovery for the soak
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var stallMu sync.Mutex
+	var stallSrc *faultinject.Source
+	engineFaults := &faultinject.EngineFaults{PanicEvery: 13}
+	m := New(Config{
+		Workers:    4,
+		Window:     core.WindowConfig{Size: 50, DisableGate: true, FlushPartial: true},
+		Supervise:  SupervisorConfig{MaxRestarts: 1000, Window: time.Minute, Backoff: time.Millisecond, MaxBackoff: 5 * time.Millisecond},
+		Watchdog:   50 * time.Millisecond,
+		Store:      st,
+		EngineHook: engineFaults.Hook(),
+		SourceWrap: func(path string, attempt int, src trace.ObservationSource) trace.ObservationSource {
+			switch path {
+			case "flaky":
+				// Every incarnation crashes after 150 delivered observations
+				// — a session that lives its whole life restarting.
+				return faultinject.NewSource(src, faultinject.SourceConfig{ErrorAfter: 150})
+			case "stalled":
+				s := faultinject.NewSource(src, faultinject.SourceConfig{})
+				stallMu.Lock()
+				stallSrc = s
+				stallMu.Unlock()
+				return s
+			}
+			return src
+		},
+	})
+	srv := httptest.NewServer(m.Handler())
+	defer srv.Close()
+
+	readyz := func() healthJSON {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var h healthJSON
+		if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+	waitReady := func(what string, cond func(healthJSON) bool) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			if cond(readyz()) {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out waiting for /readyz to reflect %s: %+v", what, readyz())
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	paths := []string{"steady", "flaky", "stalled"}
+	sessions := map[string]*Session{}
+	for _, p := range paths {
+		s, _, err := m.Open(p, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sessions[p] = s
+	}
+
+	// The feeders: every path keeps receiving small batches through the
+	// whole storm. seq is per-path so observation streams stay sensible.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for _, p := range paths {
+		wg.Add(1)
+		go func(p string) {
+			defer wg.Done()
+			seq := int64(0)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				batch := make([]trace.Observation, 30)
+				for i := range batch {
+					batch[i] = trace.Observation{Seq: seq, SendTime: float64(seq) * 0.01, Delay: 0.05}
+					seq++
+				}
+				if _, err := sessions[p].Offer(batch); errors.Is(err, ErrSessionClosed) {
+					return
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}(p)
+	}
+
+	// Let windows flow, then pull the levers one at a time, checking the
+	// health model tracks each.
+	waitStatus(t, sessions["flaky"], "flaky session restarts", func(st StatusJSON) bool { return st.Restarts >= 2 })
+
+	// Lever 1: the disk fills up mid-run. The store degrades, appends
+	// keep being acknowledged into the pending buffer, /readyz flips.
+	ffs.BreakWrites(nil)
+	waitReady("store degraded", func(h healthJSON) bool {
+		return h.Status == "degraded" && h.Store != nil && h.Store.Mode == "degraded"
+	})
+
+	// Lever 2: the stalled path's collector hangs; the watchdog flags it.
+	stallMu.Lock()
+	src := stallSrc
+	stallMu.Unlock()
+	if src == nil {
+		t.Fatal("stalled path never built its source")
+	}
+	src.Stall()
+	waitStatus(t, sessions["stalled"], "watchdog stall flag", func(st StatusJSON) bool { return st.Stalled })
+	waitReady("stalled session", func(h healthJSON) bool { return h.Sessions.Stalled >= 1 })
+
+	// Heal both: space comes back (the store's retry loop drains the
+	// buffer on its own) and the collector wakes up (the flag clears with
+	// the next emitted window).
+	ffs.HealWrites()
+	waitReady("store recovered", func(h healthJSON) bool { return h.Store != nil && h.Store.Mode == "durable" })
+	src.Release()
+	waitStatus(t, sessions["stalled"], "stall flag cleared by progress", func(st StatusJSON) bool { return !st.Stalled })
+
+	// Continuous service: every path answers with a live registry entry
+	// after the whole storm.
+	for _, p := range paths {
+		resp, err := http.Get(srv.URL + "/v1/paths/" + p)
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /v1/paths/%s after the storm = (%v, %v), want 200", p, resp, err)
+		}
+		resp.Body.Close()
+	}
+
+	close(stop)
+	wg.Wait()
+	if err := m.Close(context.Background()); err != nil {
+		t.Fatalf("Close after heal must flush cleanly, got %v", err)
+	}
+
+	// Per-session accounting: every accepted observation windowed,
+	// evicted, or explicitly lost; the flaky path really restarted.
+	for _, p := range paths {
+		fin := sessions[p].Status()
+		if fin.State != "closed" {
+			t.Fatalf("%s: state %s, want closed", p, fin.State)
+		}
+		if got := fin.ProbesWindowed + fin.Evicted + fin.Lost; got != fin.Ingested {
+			t.Fatalf("%s: windowed %d + evicted %d + lost %d = %d, want ingested %d",
+				p, fin.ProbesWindowed, fin.Evicted, fin.Lost, got, fin.Ingested)
+		}
+	}
+
+	// Store accounting and zero acknowledged loss: appended + pending +
+	// dropped == produced per path, nothing dropped, one degraded →
+	// recovered round-trip recorded.
+	if st.Metrics().Degraded.Load() < 1 || st.Metrics().Recovered.Load() < 1 {
+		t.Fatalf("store transitions: degraded %d recovered %d, want >= 1 each",
+			st.Metrics().Degraded.Load(), st.Metrics().Recovered.Load())
+	}
+	if got := st.Metrics().RecordsDropped.Load(); got != 0 {
+		t.Fatalf("%d acknowledged records dropped during the disk-full episode, want 0", got)
+	}
+	before := map[string][]store.Record{}
+	for _, p := range paths {
+		l, err := st.Log(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds := l.DegradedStats()
+		if ds.Appended+int64(ds.Pending)+ds.Dropped != ds.Produced {
+			t.Fatalf("%s: store invariant broken: %+v", p, ds)
+		}
+		next := 0
+		if err := l.Scan(0, func(rec store.Record) error {
+			if rec.Kind != store.KindWindow {
+				return nil
+			}
+			if rec.Window.Window != next {
+				t.Fatalf("%s: durable window %d, want %d: numbering broke across restarts", p, rec.Window.Window, next)
+			}
+			next++
+			before[p] = append(before[p], rec)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if next == 0 {
+			t.Fatalf("%s: no durable windows survived the soak", p)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("store Close after recovery: %v", err)
+	}
+
+	// Byte-identical replay: a fresh process on the real filesystem reads
+	// back exactly the records acknowledged through the storm.
+	st2, err := store.Open(store.Options{Dir: dir, Fsync: store.FsyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	for _, p := range paths {
+		l, err := st2.Log(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var after []store.Record
+		if err := l.Scan(0, func(rec store.Record) error {
+			if rec.Kind == store.KindWindow {
+				after = append(after, rec)
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(before[p], after) {
+			t.Fatalf("%s: reopened records diverge (%d vs %d)", p, len(after), len(before[p]))
+		}
+	}
+	testutil.WaitGoroutines(t, baseline)
+}

@@ -35,11 +35,15 @@ type State int
 // Session lifecycle: observations are accepted only while active;
 // draining means the queue is closed and the pipeline is finishing the
 // backlog (including the final partial window); closed means every
-// result is in.
+// result is in. Failed is the supervisor's terminal parking state: the
+// pipeline died abnormally more times than the restart budget allows,
+// so the session takes no more observations and holds its last error
+// for the operator (DELETE + re-PUT restarts from the durable log).
 const (
 	StateActive State = iota
 	StateDraining
 	StateClosed
+	StateFailed
 )
 
 func (s State) String() string {
@@ -48,6 +52,8 @@ func (s State) String() string {
 		return "active"
 	case StateDraining:
 		return "draining"
+	case StateFailed:
+		return "failed"
 	default:
 		return "closed"
 	}
@@ -86,17 +92,24 @@ type Session struct {
 	rate *tokenBucket // per-session ingestion limit; nil = unlimited
 
 	// slog is the path's durable result log (nil when the monitor has no
-	// store). indexBase is the persisted window counter at session start:
-	// the windower numbers windows from 0 per stream, so record() offsets
-	// every index by it — a re-opened path continues where the last
-	// incarnation stopped. Both are set before the pipeline starts and
-	// never change.
+	// store). indexBase is the persisted window counter at pipeline
+	// start: the windower numbers windows from 0 per stream, so record()
+	// offsets every index by it — a re-opened path (or a supervised
+	// restart of this one) continues where the last incarnation stopped.
+	// slog is set before the run goroutine starts and never changes;
+	// indexBase is written only by the run goroutine between pipeline
+	// incarnations and read only by it during one, so neither needs s.mu.
 	slog      *store.Log
 	indexBase int
 
 	mu               sync.Mutex
 	state            State
 	err              error // pipeline setup or source failure
+	nextIndex        int   // absolute index the next window result will get
+	restarts         uint64
+	lost             uint64 // consumed by a crashed pipeline, never windowed
+	stalled          bool   // watchdog: backlog but no window past deadline
+	progressMark     time.Time
 	ingested         uint64
 	dropped          uint64
 	evicted          uint64 // accepted, then evicted by ShedDropOldest
@@ -229,11 +242,103 @@ func (q *queueSource) NextBatch(dst *trace.Batch, max int) (int, error) {
 	return n, nil
 }
 
-// run is the session's pipeline loop (one goroutine per session; the
-// identification work itself runs on the monitor's shared pool).
+// run is the session's supervisor loop (one goroutine per session; the
+// identification work itself runs on the monitor's shared pool). Each
+// iteration runs one pipeline incarnation over the shared ingestion
+// queue. A clean end — the queue was closed by Drain, or the context
+// was canceled by Abort/shutdown — closes the session. An abnormal end
+// — the pipeline died with a terminal error (source failure or a
+// contained panic) while the session was still accepting observations —
+// is restarted after a jittered backoff: the queue stays open so
+// clients keep ingesting, observations the dead incarnation consumed
+// but never windowed are counted as lost, and the next incarnation
+// resumes window numbering where the last one stopped. When the budget
+// (Supervise.MaxRestarts within Supervise.Window) is exhausted, the
+// session parks as failed with the last error attached.
 func (s *Session) run(ctx context.Context) {
-	defer s.finish()
-	ch, err := core.NewWindower(s.mon.engine, s.wcfg).Stream(ctx, &queueSource{q: s.queue, queued: &s.queued}, s.mon.cfg.Identify)
+	sup := s.mon.cfg.Supervise
+	var crashes []time.Time // abnormal deaths inside the sliding budget window
+	for attempt := 0; ; attempt++ {
+		s.runPipeline(ctx, attempt)
+
+		s.mu.Lock()
+		active := s.state == StateActive
+		reason := s.err
+		s.mu.Unlock()
+		if !active || ctx.Err() != nil {
+			// Drained or aborted: the pipeline consumed the closed queue
+			// (flushing the final partial window) and ended for good.
+			s.finish(StateClosed)
+			return
+		}
+
+		// Abnormal death. Account what the dead pipeline swallowed before
+		// anything else: observations it consumed from the queue but never
+		// delivered to a window result are lost, not silently absorbed.
+		s.noteCrashLoss()
+		if reason == nil {
+			reason = errors.New("monitor: pipeline exited unexpectedly")
+		}
+		if sup.Disable {
+			// Pre-supervision behavior: an abnormal death closes the
+			// session, error attached.
+			s.finish(StateClosed)
+			return
+		}
+
+		now := time.Now()
+		crashes = append(crashes, now)
+		for len(crashes) > 0 && now.Sub(crashes[0]) > sup.Window {
+			crashes = crashes[1:]
+		}
+		if len(crashes) > sup.MaxRestarts {
+			s.mon.obs.SessionFailed(s.id, len(crashes)-1, reason)
+			s.finish(StateFailed)
+			return
+		}
+
+		delay := sup.restartDelay(s.id, len(crashes))
+		timer := time.NewTimer(delay)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			s.finish(StateClosed)
+			return
+		case <-timer.C:
+		}
+
+		// Resume numbering past everything already acknowledged: the
+		// in-memory high-water mark, and — because degraded-buffered and
+		// dropped records also consumed indexes — the durable log's own
+		// counter. Indexes are never reused, so restarted sessions produce
+		// no duplicates and no gaps.
+		s.mu.Lock()
+		s.err = nil
+		s.restarts++
+		restarts := s.restarts
+		base := s.nextIndex
+		s.mu.Unlock()
+		if s.slog != nil {
+			if n := int(s.slog.NextIndex()); n > base {
+				base = n
+			}
+		}
+		s.indexBase = base
+		s.mon.metrics.sessionRestarts.Add(1)
+		s.mon.obs.SessionRestart(s.id, int(restarts), delay, base, reason)
+	}
+}
+
+// runPipeline runs one windower incarnation over the ingestion queue,
+// folding every result into the session. It returns when the result
+// channel closes — by then every in-flight window of this incarnation
+// has been recorded, so the session's counters are quiescent.
+func (s *Session) runPipeline(ctx context.Context, attempt int) {
+	var src trace.ObservationSource = &queueSource{q: s.queue, queued: &s.queued}
+	if wrap := s.mon.cfg.SourceWrap; wrap != nil {
+		src = wrap(s.id, attempt, src)
+	}
+	ch, err := core.NewWindower(s.mon.engine, s.wcfg).Stream(ctx, src, s.mon.cfg.Identify)
 	if err != nil {
 		s.mu.Lock()
 		s.err = err
@@ -243,6 +348,31 @@ func (s *Session) run(ctx context.Context) {
 	}
 	for res := range ch {
 		s.record(res)
+	}
+}
+
+// pendingLocked is the session's unwindowed backlog: observations
+// accepted but not yet attributed to a window result, an eviction, or a
+// loss — whether still in the queue or inside the pipeline's buffers.
+// Caller holds s.mu.
+func (s *Session) pendingLocked() int64 {
+	return int64(s.ingested) - int64(s.evicted) - int64(s.probesWindowed) - int64(s.lost)
+}
+
+// noteCrashLoss charges the residual between what the session ingested
+// and what is still accounted for — windowed, evicted, queued, or
+// already lost — to the lost counter. Called by the supervisor between
+// incarnations, when no pipeline is consuming and counters are settled.
+func (s *Session) noteCrashLoss() {
+	s.mu.Lock()
+	resid := int64(s.ingested) - int64(s.evicted) - int64(s.probesWindowed) -
+		s.queued.Load() - int64(s.lost)
+	if resid > 0 {
+		s.lost += uint64(resid)
+	}
+	s.mu.Unlock()
+	if resid > 0 {
+		s.mon.metrics.observationsLost.Add(resid)
 	}
 }
 
@@ -359,6 +489,11 @@ func (s *Session) OfferBatch(b *trace.Batch) (int, error) {
 		if lo > 0 || accepted < n {
 			enq = b.Slice(lo, accepted)
 		}
+		if s.pendingLocked() == 0 {
+			// The backlog just went non-empty: (re)arm the watchdog clock
+			// so an idle session is never flagged for old silence.
+			s.progressMark = time.Now()
+		}
 		s.queued.Add(int64(enq.Len()))
 		s.queue <- enq // cannot block: queued <= QueueSize and batches >= 1 obs
 	}
@@ -432,7 +567,7 @@ func (s *Session) Subscribe(buf int) (<-chan Event, func()) {
 	}
 	ch := make(chan Event, buf)
 	s.mu.Lock()
-	if s.state == StateClosed {
+	if s.state == StateClosed || s.state == StateFailed {
 		// Late subscriber: deliver the terminal event and close.
 		ch <- Event{Type: "closed", Index: -1, Data: s.statusJSONLocked()}
 		close(ch)
@@ -527,6 +662,12 @@ func (s *Session) record(res core.WindowResult) {
 	defer s.mu.Unlock()
 	s.windows++
 	s.probesWindowed += uint64(res.Probes())
+	if res.Index >= s.nextIndex {
+		s.nextIndex = res.Index + 1
+	}
+	// Any emitted result is progress: clear the watchdog flag and restamp.
+	s.stalled = false
+	s.progressMark = time.Now()
 	switch {
 	case res.Shed:
 		s.shed++
@@ -581,10 +722,22 @@ func (s *Session) broadcastLocked(ev Event) {
 	}
 }
 
-// finish marks the session closed and releases every subscriber.
-func (s *Session) finish() {
+// finish parks the session in a terminal state (closed, or failed when
+// the supervisor gave up) and releases every subscriber. The SSE
+// terminal event keeps the "closed" type either way — the stream is
+// over — with the carried status JSON naming the actual state.
+func (s *Session) finish(st State) {
 	s.mu.Lock()
-	s.setStateLocked(StateClosed)
+	s.stalled = false
+	// Terminal accounting: nothing further will be windowed, so whatever
+	// backlog remains — observations abandoned in the queue by an abort,
+	// a park, or a crash during drain — is explicitly lost. A clean drain
+	// leaves a zero residual and this is a no-op.
+	resid := s.pendingLocked()
+	if resid > 0 {
+		s.lost += uint64(resid)
+	}
+	s.setStateLocked(st)
 	ev := Event{Type: "closed", Index: -1, Data: s.statusJSONLocked()}
 	for ch := range s.subs {
 		select {
@@ -601,6 +754,9 @@ func (s *Session) finish() {
 		errStr = s.err.Error()
 	}
 	s.mu.Unlock()
+	if resid > 0 {
+		s.mon.metrics.observationsLost.Add(resid)
+	}
 	s.mon.obs.SessionClosed(s.id, windows, ingested, dropped, errStr)
 	close(s.done)
 }
@@ -689,6 +845,9 @@ func (s *Session) statusLocked() StatusJSON {
 		HasDCL:           s.hasDCL,
 		LastTransition:   s.lastTransition,
 		LastTransitionAt: s.lastTransitionAt,
+		Restarts:         s.restarts,
+		Lost:             s.lost,
+		Stalled:          s.stalled,
 	}
 	if s.hasDCL {
 		st.BoundSeconds = s.bound

@@ -1,0 +1,146 @@
+package monitor
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"time"
+)
+
+// Session supervision: a session whose pipeline dies abnormally — a
+// terminal source error, a stalled source torn down by cancellation, or
+// a panic the windower contained — is restarted in place by its own run
+// loop instead of staying dead until an operator re-PUTs the path. The
+// ingestion queue stays open across restarts (clients keep ingesting
+// through the backoff), window numbering continues where the previous
+// incarnation stopped, and observations the dead pipeline had consumed
+// but never windowed are counted as lost, never silently absorbed. After
+// MaxRestarts failures within Window the session is parked as failed:
+// the supervisor gives up, the reason is surfaced over the API, and the
+// operator decides (DELETE + re-PUT to try again).
+
+// SupervisorConfig shapes the per-session restart policy. The zero value
+// supervises with the defaults below; set Disable to restore the
+// pre-supervision behavior (an abnormal pipeline death closes the
+// session with its error).
+type SupervisorConfig struct {
+	// Disable turns restarts off: an abnormal pipeline death closes the
+	// session, error attached.
+	Disable bool
+	// MaxRestarts is the restart budget: after this many abnormal deaths
+	// within Window, the session is parked as failed (default 5).
+	MaxRestarts int
+	// Window is the sliding interval the budget counts restarts in
+	// (default 1 minute).
+	Window time.Duration
+	// Backoff is the delay before the first restart, doubling per
+	// consecutive restart up to MaxBackoff (defaults 100ms, 5s). Each
+	// delay is jittered deterministically into [d/2, d) by a hash of
+	// (Seed, path, attempt), so a fleet of sessions killed by one cause
+	// does not restart in lockstep, yet a failing run replays exactly.
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+	// Seed feeds the jitter hash (0 is a valid, fixed seed).
+	Seed uint64
+}
+
+func (c *SupervisorConfig) defaults() {
+	if c.MaxRestarts <= 0 {
+		c.MaxRestarts = 5
+	}
+	if c.Window <= 0 {
+		c.Window = time.Minute
+	}
+	if c.Backoff <= 0 {
+		c.Backoff = 100 * time.Millisecond
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = 5 * time.Second
+	}
+}
+
+// restartDelay returns the jittered backoff before restart `attempt`
+// (1-indexed): the base doubles per attempt, capped at MaxBackoff, then
+// lands deterministically in [base/2, base).
+func (c *SupervisorConfig) restartDelay(path string, attempt int) time.Duration {
+	base := c.Backoff
+	for i := 1; i < attempt && base < c.MaxBackoff; i++ {
+		base *= 2
+	}
+	if base > c.MaxBackoff {
+		base = c.MaxBackoff
+	}
+	half := float64(base) / 2
+	return time.Duration(half + half*hash01(c.Seed, path, uint64(attempt)))
+}
+
+// hash01 maps (seed, path, n) to [0, 1) with FNV-1a — deterministic
+// jitter, no global RNG, replayable runs.
+func hash01(seed uint64, path string, n uint64) float64 {
+	h := fnv.New64a()
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], seed)
+	h.Write(b[:])
+	h.Write([]byte(path))
+	binary.LittleEndian.PutUint64(b[:], n)
+	h.Write(b[:])
+	return float64(h.Sum64()>>11) / float64(1<<53)
+}
+
+// watchLoop is the monitor's progress watchdog (one goroutine, started
+// with the first session when Config.Watchdog > 0): every quarter
+// deadline it flags sessions that have queued observations but have
+// emitted no window for longer than the deadline — a wedged source, a
+// stuck fit, or a trickle that never fills a window. The flag clears
+// itself on the next emitted window; each trip counts once in
+// watchdog_stalls and emits one watchdog_stall event.
+func (m *Monitor) watchLoop(deadline time.Duration) {
+	defer close(m.watchDone)
+	tick := deadline / 4
+	if tick < 10*time.Millisecond {
+		tick = 10 * time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.watchStop:
+			return
+		case now := <-t.C:
+			m.mu.Lock()
+			ss := make([]*Session, 0, len(m.sessions))
+			for _, s := range m.sessions {
+				ss = append(ss, s)
+			}
+			m.mu.Unlock()
+			for _, s := range ss {
+				s.checkStall(now, deadline)
+			}
+		}
+	}
+}
+
+// checkStall flags the session stalled when it is active, has a backlog
+// — observations accepted but not yet windowed, whether still queued or
+// already inside the pipeline's partial buffer — and its progress mark
+// (last emitted window, or the moment the backlog appeared) is older
+// than the deadline.
+func (s *Session) checkStall(now time.Time, deadline time.Duration) {
+	var pending int64
+	var since time.Duration
+	s.mu.Lock()
+	trip := false
+	if s.state == StateActive && !s.stalled {
+		pending = s.pendingLocked()
+		if pending > 0 && !s.progressMark.IsZero() {
+			if since = now.Sub(s.progressMark); since > deadline {
+				s.stalled = true
+				trip = true
+			}
+		}
+	}
+	s.mu.Unlock()
+	if trip {
+		s.mon.metrics.watchdogStalls.Add(1)
+		s.mon.obs.WatchdogStall(s.id, pending, since)
+	}
+}

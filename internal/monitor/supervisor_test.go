@@ -1,0 +1,357 @@
+package monitor
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"dominantlink/internal/core"
+	"dominantlink/internal/faultinject"
+	"dominantlink/internal/store"
+	"dominantlink/internal/testutil"
+	"dominantlink/internal/trace"
+)
+
+// smallWindows is the session shape the supervisor tests run on: tiny
+// ungated tumbling windows so a few hundred observations produce several
+// results quickly.
+func smallWindows() core.WindowConfig {
+	return core.WindowConfig{Size: 50, DisableGate: true, FlushPartial: true}
+}
+
+// fastSupervise restarts almost immediately so tests spend milliseconds,
+// not the production default backoff.
+func fastSupervise() SupervisorConfig {
+	return SupervisorConfig{MaxRestarts: 3, Window: time.Minute, Backoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond}
+}
+
+// waitStatus polls the session until cond holds or the deadline passes.
+func waitStatus(t *testing.T, s *Session, what string, cond func(StatusJSON) bool) StatusJSON {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := s.Status()
+		if cond(st) {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s; status %+v", what, st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestSupervisorRestartsAndResumesNumbering: a source failure on the
+// first pipeline incarnation must restart the session (queue still open,
+// same registry entry), resume window numbering with no gaps or
+// duplicates — in memory and in the durable log — and account every
+// observation the dead incarnation swallowed as lost.
+func TestSupervisorRestartsAndResumesNumbering(t *testing.T) {
+	baseline := testutil.GoroutineBaseline()
+	st, err := store.Open(store.Options{Dir: t.TempDir(), Fsync: store.FsyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	m := New(Config{
+		Window:    smallWindows(),
+		Supervise: fastSupervise(),
+		Store:     st,
+		SourceWrap: func(path string, attempt int, src trace.ObservationSource) trace.ObservationSource {
+			if attempt == 0 {
+				// First incarnation dies after delivering 120 observations
+				// (windows 0 and 1, plus 20 stranded in the partial buffer).
+				return faultinject.NewSource(src, faultinject.SourceConfig{ErrorAfter: 120})
+			}
+			return src
+		},
+	})
+
+	s, _, err := m.Open("p", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Offer(healthyObs(300)); err != nil {
+		t.Fatal(err)
+	}
+	waitStatus(t, s, "first restart", func(st StatusJSON) bool { return st.Restarts >= 1 })
+
+	// The restarted pipeline must still be this session, still ingesting.
+	if _, err := s.Offer(healthyObs(200)); err != nil {
+		t.Fatalf("ingest after restart: %v", err)
+	}
+	s.Drain()
+	if err := s.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	final := s.Status()
+	if final.State != "closed" {
+		t.Fatalf("state = %s, want closed", final.State)
+	}
+	if final.Restarts != 1 {
+		t.Fatalf("restarts = %d, want 1", final.Restarts)
+	}
+	if final.Lost == 0 {
+		t.Fatal("a killed incarnation with a partial buffer must report lost observations")
+	}
+	// Closed accounting across the crash: every accepted observation is
+	// windowed, evicted, or explicitly lost.
+	if got := final.ProbesWindowed + final.Evicted + final.Lost; got != final.Ingested {
+		t.Fatalf("windowed %d + evicted %d + lost %d = %d, want ingested %d",
+			final.ProbesWindowed, final.Evicted, final.Lost, got, final.Ingested)
+	}
+
+	// Window numbering is contiguous from 0 across both incarnations, in
+	// memory and on disk.
+	results, next := s.Results(0)
+	for i, r := range results {
+		if r.Window != i {
+			t.Fatalf("result %d has window index %d: gap or duplicate across restart", i, r.Window)
+		}
+	}
+	if next != len(results) {
+		t.Fatalf("next = %d with %d results", next, len(results))
+	}
+	l, err := st.Log("p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	if err := l.Scan(0, func(rec store.Record) error {
+		if rec.Kind != store.KindWindow {
+			return nil
+		}
+		if rec.Window.Window != want {
+			t.Fatalf("durable log window %d, want %d: numbering broke across restart", rec.Window.Window, want)
+		}
+		want++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if want != len(results) {
+		t.Fatalf("durable log has %d windows, memory has %d", want, len(results))
+	}
+
+	if err := m.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	testutil.WaitGoroutines(t, baseline)
+}
+
+// TestSupervisorParksFailedAfterBudget: a session whose every incarnation
+// panics must exhaust the restart budget and park as failed — terminal
+// state, error surfaced, no more ingestion — and a DELETE-equivalent
+// Remove clears it for a fresh open.
+func TestSupervisorParksFailedAfterBudget(t *testing.T) {
+	baseline := testutil.GoroutineBaseline()
+	m := New(Config{
+		Window:    smallWindows(),
+		Supervise: SupervisorConfig{MaxRestarts: 2, Window: time.Minute, Backoff: time.Millisecond, MaxBackoff: time.Millisecond},
+		SourceWrap: func(path string, attempt int, src trace.ObservationSource) trace.ObservationSource {
+			// Every incarnation panics after 5 delivered observations: the
+			// contained panic is a terminal pipeline error, so the budget
+			// (2 restarts) runs out on the third crash.
+			return faultinject.NewSource(src, faultinject.SourceConfig{PanicAfter: 5})
+		},
+	})
+	defer m.Close(context.Background())
+
+	s, _, err := m.Open("doomed", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Feed small batches until the supervisor gives up: each incarnation
+	// needs a few observations to reach its scheduled panic.
+	for s.State() != StateFailed {
+		if _, err := s.Offer(healthyObs(10)); errors.Is(err, ErrSessionClosed) {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := s.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	final := s.Status()
+	if final.State != "failed" {
+		t.Fatalf("state = %s, want failed", final.State)
+	}
+	if final.Restarts != 2 {
+		t.Fatalf("restarts = %d, want the full budget of 2", final.Restarts)
+	}
+	if final.Error == "" {
+		t.Fatal("a parked session must surface its terminal error")
+	}
+	if _, err := s.Offer(healthyObs(1)); !errors.Is(err, ErrSessionClosed) {
+		t.Fatalf("ingest into a failed session = %v, want ErrSessionClosed", err)
+	}
+
+	// The failed session does not count against the live cap, and Remove
+	// clears it so the path can be re-opened fresh.
+	if !m.Remove("doomed") {
+		t.Fatal("Remove refused a failed session")
+	}
+	s2, created, err := m.Open("doomed", nil)
+	if err != nil || !created {
+		t.Fatalf("re-open after Remove = (created %v, %v), want a fresh session", created, err)
+	}
+	s2.Drain()
+	if err := s2.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	testutil.WaitGoroutines(t, baseline)
+}
+
+// TestSupervisorDisabledPreservesOldBehavior: with Supervise.Disable a
+// terminal source error closes the session, error attached — the
+// pre-supervision contract.
+func TestSupervisorDisabledPreservesOldBehavior(t *testing.T) {
+	m := New(Config{
+		Window:    smallWindows(),
+		Supervise: SupervisorConfig{Disable: true},
+		SourceWrap: func(path string, attempt int, src trace.ObservationSource) trace.ObservationSource {
+			return faultinject.NewSource(src, faultinject.SourceConfig{ErrorAfter: 60})
+		},
+	})
+	defer m.Close(context.Background())
+	s, _, err := m.Open("p", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Offer(healthyObs(200)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	final := s.Status()
+	if final.State != "closed" || final.Restarts != 0 || final.Error == "" {
+		t.Fatalf("disabled supervisor: status %+v, want closed with error and no restarts", final)
+	}
+}
+
+// TestWatchdogFlagsStalledSession: a session with a backlog but no
+// emitted window past the deadline gets the stalled flag, the counter,
+// and the event; the flag clears when windows flow again.
+func TestWatchdogFlagsStalledSession(t *testing.T) {
+	m := New(Config{
+		// Windows need 1000 observations; we offer 100, so nothing emits.
+		Window:   core.WindowConfig{Size: 1000, DisableGate: true, FlushPartial: true},
+		Watchdog: 30 * time.Millisecond,
+	})
+	defer m.Close(context.Background())
+	s, _, err := m.Open("p", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Offer(healthyObs(100)); err != nil {
+		t.Fatal(err)
+	}
+	waitStatus(t, s, "stall flag", func(st StatusJSON) bool { return st.Stalled })
+	if got := m.metrics.watchdogStalls.Value(); got != 1 {
+		t.Fatalf("watchdog_stalls = %d, want 1", got)
+	}
+
+	// Draining flushes the partial window — progress — and the terminal
+	// status must not carry a stale stall flag.
+	s.Drain()
+	if err := s.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if final := s.Status(); final.Stalled {
+		t.Fatalf("stall flag survived the drain: %+v", final)
+	}
+}
+
+// TestHealthEndpoints: /livez stays 200 through a drain; /readyz serves
+// per-component JSON, flips to "degraded" on a failed session, and 503s
+// only while draining. /healthz remains a compat alias of /readyz.
+func TestHealthEndpoints(t *testing.T) {
+	m := New(Config{
+		Window:    smallWindows(),
+		Supervise: SupervisorConfig{MaxRestarts: 1, Window: time.Minute, Backoff: time.Millisecond, MaxBackoff: time.Millisecond},
+		SourceWrap: func(path string, attempt int, src trace.ObservationSource) trace.ObservationSource {
+			if path == "doomed" {
+				return faultinject.NewSource(src, faultinject.SourceConfig{ErrorAfter: 5})
+			}
+			return src
+		},
+	})
+	srv := httptest.NewServer(m.Handler())
+	defer srv.Close()
+
+	get := func(path string) (int, healthJSON) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var h healthJSON
+		if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return resp.StatusCode, h
+	}
+
+	if code, h := get("/readyz"); code != http.StatusOK || h.Status != "ok" || h.Breaker == "" {
+		t.Fatalf("/readyz idle = %d %+v, want 200 ok with a breaker state", code, h)
+	}
+
+	// Park a session and watch readiness flip to degraded (still 200: the
+	// daemon serves its other paths).
+	s, _, err := m.Open("doomed", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s.State() != StateFailed {
+		if _, err := s.Offer(healthyObs(10)); errors.Is(err, ErrSessionClosed) {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := s.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	code, h := get("/readyz")
+	if code != http.StatusOK || h.Status != "degraded" || h.Sessions.Failed != 1 {
+		t.Fatalf("/readyz with failed session = %d %+v, want 200 degraded failed=1", code, h)
+	}
+	if code, h2 := get("/healthz"); code != http.StatusOK || h2.Status != h.Status {
+		t.Fatalf("/healthz = %d %+v, want the /readyz body", code, h2)
+	}
+
+	// Draining: readyz 503, livez still 200.
+	go m.Close(context.Background())
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if m.Closing() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("Close never marked the monitor as closing")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if code, h := get("/readyz"); code != http.StatusServiceUnavailable || h.Status != "draining" {
+		t.Fatalf("/readyz while draining = %d %+v, want 503 draining", code, h)
+	}
+	resp, err := http.Get(srv.URL + "/livez")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/livez while draining = %d, want 200 (restarting a draining pod helps nobody)", resp.StatusCode)
+	}
+}

@@ -59,6 +59,19 @@ const (
 	EventSessionOpen   = "session_open"
 	EventSessionDrain  = "session_drain"
 	EventSessionClosed = "session_closed"
+	// EventSessionRestart marks the supervisor restarting a session whose
+	// pipeline died abnormally (terminal source error or contained
+	// panic): attempt number, backoff taken, and the failure that caused
+	// it. A restarted session resumes window numbering where it left off.
+	EventSessionRestart = "session_restart"
+	// EventSessionFailed marks a session parked as failed: the restart
+	// budget (N failures within the supervisor window) is exhausted and
+	// the supervisor gives up until an operator intervenes.
+	EventSessionFailed = "session_failed"
+	// EventWatchdogStall marks a session the progress watchdog flagged:
+	// its queue is non-empty but no window has been emitted past the
+	// configured deadline — a wedged source or a stuck fit.
+	EventWatchdogStall = "watchdog_stall"
 
 	// EventIngestReject marks observations refused at the front door: a
 	// rate limit (kind=rate_limited) or a full queue (kind=queue_full).
@@ -78,6 +91,14 @@ const (
 	// EventStoreFsyncError marks a failed fsync — acknowledged records may
 	// not be durable until the next successful flush.
 	EventStoreFsyncError = "store_fsync_error"
+	// EventStoreDegraded marks a path's log entering degraded mode after
+	// a disk fault (failed write, fsync or segment roll): appends buffer
+	// in memory, bounded, until recovery drains them back to disk.
+	EventStoreDegraded = "store_degraded"
+	// EventStoreRecovered marks the degraded→durable transition: the
+	// active segment reopened, the pending buffer drained, with the count
+	// of records drained and (cumulatively) dropped.
+	EventStoreRecovered = "store_recovered"
 	// EventStoreSegmentRoll / Retention / Compact are the store's segment
 	// lifecycle (debug/info level).
 	EventStoreSegmentRoll = "store_segment_roll"
@@ -289,6 +310,58 @@ func (o *Observer) SessionError(path string, window int, err error) {
 		slog.Int("window", window),
 		slog.Bool("terminal", true),
 		slog.String("error", err.Error()),
+	)
+}
+
+// SessionRestart emits one supervisor restart: the attempt number within
+// the current budget window, the backoff slept before the restart, the
+// window index the session resumes at, and the failure that killed the
+// previous incarnation.
+func (o *Observer) SessionRestart(path string, attempt int, backoff time.Duration, resumeWindow int, err error) {
+	if o == nil {
+		return
+	}
+	attrs := []slog.Attr{
+		slog.String("event", EventSessionRestart),
+		slog.String("path", path),
+		slog.Int("attempt", attempt),
+		slog.Float64("backoff_ms", float64(backoff)/float64(time.Millisecond)),
+		slog.Int("resume_window", resumeWindow),
+	}
+	if err != nil {
+		attrs = append(attrs, slog.String("error", err.Error()))
+	}
+	o.log.LogAttrs(context.Background(), slog.LevelWarn, "session", attrs...)
+}
+
+// SessionFailed emits a session parked as failed: its restart budget is
+// exhausted and the supervisor has given up.
+func (o *Observer) SessionFailed(path string, restarts int, err error) {
+	if o == nil {
+		return
+	}
+	attrs := []slog.Attr{
+		slog.String("event", EventSessionFailed),
+		slog.String("path", path),
+		slog.Int("restarts", restarts),
+	}
+	if err != nil {
+		attrs = append(attrs, slog.String("error", err.Error()))
+	}
+	o.log.LogAttrs(context.Background(), slog.LevelError, "session", attrs...)
+}
+
+// WatchdogStall emits a progress-watchdog flag: the session has queued
+// observations but emitted no window for longer than the deadline.
+func (o *Observer) WatchdogStall(path string, queued int64, since time.Duration) {
+	if o == nil {
+		return
+	}
+	o.log.LogAttrs(context.Background(), slog.LevelWarn, "session",
+		slog.String("event", EventWatchdogStall),
+		slog.String("path", path),
+		slog.Int64("queued", queued),
+		slog.Float64("since_ms", float64(since)/float64(time.Millisecond)),
 	)
 }
 

@@ -1,0 +1,309 @@
+package store_test
+
+// Degraded-mode tests: disk faults injected through the store's FS seam
+// (internal/faultinject.FS) must degrade a log to the bounded in-memory
+// buffer — never fail an append, never lose a record silently — and
+// recovery must drain the buffer back to disk so a reopened store serves
+// the exact records a fault-free run would have. These tests live in the
+// external test package because faultinject imports store.
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"dominantlink/internal/faultinject"
+	"dominantlink/internal/store"
+)
+
+func degradedRecord(i int) store.Record {
+	return store.Record{
+		Kind:       store.KindWindow,
+		AppendedAt: int64(1e18) + int64(i),
+		Window: store.Window{
+			Window: i, Start: i * 100, End: i*100 + 100,
+			Admitted: true, Decided: true, HasDCL: i%2 == 0,
+			BoundSeconds: 0.05, PMF: []float64{0.9, 0.1},
+			Summary: fmt.Sprintf("w%d", i),
+		},
+	}
+}
+
+// checkInvariant asserts the degraded-mode accounting invariant on one
+// log: every record offered to Append is durably appended, buffered
+// pending, or explicitly dropped.
+func checkInvariant(t *testing.T, l *store.Log) store.DegradedStats {
+	t.Helper()
+	st := l.DegradedStats()
+	if st.Appended+int64(st.Pending)+st.Dropped != st.Produced {
+		t.Fatalf("accounting invariant broken: appended %d + pending %d + dropped %d != produced %d",
+			st.Appended, st.Pending, st.Dropped, st.Produced)
+	}
+	return st
+}
+
+func scanAll(t *testing.T, l *store.Log) []store.Record {
+	t.Helper()
+	var recs []store.Record
+	if err := l.Scan(0, func(r store.Record) error {
+		recs = append(recs, r)
+		return nil
+	}); err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	return recs
+}
+
+// TestDegradedModeBuffersAndRecovers: mid-run ENOSPC degrades the log,
+// appends keep succeeding into the buffer, recovery drains it, and a
+// fresh open of the directory reads back every record byte-identically.
+func TestDegradedModeBuffersAndRecovers(t *testing.T) {
+	dir := t.TempDir()
+	ffs := faultinject.NewFS(nil, faultinject.FSConfig{})
+	s, err := store.Open(store.Options{Dir: dir, Fsync: store.FsyncNone, FS: ffs})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	l, err := s.Log("p")
+	if err != nil {
+		t.Fatalf("Log: %v", err)
+	}
+	var want []store.Record
+	for i := 0; i < 10; i++ {
+		rec := degradedRecord(i)
+		want = append(want, rec)
+		if err := l.Append(&rec); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+
+	ffs.BreakWrites(nil) // the disk fills up
+	for i := 10; i < 20; i++ {
+		rec := degradedRecord(i)
+		want = append(want, rec)
+		if err := l.Append(&rec); err != nil {
+			t.Fatalf("degraded Append %d must be acknowledged, got %v", i, err)
+		}
+	}
+	if l.Mode() != store.ModeDegraded {
+		t.Fatalf("mode after write fault = %v, want degraded", l.Mode())
+	}
+	st := checkInvariant(t, l)
+	if st.Pending != 10 || st.Dropped != 0 {
+		t.Fatalf("pending %d dropped %d, want 10, 0", st.Pending, st.Dropped)
+	}
+	if got := s.Metrics().Degraded.Load(); got != 1 {
+		t.Fatalf("Degraded transitions = %d, want 1", got)
+	}
+	if paths := s.DegradedPaths(); len(paths) != 1 || paths[0] != "p" {
+		t.Fatalf("DegradedPaths = %v, want [p]", paths)
+	}
+
+	ffs.HealWrites() // space reclaimed
+	if err := l.TryRecover(); err != nil {
+		t.Fatalf("TryRecover after heal: %v", err)
+	}
+	if l.Mode() != store.ModeDurable {
+		t.Fatalf("mode after recovery = %v, want durable", l.Mode())
+	}
+	st = checkInvariant(t, l)
+	if st.Pending != 0 || st.Appended != 20 {
+		t.Fatalf("after recovery: pending %d appended %d, want 0, 20", st.Pending, st.Appended)
+	}
+	if got := s.Metrics().Recovered.Load(); got != 1 {
+		t.Fatalf("Recovered transitions = %d, want 1", got)
+	}
+	if got := s.Metrics().RecordsPending.Load(); got != 0 {
+		t.Fatalf("RecordsPending gauge = %d, want 0", got)
+	}
+	if got := scanAll(t, l); !reflect.DeepEqual(got, want) {
+		t.Fatalf("post-recovery scan diverges: got %d records, want %d", len(got), len(want))
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// A reopen on the real filesystem must see the identical record
+	// sequence: nothing acknowledged during the fault was lost.
+	s2, err := store.Open(store.Options{Dir: dir, Fsync: store.FsyncNone})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer s2.Close()
+	l2, err := s2.Log("p")
+	if err != nil {
+		t.Fatalf("reopen Log: %v", err)
+	}
+	if got := scanAll(t, l2); !reflect.DeepEqual(got, want) {
+		t.Fatalf("reopened scan diverges from acknowledged records (%d vs %d)", len(got), len(want))
+	}
+	if l2.NextIndex() != 20 {
+		t.Fatalf("NextIndex after reopen = %d, want 20", l2.NextIndex())
+	}
+}
+
+// TestDegradedBufferBoundDropsOldest: the pending buffer is bounded;
+// overflow drops the oldest record and counts it — the one permitted,
+// always-accounted loss.
+func TestDegradedBufferBoundDropsOldest(t *testing.T) {
+	ffs := faultinject.NewFS(nil, faultinject.FSConfig{})
+	s, err := store.Open(store.Options{
+		Dir: t.TempDir(), Fsync: store.FsyncNone, FS: ffs, DegradedMaxRecords: 4,
+	})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer s.Close()
+	l, err := s.Log("p")
+	if err != nil {
+		t.Fatalf("Log: %v", err)
+	}
+	ffs.BreakWrites(nil)
+	for i := 0; i < 10; i++ {
+		rec := degradedRecord(i)
+		if err := l.Append(&rec); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+	st := checkInvariant(t, l)
+	if st.Pending != 4 || st.Dropped != 6 {
+		t.Fatalf("pending %d dropped %d, want 4, 6", st.Pending, st.Dropped)
+	}
+	if got := s.Metrics().RecordsDropped.Load(); got != 6 {
+		t.Fatalf("RecordsDropped = %d, want 6", got)
+	}
+	// The counter still covers dropped records: they were acknowledged,
+	// so their indexes must never be reused.
+	if l.NextIndex() != 10 {
+		t.Fatalf("NextIndex = %d, want 10", l.NextIndex())
+	}
+	ffs.HealWrites()
+	if err := l.TryRecover(); err != nil {
+		t.Fatalf("TryRecover: %v", err)
+	}
+	got := scanAll(t, l)
+	if len(got) != 4 || got[0].Window.Window != 6 || got[3].Window.Window != 9 {
+		t.Fatalf("recovered records = %v, want windows 6..9", got)
+	}
+}
+
+// TestShortWriteRepairedTail: a short write (half the frame lands, then
+// ENOSPC) must not leave a torn frame mid-segment — the failed append
+// truncates back, recovery drains, and Verify finds no corrupt regions.
+func TestShortWriteRepairedTail(t *testing.T) {
+	ffs := faultinject.NewFS(nil, faultinject.FSConfig{ShortWriteEvery: 5})
+	s, err := store.Open(store.Options{Dir: t.TempDir(), Fsync: store.FsyncNone, FS: ffs})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer s.Close()
+	l, err := s.Log("p")
+	if err != nil {
+		t.Fatalf("Log: %v", err)
+	}
+	// Writes: #1 is the segment magic; records land at #2..#4; record 3's
+	// frame is write #5 — the scheduled short write.
+	for i := 0; i < 4; i++ {
+		rec := degradedRecord(i)
+		if err := l.Append(&rec); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+	if l.Mode() != store.ModeDegraded {
+		t.Fatal("short write must degrade the log")
+	}
+	if err := l.TryRecover(); err != nil {
+		t.Fatalf("TryRecover: %v", err)
+	}
+	for i := 4; i < 6; i++ {
+		rec := degradedRecord(i)
+		if err := l.Append(&rec); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+	checkInvariant(t, l)
+	got := scanAll(t, l)
+	if len(got) != 6 {
+		t.Fatalf("scan after repair: %d records, want 6", len(got))
+	}
+	for i, r := range got {
+		if r.Window.Window != i {
+			t.Fatalf("record %d has window %d: gap or duplicate after repair", i, r.Window.Window)
+		}
+	}
+	events, err := l.Verify()
+	if err != nil || len(events) != 0 {
+		t.Fatalf("Verify after repair: events %v err %v, want clean", events, err)
+	}
+}
+
+// TestFsyncFailureDegrades: under FsyncAlways a failing fsync breaks the
+// durability promise, so it degrades the log until the disk answers.
+func TestFsyncFailureDegrades(t *testing.T) {
+	ffs := faultinject.NewFS(nil, faultinject.FSConfig{})
+	s, err := store.Open(store.Options{Dir: t.TempDir(), Fsync: store.FsyncAlways, FS: ffs})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer s.Close()
+	l, err := s.Log("p")
+	if err != nil {
+		t.Fatalf("Log: %v", err)
+	}
+	rec := degradedRecord(0)
+	if err := l.Append(&rec); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	ffs.BreakSyncs(nil)
+	rec = degradedRecord(1)
+	if err := l.Append(&rec); err != nil {
+		t.Fatalf("Append under failing fsync must still be acknowledged: %v", err)
+	}
+	if l.Mode() != store.ModeDegraded {
+		t.Fatal("failing fsync under FsyncAlways must degrade the log")
+	}
+	rec = degradedRecord(2)
+	if err := l.Append(&rec); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	checkInvariant(t, l)
+	ffs.HealSyncs()
+	if err := l.TryRecover(); err != nil {
+		t.Fatalf("TryRecover: %v", err)
+	}
+	if got := scanAll(t, l); len(got) != 3 {
+		t.Fatalf("scan: %d records, want 3", len(got))
+	}
+	checkInvariant(t, l)
+}
+
+// TestDegradedCloseSurfacesErrorAndCountsDrops: a close that cannot
+// recover returns the fault and drops the pending records with the
+// counter bumped — a lossy shutdown is loud, not silent.
+func TestDegradedCloseSurfacesErrorAndCountsDrops(t *testing.T) {
+	ffs := faultinject.NewFS(nil, faultinject.FSConfig{})
+	s, err := store.Open(store.Options{Dir: t.TempDir(), Fsync: store.FsyncNone, FS: ffs})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	l, err := s.Log("p")
+	if err != nil {
+		t.Fatalf("Log: %v", err)
+	}
+	ffs.BreakWrites(nil)
+	for i := 0; i < 3; i++ {
+		rec := degradedRecord(i)
+		if err := l.Append(&rec); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+	if err := s.Close(); err == nil {
+		t.Fatal("Close of an unrecoverable degraded store must return the fault")
+	}
+	if got := s.Metrics().RecordsDropped.Load(); got != 3 {
+		t.Fatalf("RecordsDropped after lossy close = %d, want 3", got)
+	}
+	if got := s.Metrics().RecordsPending.Load(); got != 0 {
+		t.Fatalf("RecordsPending gauge after close = %d, want 0", got)
+	}
+}

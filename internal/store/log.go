@@ -11,6 +11,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dominantlink/internal/obs"
 )
@@ -80,11 +81,54 @@ type Stats struct {
 	NewestNS    int64  `json:"newest_unix_ns,omitempty"`
 }
 
+// Mode is a log's durability mode: durable (appends reach the active
+// segment) or degraded (a disk fault is pending recovery and appends
+// are buffered in memory).
+type Mode int
+
+const (
+	// ModeDurable: appends land in the active segment as usual.
+	ModeDurable Mode = iota
+	// ModeDegraded: a write, sync or roll failure detached the log from
+	// its active segment; appends accumulate in a bounded in-memory
+	// buffer until a recovery attempt reopens the segment and drains
+	// them back to disk.
+	ModeDegraded
+)
+
+func (m Mode) String() string {
+	if m == ModeDegraded {
+		return "degraded"
+	}
+	return "durable"
+}
+
+// DegradedStats is one log's degraded-mode accounting snapshot. The
+// invariant Produced == Appended + Pending + Dropped holds at every
+// instant: a record offered to Append is durably written, buffered
+// pending recovery, or explicitly dropped — never silently lost.
+type DegradedStats struct {
+	Mode     string `json:"mode"`
+	Error    string `json:"error,omitempty"` // the fault keeping the log degraded
+	Produced int64  `json:"produced"`        // records accepted by Append this process
+	Appended int64  `json:"appended"`        // records durably written this process
+	Pending  int    `json:"pending"`         // records buffered in memory
+	Dropped  int64  `json:"dropped"`         // records evicted from the buffer
+}
+
 // Log is one path's segmented result log: a single writer appending
 // length-prefixed CRC-checked records to the active segment, rolling to a
 // new segment at Options.SegmentBytes, with any number of concurrent
 // scanners reading committed bytes through their own file handles. Obtain
 // one with Store.Log; all methods are safe for concurrent use.
+//
+// A disk fault (failed write, fsync or segment roll) does not poison the
+// log: it degrades it. Degraded appends still succeed — records go to a
+// bounded in-memory buffer (Options.DegradedMaxRecords; overflow drops
+// the oldest pending record, counted in Metrics.RecordsDropped) — and
+// the store's retry loop periodically reopens the active segment,
+// truncates any torn tail back to the last committed frame, drains the
+// buffer in order, and re-enters durable mode transparently.
 type Log struct {
 	store *Store
 	id    string
@@ -92,8 +136,7 @@ type Log struct {
 
 	mu            sync.Mutex // writer state: active segment, sealed set, manifest
 	closed        bool
-	failed        error // a write failure that poisoned the active segment
-	active        *os.File
+	active        File
 	activeName    string
 	activeSize    int64
 	activeScan    segScan // running summary of the active segment's records
@@ -106,6 +149,16 @@ type Log struct {
 	recoveries    []RecoveryEvent
 	transitionSum int // transitions across sealed segments
 
+	// Degraded mode (all under mu).
+	degraded    bool
+	degradeErr  error     // the fault that degraded the log (latest)
+	pending     []Record  // bounded buffer of records awaiting recovery
+	pendingDrop int64     // pending records evicted by the buffer bound
+	appended    int64     // records durably written this process
+	produced    int64     // records accepted by Append this process
+	retryAfter  time.Time // earliest next recovery attempt
+	retryWait   time.Duration
+
 	committed atomic.Int64 // committed byte length of the active segment
 
 	syncMu    sync.Mutex
@@ -113,17 +166,20 @@ type Log struct {
 	dirty     atomic.Bool // interval policy: an fsync is owed
 }
 
+// fs returns the store's filesystem seam.
+func (l *Log) fs() FS { return l.store.opts.FS }
+
 // openLog opens (and, unless read-only, recovers) the log directory.
 func openLog(s *Store, id, dir string) (*Log, error) {
 	l := &Log{store: s, id: id, dir: dir, nextSeg: 1}
 	ro := s.opts.ReadOnly
 	if !ro {
-		if err := os.MkdirAll(dir, 0o755); err != nil {
+		if err := l.fs().MkdirAll(dir, 0o755); err != nil {
 			return nil, fmt.Errorf("store: %w", err)
 		}
 	}
 	man := l.readManifest()
-	names, err := segmentNames(dir)
+	names, err := segmentNames(l.fs(), dir)
 	if err != nil {
 		return nil, err
 	}
@@ -132,7 +188,7 @@ func openLog(s *Store, id, dir string) (*Log, error) {
 		last := i == len(names)-1
 		path := filepath.Join(dir, name)
 		if ent, ok := manifestEntry(man, name); ok && !last {
-			if fi, err := os.Stat(path); err == nil && fi.Size() == ent.Bytes {
+			if fi, err := l.fs().Stat(path); err == nil && fi.Size() == ent.Bytes {
 				l.sealed = append(l.sealed, ent)
 				l.bumpNext(ent.Last + 1)
 				continue
@@ -141,7 +197,7 @@ func openLog(s *Store, id, dir string) (*Log, error) {
 		} else if !last {
 			rebuilt = true
 		}
-		raw, err := os.ReadFile(path)
+		raw, err := l.fs().ReadFile(path)
 		if err != nil {
 			return nil, fmt.Errorf("store: %w", err)
 		}
@@ -195,7 +251,7 @@ func openLog(s *Store, id, dir string) (*Log, error) {
 		}
 		s.metrics.Segments.Add(1)
 	} else {
-		f, err := os.OpenFile(filepath.Join(dir, l.activeName), os.O_RDWR, 0o644)
+		f, err := l.fs().OpenFile(filepath.Join(dir, l.activeName), os.O_RDWR, 0o644)
 		if err != nil {
 			return nil, fmt.Errorf("store: %w", err)
 		}
@@ -239,7 +295,7 @@ func (l *Log) recover(name, path string, valid, dropped int64, reason string, ro
 		slog.String("reason", reason),
 	)
 	if !ro {
-		os.Truncate(path, valid)
+		l.fs().Truncate(path, valid)
 	}
 }
 
@@ -273,11 +329,18 @@ func (l *Log) Recoveries() []RecoveryEvent {
 	return append([]RecoveryEvent(nil), l.recoveries...)
 }
 
-// Append durably appends one record. A zero AppendedAt is stamped with the
-// store clock. The write lands in the active segment immediately (visible
-// to scanners before Append returns); durability follows the store's fsync
-// policy — FsyncAlways group-commits before returning, FsyncInterval leaves
-// the fsync to the store's flusher, FsyncNone leaves it to the OS.
+// Append appends one record. A zero AppendedAt is stamped with the store
+// clock. In durable mode the write lands in the active segment
+// immediately (visible to scanners before Append returns); durability
+// follows the store's fsync policy — FsyncAlways group-commits before
+// returning, FsyncInterval leaves the fsync to the store's flusher,
+// FsyncNone leaves it to the OS.
+//
+// A disk fault does not fail the append: the log degrades, the record is
+// buffered in memory (bounded; see DegradedStats for the accounting),
+// and Append returns nil — the record is acknowledged as
+// buffered-pending, to be drained to disk when recovery reopens the
+// segment. Only ErrReadOnly and ErrClosed are returned.
 func (l *Log) Append(rec *Record) error {
 	if l.store.opts.ReadOnly {
 		return ErrReadOnly
@@ -290,29 +353,18 @@ func (l *Log) Append(rec *Record) error {
 		l.mu.Unlock()
 		return ErrClosed
 	}
-	if l.failed != nil {
-		err := l.failed
+	l.produced++
+	if l.degraded {
+		l.bufferLocked(*rec)
 		l.mu.Unlock()
-		return err
+		return nil
 	}
-	l.payloadBuf = appendRecord(l.payloadBuf[:0], rec)
-	l.encBuf = appendFrame(l.encBuf[:0], l.payloadBuf)
-	frame := l.encBuf
-	prev := l.activeSize
-	if _, err := l.active.Write(frame); err != nil {
-		// A partial write leaves a torn tail in the middle of the live
-		// segment; truncate back to the last committed frame so later
-		// appends don't bury garbage, and poison the log if that fails.
-		if terr := l.active.Truncate(prev); terr != nil {
-			l.failed = fmt.Errorf("store: append failed and tail not truncated: %w", err)
-		}
+	if err := l.writeRecordLocked(rec); err != nil {
+		l.degradeLocked(err)
+		l.bufferLocked(*rec)
 		l.mu.Unlock()
-		return fmt.Errorf("store: append: %w", err)
+		return nil
 	}
-	l.activeSize += int64(len(frame))
-	l.committed.Store(l.activeSize)
-	l.noteRecordLocked(rec)
-	l.store.metrics.BytesWritten.Add(int64(len(frame)))
 	l.wseq++
 	seq := l.wseq
 	roll := l.activeSize >= l.store.opts.SegmentBytes
@@ -320,15 +372,233 @@ func (l *Log) Append(rec *Record) error {
 
 	if roll {
 		if err := l.Roll(); err != nil {
-			return err
+			// The record is durable; the failed seal degrades the log and
+			// the roll is retried after recovery.
+			l.degrade(err)
+			return nil
 		}
 	}
 	switch l.store.opts.Fsync {
 	case FsyncAlways:
-		return l.syncTo(seq)
+		if err := l.syncTo(seq); err != nil {
+			// Written but not provably durable: degrade so no further
+			// appends are acknowledged until the disk answers again.
+			l.degrade(err)
+		}
 	case FsyncInterval:
 		l.dirty.Store(true)
 	}
+	return nil
+}
+
+// writeRecordLocked encodes one record and writes its frame to the
+// active segment, updating the committed watermark and bookkeeping. On a
+// write failure the tail is truncated back to the last committed frame
+// (best-effort — recovery re-truncates by byte offset through a fresh
+// handle) and the error is returned without bookkeeping changes.
+func (l *Log) writeRecordLocked(rec *Record) error {
+	if l.active == nil {
+		return errors.New("store: no active segment")
+	}
+	l.payloadBuf = appendRecord(l.payloadBuf[:0], rec)
+	l.encBuf = appendFrame(l.encBuf[:0], l.payloadBuf)
+	frame := l.encBuf
+	prev := l.activeSize
+	if _, err := l.active.Write(frame); err != nil {
+		l.active.Truncate(prev)
+		return fmt.Errorf("store: append: %w", err)
+	}
+	l.activeSize += int64(len(frame))
+	l.committed.Store(l.activeSize)
+	l.noteRecordLocked(rec)
+	l.store.metrics.BytesWritten.Add(int64(len(frame)))
+	l.store.metrics.RecordsAppended.Add(1)
+	l.appended++
+	return nil
+}
+
+// bufferLocked adds one record to the degraded-mode pending buffer,
+// evicting (and counting) the oldest when full. The window counter still
+// advances: a buffered record is acknowledged, so a restarted session
+// must not reuse its index.
+func (l *Log) bufferLocked(rec Record) {
+	for len(l.pending) >= l.store.opts.DegradedMaxRecords {
+		l.pending = l.pending[1:]
+		l.pendingDrop++
+		l.store.metrics.RecordsDropped.Add(1)
+		l.store.metrics.RecordsPending.Add(-1)
+	}
+	l.pending = append(l.pending, rec)
+	l.store.metrics.RecordsPending.Add(1)
+	l.bumpNext(int64(rec.Window.Window) + 1)
+}
+
+// degrade enters degraded mode from off-lock call sites.
+func (l *Log) degrade(err error) {
+	l.mu.Lock()
+	if !l.closed {
+		l.degradeLocked(err)
+	}
+	l.mu.Unlock()
+}
+
+// degradeLocked detaches the log from its active segment after a disk
+// fault: the (possibly wedged) handle is closed, subsequent appends
+// buffer in memory, and the store's retry loop takes over recovery.
+func (l *Log) degradeLocked(err error) {
+	l.degradeErr = err
+	if l.degraded {
+		return
+	}
+	l.degraded = true
+	if l.active != nil {
+		l.active.Close()
+		l.active = nil
+	}
+	l.retryWait = l.store.opts.RetryEvery
+	l.retryAfter = l.store.now().Add(l.retryWait)
+	l.store.metrics.Degraded.Add(1)
+	l.logw().LogAttrs(context.Background(), slog.LevelError, "store",
+		slog.String("event", obs.EventStoreDegraded),
+		slog.String("path", l.id),
+		slog.String("segment", l.activeName),
+		slog.String("error", err.Error()),
+	)
+}
+
+// Mode reports whether the log is durable or degraded.
+func (l *Log) Mode() Mode {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.degraded {
+		return ModeDegraded
+	}
+	return ModeDurable
+}
+
+// DegradedStats returns the log's degraded-mode accounting snapshot.
+func (l *Log) DegradedStats() DegradedStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st := DegradedStats{
+		Mode:     ModeDurable.String(),
+		Produced: l.produced,
+		Appended: l.appended,
+		Pending:  len(l.pending),
+		Dropped:  l.pendingDrop,
+	}
+	if l.degraded {
+		st.Mode = ModeDegraded.String()
+		if l.degradeErr != nil {
+			st.Error = l.degradeErr.Error()
+		}
+	}
+	return st
+}
+
+// maybeRecover is the store retry loop's per-tick hook: attempt recovery
+// when degraded and past the backoff deadline.
+func (l *Log) maybeRecover() {
+	l.mu.Lock()
+	if l.degraded && !l.closed && !l.store.now().Before(l.retryAfter) {
+		l.tryRecoverLocked()
+	}
+	l.mu.Unlock()
+}
+
+// TryRecover forces one immediate recovery attempt (ignoring the backoff
+// schedule), returning nil when the log is durable again. Exposed for
+// drain paths and deterministic tests; the store's retry loop calls the
+// same machinery on its own clock.
+func (l *Log) TryRecover() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if !l.degraded {
+		return nil
+	}
+	return l.tryRecoverLocked()
+}
+
+// tryRecoverLocked attempts the degraded→durable transition: reopen the
+// active segment, truncate whatever a failed append left past the last
+// committed frame, prove the handle reaches stable storage with an
+// fsync, then drain the pending buffer to disk in order. Any failure
+// leaves the log degraded with doubled backoff; success re-enters
+// durable mode transparently.
+func (l *Log) tryRecoverLocked() error {
+	fail := func(err error) error {
+		l.degradeErr = err
+		l.retryWait *= 2
+		if max := 32 * l.store.opts.RetryEvery; l.retryWait > max {
+			l.retryWait = max
+		}
+		l.retryAfter = l.store.now().Add(l.retryWait)
+		return err
+	}
+	f, err := l.fs().OpenFile(filepath.Join(l.dir, l.activeName), os.O_RDWR, 0o644)
+	if err != nil {
+		return fail(fmt.Errorf("store: recovery reopen: %w", err))
+	}
+	if err := f.Truncate(l.activeSize); err != nil {
+		f.Close()
+		return fail(fmt.Errorf("store: recovery truncate: %w", err))
+	}
+	if _, err := f.Seek(l.activeSize, 0); err != nil {
+		f.Close()
+		return fail(fmt.Errorf("store: recovery seek: %w", err))
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fail(fmt.Errorf("store: recovery fsync: %w", err))
+	}
+	if l.active != nil {
+		l.active.Close()
+	}
+	l.active = f
+	drained := 0
+	for len(l.pending) > 0 {
+		rec := l.pending[0]
+		if err := l.writeRecordLocked(&rec); err != nil {
+			// Keep the remainder pending; the handle just proved flaky
+			// again, so stay degraded and back off.
+			return fail(err)
+		}
+		l.pending = l.pending[1:]
+		l.store.metrics.RecordsPending.Add(-1)
+		l.wseq++
+		drained++
+		if l.activeSize >= l.store.opts.SegmentBytes {
+			if err := l.rollLocked(); err != nil {
+				return fail(err)
+			}
+			l.applyRetentionLocked()
+		}
+	}
+	l.pending = nil
+	// One final fsync covers the drained records whatever the policy: the
+	// transition back to durable must not leave just-recovered data
+	// sitting only in the page cache.
+	if drained > 0 {
+		if err := l.active.Sync(); err != nil {
+			return fail(fmt.Errorf("store: recovery fsync: %w", err))
+		}
+		l.store.metrics.Fsyncs.Add(1)
+	}
+	l.degraded = false
+	l.degradeErr = nil
+	l.retryWait = 0
+	l.store.metrics.Recovered.Add(1)
+	l.writeManifestLocked()
+	l.logw().LogAttrs(context.Background(), slog.LevelInfo, "store",
+		slog.String("event", obs.EventStoreRecovered),
+		slog.String("path", l.id),
+		slog.String("segment", l.activeName),
+		slog.Int("drained", drained),
+		slog.Int64("dropped", l.pendingDrop),
+	)
 	return nil
 }
 
@@ -392,8 +662,17 @@ func (l *Log) syncTo(seq uint64) error {
 }
 
 // Sync flushes the active segment to stable storage regardless of policy.
+// A degraded log first attempts recovery (reopen + drain), so a
+// drain-time SyncAll either lands every pending record or surfaces the
+// disk fault as its error.
 func (l *Log) Sync() error {
 	l.mu.Lock()
+	if l.degraded {
+		if err := l.tryRecoverLocked(); err != nil {
+			l.mu.Unlock()
+			return err
+		}
+	}
 	seq := l.wseq
 	l.mu.Unlock()
 	l.dirty.Store(false)
@@ -417,7 +696,7 @@ func (l *Log) flushIfDirty() {
 func (l *Log) Roll() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if l.closed || l.store.opts.ReadOnly {
+	if l.closed || l.store.opts.ReadOnly || l.degraded {
 		return nil
 	}
 	if err := l.rollLocked(); err != nil {
@@ -457,6 +736,12 @@ func (l *Log) rollLocked() error {
 		slog.Int64("bytes", l.activeSize),
 	)
 	if err := l.newActiveLocked(); err != nil {
+		// Un-seal: keep the old segment active (its handle is closed; a
+		// degraded-mode recovery reopens it by name) so the sealed set and
+		// the active bookkeeping never overlap.
+		l.sealed = l.sealed[:len(l.sealed)-1]
+		l.transitionSum -= sc.transitioned
+		l.active = nil
 		return err
 	}
 	l.store.metrics.Segments.Add(1)
@@ -467,7 +752,7 @@ func (l *Log) rollLocked() error {
 func (l *Log) newActiveLocked() error {
 	name := segName(l.nextSeg)
 	l.nextSeg++
-	f, err := os.OpenFile(filepath.Join(l.dir, name), os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	f, err := l.fs().OpenFile(filepath.Join(l.dir, name), os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
@@ -513,7 +798,7 @@ func (l *Log) applyRetentionLocked() {
 		if overBytes {
 			reason = "bytes"
 		}
-		os.Remove(filepath.Join(l.dir, oldest.File))
+		l.fs().Remove(filepath.Join(l.dir, oldest.File))
 		total -= oldest.Bytes
 		l.sealed = l.sealed[1:]
 		l.store.metrics.Segments.Add(-1)
@@ -595,7 +880,7 @@ func (l *Log) mergeLocked(run []segmentInfo) (segmentInfo, error) {
 	var mi segmentInfo
 	body := []byte(segMagic)
 	for i, si := range run {
-		raw, err := os.ReadFile(filepath.Join(l.dir, si.File))
+		raw, err := l.fs().ReadFile(filepath.Join(l.dir, si.File))
 		if err != nil {
 			return mi, err
 		}
@@ -623,19 +908,19 @@ func (l *Log) mergeLocked(run []segmentInfo) (segmentInfo, error) {
 	}
 	mi.Bytes = int64(len(body))
 	tmp := filepath.Join(l.dir, run[0].File+".tmp")
-	if err := os.WriteFile(tmp, body, 0o644); err != nil {
+	if err := l.fs().WriteFile(tmp, body, 0o644); err != nil {
 		return mi, err
 	}
-	if f, err := os.Open(tmp); err == nil {
+	if f, err := l.fs().OpenFile(tmp, os.O_RDWR, 0o644); err == nil {
 		f.Sync()
 		f.Close()
 	}
-	if err := os.Rename(tmp, filepath.Join(l.dir, run[0].File)); err != nil {
-		os.Remove(tmp)
+	if err := l.fs().Rename(tmp, filepath.Join(l.dir, run[0].File)); err != nil {
+		l.fs().Remove(tmp)
 		return mi, err
 	}
 	for _, si := range run[1:] {
-		os.Remove(filepath.Join(l.dir, si.File))
+		l.fs().Remove(filepath.Join(l.dir, si.File))
 	}
 	return mi, nil
 }
@@ -663,7 +948,7 @@ func (l *Log) Scan(since int64, fn func(Record) error) error {
 		if si.Last < since {
 			continue
 		}
-		raw, err := os.ReadFile(filepath.Join(l.dir, si.File))
+		raw, err := l.fs().ReadFile(filepath.Join(l.dir, si.File))
 		if err != nil {
 			continue // retention or compaction raced the scan
 		}
@@ -677,7 +962,7 @@ func (l *Log) Scan(since int64, fn func(Record) error) error {
 	if activeName == "" || committed <= int64(len(segMagic)) {
 		return nil
 	}
-	raw, err := readPrefix(filepath.Join(l.dir, activeName), committed)
+	raw, err := l.readPrefix(filepath.Join(l.dir, activeName), committed)
 	if err != nil {
 		return nil
 	}
@@ -699,8 +984,8 @@ func scanErr(err error) error {
 
 // readPrefix reads the first n bytes of a file — the committed prefix of
 // the active segment, which the writer may be extending concurrently.
-func readPrefix(path string, n int64) ([]byte, error) {
-	f, err := os.Open(path)
+func (l *Log) readPrefix(path string, n int64) ([]byte, error) {
+	f, err := l.fs().Open(path)
 	if err != nil {
 		return nil, err
 	}
@@ -740,14 +1025,14 @@ func (l *Log) Verify() ([]RecoveryEvent, error) {
 		}
 	}
 	for _, si := range segs {
-		raw, err := os.ReadFile(filepath.Join(l.dir, si.File))
+		raw, err := l.fs().ReadFile(filepath.Join(l.dir, si.File))
 		if err != nil {
 			continue
 		}
 		check(si.File, raw)
 	}
 	if activeName != "" {
-		raw, err := readPrefix(filepath.Join(l.dir, activeName), committed)
+		raw, err := l.readPrefix(filepath.Join(l.dir, activeName), committed)
 		if err == nil {
 			check(activeName, raw)
 		}
@@ -799,8 +1084,11 @@ func (l *Log) Stats() Stats {
 }
 
 // Close seals the log handle: syncs the active segment (unless read-only),
-// rewrites the manifest, and releases the file. Further Appends fail with
-// ErrClosed. Store.Close calls it for every open log.
+// rewrites the manifest, and releases the file. A degraded log gets one
+// last recovery attempt first; pending records that still cannot reach
+// disk are dropped — counted, never silent — and the recovery error is
+// returned so the caller (Store.Close, the daemon's drain) can report a
+// lossy shutdown. Further Appends fail with ErrClosed.
 func (l *Log) Close() error {
 	l.mu.Lock()
 	if l.closed {
@@ -808,14 +1096,27 @@ func (l *Log) Close() error {
 		return nil
 	}
 	var err error
-	if l.active != nil && !l.store.opts.ReadOnly {
-		if serr := l.active.Sync(); serr != nil {
-			err = serr
-		} else {
-			l.store.metrics.Fsyncs.Add(1)
+	if !l.store.opts.ReadOnly {
+		if l.degraded {
+			err = l.tryRecoverLocked()
 		}
-		l.writeManifestLocked()
-		l.active.Close()
+		if l.active != nil {
+			if serr := l.active.Sync(); serr != nil {
+				if err == nil {
+					err = serr
+				}
+			} else {
+				l.store.metrics.Fsyncs.Add(1)
+			}
+			l.writeManifestLocked()
+			l.active.Close()
+		}
+	}
+	if n := int64(len(l.pending)); n > 0 {
+		l.pendingDrop += n
+		l.store.metrics.RecordsDropped.Add(n)
+		l.store.metrics.RecordsPending.Add(-n)
+		l.pending = nil
 	}
 	l.closed = true
 	l.active = nil
@@ -839,16 +1140,16 @@ func (l *Log) writeManifestLocked() {
 		return
 	}
 	tmp := filepath.Join(l.dir, manifestFile+".tmp")
-	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+	if err := l.fs().WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
 		return
 	}
-	os.Rename(tmp, filepath.Join(l.dir, manifestFile))
+	l.fs().Rename(tmp, filepath.Join(l.dir, manifestFile))
 }
 
 // readManifest loads the sidecar, returning nil when absent or malformed
 // (recovery then rebuilds it from the segments).
 func (l *Log) readManifest() *manifest {
-	data, err := os.ReadFile(filepath.Join(l.dir, manifestFile))
+	data, err := l.fs().ReadFile(filepath.Join(l.dir, manifestFile))
 	if err != nil {
 		return nil
 	}
@@ -885,10 +1186,10 @@ func segNumber(name string) (int64, bool) {
 }
 
 // segmentNames lists the segment files of a log directory in order.
-func segmentNames(dir string) ([]string, error) {
-	ents, err := os.ReadDir(dir)
+func segmentNames(fsys FS, dir string) ([]string, error) {
+	ents, err := fsys.ReadDir(dir)
 	if err != nil {
-		if os.IsNotExist(err) {
+		if errors.Is(err, os.ErrNotExist) {
 			return nil, nil
 		}
 		return nil, fmt.Errorf("store: %w", err)

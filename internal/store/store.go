@@ -14,7 +14,6 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
-	"os"
 	"path/filepath"
 	"sort"
 	"strings"
@@ -91,6 +90,20 @@ type Options struct {
 	// ReadOnly opens the store for inspection only: no recovery
 	// truncation, no appends — what cmd/dclstore uses on a live store.
 	ReadOnly bool
+	// FS is the filesystem seam; nil means the real filesystem. Tests
+	// inject fault schedules (ENOSPC, EIO, short writes, failing fsyncs)
+	// through it via internal/faultinject.
+	FS FS
+	// DegradedMaxRecords bounds the in-memory pending buffer one log
+	// accumulates while degraded by a disk fault; default 4096. When the
+	// buffer is full the oldest pending record is dropped and counted
+	// (Metrics.RecordsDropped) — never silently.
+	DegradedMaxRecords int
+	// RetryEvery is the base period of the degraded-mode recovery loop:
+	// how often a degraded log attempts to reopen its active segment and
+	// drain the pending buffer back to disk. Per-log exponential backoff
+	// (doubling to 32x) rides on top. Default 1s.
+	RetryEvery time.Duration
 	// Now overrides the wall clock (tests); defaults to time.Now.
 	Now func() time.Time
 	// Logger receives the store's structured events — crash recoveries,
@@ -108,6 +121,15 @@ func (o *Options) withDefaults() Options {
 	if opts.SegmentBytes <= 0 {
 		opts.SegmentBytes = 1 << 20
 	}
+	if opts.FS == nil {
+		opts.FS = osFS{}
+	}
+	if opts.DegradedMaxRecords <= 0 {
+		opts.DegradedMaxRecords = 4096
+	}
+	if opts.RetryEvery <= 0 {
+		opts.RetryEvery = time.Second
+	}
 	if opts.Now == nil {
 		opts.Now = time.Now
 	}
@@ -119,12 +141,24 @@ func (o *Options) withDefaults() Options {
 
 // Metrics are the store's monotonic counters, published by the monitor's
 // /metrics endpoint. Segments tracks the current segment-file count
-// across open logs (up on create, down on retention/compaction).
+// across open logs (up on create, down on retention/compaction);
+// RecordsPending is the live gauge of records buffered in memory by
+// degraded logs; everything else only goes up. The degraded-mode
+// accounting invariant — every produced record is durably appended,
+// buffered-pending, or explicitly dropped — reads as
+// RecordsAppended + RecordsPending + RecordsDropped == records offered.
 type Metrics struct {
 	BytesWritten atomic.Int64
 	Segments     atomic.Int64
 	Recoveries   atomic.Int64
 	Fsyncs       atomic.Int64
+
+	// Degraded-mode transitions and accounting.
+	Degraded        atomic.Int64 // durable→degraded transitions
+	Recovered       atomic.Int64 // degraded→durable transitions
+	RecordsAppended atomic.Int64 // records durably written this process
+	RecordsPending  atomic.Int64 // gauge: records buffered while degraded
+	RecordsDropped  atomic.Int64 // pending records evicted by the buffer bound
 }
 
 // Store is a directory of per-path result logs sharing one configuration,
@@ -141,6 +175,9 @@ type Store struct {
 
 	flushStop chan struct{}
 	flushDone chan struct{}
+
+	retryStop chan struct{}
+	retryDone chan struct{}
 }
 
 // Open opens (creating if needed, unless read-only) a store rooted at
@@ -151,10 +188,10 @@ func Open(opts Options) (*Store, error) {
 	}
 	o := opts.withDefaults()
 	if o.ReadOnly {
-		if _, err := os.Stat(o.Dir); err != nil {
+		if _, err := o.FS.Stat(o.Dir); err != nil {
 			return nil, fmt.Errorf("store: %w", err)
 		}
-	} else if err := os.MkdirAll(o.Dir, 0o755); err != nil {
+	} else if err := o.FS.MkdirAll(o.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
 	s := &Store{opts: o, logs: make(map[string]*Log)}
@@ -162,6 +199,11 @@ func Open(opts Options) (*Store, error) {
 		s.flushStop = make(chan struct{})
 		s.flushDone = make(chan struct{})
 		go s.flushLoop()
+	}
+	if !o.ReadOnly {
+		s.retryStop = make(chan struct{})
+		s.retryDone = make(chan struct{})
+		go s.retryLoop()
 	}
 	return s, nil
 }
@@ -199,7 +241,7 @@ func (s *Store) Log(id string) (*Log, error) {
 // Paths lists every path with a log directory under the store root —
 // both logs opened this process and logs left by earlier ones.
 func (s *Store) Paths() ([]string, error) {
-	ents, err := os.ReadDir(s.opts.Dir)
+	ents, err := s.opts.FS.ReadDir(s.opts.Dir)
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
@@ -243,6 +285,10 @@ func (s *Store) Close() error {
 		close(s.flushStop)
 		<-s.flushDone
 	}
+	if s.retryStop != nil {
+		close(s.retryStop)
+		<-s.retryDone
+	}
 	var firstErr error
 	for _, l := range logs {
 		if err := l.Close(); err != nil && firstErr == nil {
@@ -250,6 +296,20 @@ func (s *Store) Close() error {
 		}
 	}
 	return firstErr
+}
+
+// DegradedPaths lists the open logs currently in degraded mode (disk
+// fault pending recovery), for health reporting. Empty means every log
+// is durable.
+func (s *Store) DegradedPaths() []string {
+	var ids []string
+	for _, l := range s.snapshotLogs() {
+		if l.Mode() == ModeDegraded {
+			ids = append(ids, l.ID())
+		}
+	}
+	sort.Strings(ids)
+	return ids
 }
 
 func (s *Store) snapshotLogs() []*Log {
@@ -275,6 +335,27 @@ func (s *Store) flushLoop() {
 		case <-t.C:
 			for _, l := range s.snapshotLogs() {
 				l.flushIfDirty()
+			}
+		}
+	}
+}
+
+// retryLoop is the degraded-mode recovery goroutine: every RetryEvery it
+// offers each degraded log a recovery attempt (the log applies its own
+// exponential backoff on repeated failures). One goroutine per store —
+// degraded logs are the exception, so the loop is almost always a cheap
+// scan of zero degraded entries.
+func (s *Store) retryLoop() {
+	defer close(s.retryDone)
+	t := time.NewTicker(s.opts.RetryEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.retryStop:
+			return
+		case <-t.C:
+			for _, l := range s.snapshotLogs() {
+				l.maybeRecover()
 			}
 		}
 	}

@@ -207,7 +207,7 @@ func TestReopenResumesCounterAndRecords(t *testing.T) {
 func lastSegment(t *testing.T, storeDir, id string) string {
 	t.Helper()
 	dir := filepath.Join(storeDir, escapePath(id))
-	names, err := segmentNames(dir)
+	names, err := segmentNames(osFS{}, dir)
 	if err != nil || len(names) == 0 {
 		t.Fatalf("no segments in %s: %v", dir, err)
 	}

@@ -1,0 +1,36 @@
+// Package testutil holds helpers shared by the repo's test suites. It is
+// imported only from _test files; nothing here ships in a binary.
+package testutil
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// GoroutineBaseline captures the current goroutine count for a later
+// WaitGoroutines check. Call it before constructing the system under
+// test, while nothing of it is running yet.
+func GoroutineBaseline() int { return runtime.NumGoroutine() }
+
+// WaitGoroutines fails the test unless the goroutine count returns to
+// the baseline (with slack for the runtime's own pool) within 5 seconds
+// — the shutdown-hygiene check every chaos and soak test ends with: a
+// drained monitor, a closed store, and a finished pipeline must leave no
+// goroutine behind. On timeout it dumps all stacks, so the leak is
+// attributable from the failure alone.
+func WaitGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if g := runtime.NumGoroutine(); g <= baseline+3 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutine leak: %d now vs %d at baseline\n%s",
+				runtime.NumGoroutine(), baseline, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

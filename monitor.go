@@ -48,6 +48,13 @@ type (
 	// RateLimitedError reports ingestion refused by a rate limit, with
 	// the suggested retry delay; matches ErrRateLimited via errors.Is.
 	RateLimitedError = monitor.RateLimitedError
+	// SupervisorConfig shapes the per-session restart policy
+	// (MonitorConfig.Supervise): a session whose pipeline dies abnormally
+	// restarts in place with jittered exponential backoff, resuming window
+	// numbering; after MaxRestarts failures within Window it is parked as
+	// failed with the reason surfaced over the API. The zero value
+	// supervises with defaults; Disable restores close-on-crash.
+	SupervisorConfig = monitor.SupervisorConfig
 )
 
 // Shed policies for MonitorConfig.Shed.
